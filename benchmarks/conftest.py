@@ -1,0 +1,35 @@
+"""Benchmark configuration: the scaled-down default experiment scale.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper
+and prints the rows/series the paper reports (run with ``-s`` to see them;
+they are also asserted structurally).  The full paper-scale runs are one
+flag away through the CLI: ``surepath-sim figN --scale paper``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.experiments.scales import Scale
+
+#: Benchmark scale: tiny topologies, short windows, coarse load grid —
+#: the whole suite regenerates every figure in minutes on one core.
+BENCH = Scale(
+    name="bench",
+    side_2d=4,
+    side_3d=4,
+    warmup=100,
+    measure=200,
+    loads=(0.3, 0.6, 0.9),
+    fault_fractions=(0.0, 0.08, 0.16),
+    batch_packets=30,
+)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

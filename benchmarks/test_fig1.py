@@ -1,0 +1,35 @@
+"""Figure 1 — diameter evolution under random link failures (8x8x8).
+
+Pure graph computation; runs at the paper's full scale.  Expected shape:
+diameter 3 holds until ~80 faults, reaching diameter 5 takes ~35% of the
+links and disconnection ~75% (paper §2).
+"""
+
+from conftest import once
+from repro.experiments.figures import fig1_diameter_under_failures
+from repro.experiments.reporting import curve_sparkline
+
+
+def test_fig1_diameter_under_failures(benchmark):
+    curves = once(
+        benchmark, fig1_diameter_under_failures,
+        (8, 8, 8), 2, 256, 0,
+    )
+    print("\nFigure 1 — diameter vs random faults (8x8x8, step 256)")
+    for c in curves:
+        print(
+            f"  seq {c['sequence']}: "
+            f"{curve_sparkline([(f, d) for f, d in c['points']])} "
+            f"disconnect at {c['disconnect_at']}/{c['total_links']}"
+        )
+    for c in curves:
+        faults = dict(c["points"])
+        assert faults[0] == 3  # healthy 3D diameter
+        # Diameter is still 3 at the first sample (well under 80 faults is
+        # not sampled at step 256, but 256 faults ~5% keeps diameter <= 4).
+        assert faults[256] <= 4
+        # Disconnection needs a massive fraction of the links.
+        assert c["disconnect_at"] > 0.4 * c["total_links"]
+        # Diameter never decreases along the sequence.
+        diams = [d for _f, d in c["points"]]
+        assert all(b >= a for a, b in zip(diams, diams[1:]))

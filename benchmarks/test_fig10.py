@@ -1,0 +1,42 @@
+"""Figure 10 — completion time, RPN traffic, Star fault configuration.
+
+Expected shape (paper §6): OmniSP sustains the bulk phase at or above its
+healthy 0.5 RPN cap, but its tail — the root's servers squeezed through
+the few surviving links by aligned routes — stretches its completion time
+to a multiple of PolSP's (2.8x at paper scale).
+"""
+
+from conftest import BENCH, once
+from repro.experiments.figures import fig10_completion_time
+from repro.experiments.reporting import curve_sparkline
+
+
+def test_fig10_completion_time(benchmark):
+    recs = once(benchmark, fig10_completion_time, BENCH)
+    print("\nFigure 10 — RPN + Star completion time")
+    for r in recs:
+        print(
+            f"  {r['mechanism']}: completion={r['completion_cycles']} cycles"
+            f" peak={r['peak_load']:.3f}"
+            f" delivered={r['delivered']}/{r['expected']}"
+        )
+        print("    " + curve_sparkline(r["time_series"]))
+
+    by = {r["mechanism"]: r for r in recs}
+    # Both mechanisms drain the whole batch — fault tolerance holds.
+    for r in recs:
+        assert r["completion_cycles"] is not None
+        assert r["delivered"] == r["expected"]
+        assert not r["deadlocked"]
+
+    # The headline: OmniSP's in-cast tail multiplies its completion time.
+    assert (
+        by["OmniSP"]["completion_cycles"]
+        > 1.5 * by["PolSP"]["completion_cycles"]
+    )
+
+    # The time series starts in a high-throughput bulk phase and ends in a
+    # long straggler tail (most bins far below the peak).
+    for r in recs:
+        loads = [v for _t, v in r["time_series"]]
+        assert max(loads[:3]) > 0.25

@@ -1,0 +1,47 @@
+"""Figure 4 — 2D HyperX fault-free load sweep (throughput/latency/Jain).
+
+Expected shape (paper §5): on Uniform every mechanism except Valiant
+reaches the same high throughput; on Random Server Permutation OmniSP and
+PolSP lead and Minimal struggles; on DCR Valiant's 0.5 is optimal and
+Minimal collapses.
+"""
+
+from conftest import BENCH, once
+from repro.experiments.figures import fig4_2d_loadsweep
+from repro.experiments.reporting import throughput_matrix
+from repro.experiments.sweeps import saturation_throughput
+
+
+def test_fig4_2d_loadsweep(benchmark):
+    recs = once(benchmark, fig4_2d_loadsweep, BENCH)
+    print("\nFigure 4 — 2D saturation throughput (max accepted over loads)")
+    print(throughput_matrix(recs))
+
+    sat = lambda m, t: saturation_throughput(recs, m, t)
+
+    # Uniform: Valiant capped near 0.5, everyone else clearly above.
+    assert abs(sat("Valiant", "uniform") - 0.5) < 0.12
+    for mech in ("Minimal", "OmniWAR", "Polarized", "OmniSP", "PolSP"):
+        assert sat(mech, "uniform") > sat("Valiant", "uniform") + 0.1
+
+    # DCR: Valiant optimal ~0.5; Minimal far below; adaptive non-minimal
+    # mechanisms reach Valiant's level.
+    assert abs(sat("Valiant", "dcr") - 0.5) < 0.08
+    assert sat("Minimal", "dcr") < 0.35
+    for mech in ("OmniWAR", "Polarized", "OmniSP", "PolSP"):
+        assert sat(mech, "dcr") > 0.8 * sat("Valiant", "dcr")
+
+    # SurePath configurations match their ladder counterparts.
+    assert sat("OmniSP", "randperm") >= sat("OmniWAR", "randperm") - 0.07
+    assert sat("PolSP", "randperm") >= sat("Polarized", "randperm") - 0.07
+
+    # Latency/Jain sanity on unsaturated points (accepted tracks offered;
+    # Minimal on DCR is already past saturation at the lowest bench load,
+    # where unbounded latency is the correct behaviour).
+    low = [
+        r for r in recs
+        if r["offered"] == BENCH.loads[0] and r["accepted"] > 0.9 * r["offered"]
+    ]
+    assert low
+    assert all(r["latency_cycles"] < 400 for r in low)
+    assert all(r["jain"] > 0.95 for r in low)

@@ -1,0 +1,35 @@
+"""Figure 5 — 3D HyperX fault-free load sweep, including RPN.
+
+Expected shape additions over Figure 4 (paper §5): under Regular
+Permutation to Neighbour, Minimal is worst, Omnidimensional-based
+mechanisms (OmniWAR, OmniSP) cap at 0.5 — aligned routes cannot beat the
+row bisection — while Polarized-based mechanisms exceed 0.5.
+"""
+
+from conftest import BENCH, once
+from repro.experiments.figures import fig5_3d_loadsweep
+from repro.experiments.reporting import throughput_matrix
+from repro.experiments.sweeps import saturation_throughput
+
+
+def test_fig5_3d_loadsweep(benchmark):
+    recs = once(benchmark, fig5_3d_loadsweep, BENCH)
+    print("\nFigure 5 — 3D saturation throughput (max accepted over loads)")
+    print(throughput_matrix(recs))
+
+    sat = lambda m, t: saturation_throughput(recs, m, t)
+
+    # The 2D orderings carry over.
+    assert abs(sat("Valiant", "uniform") - 0.5) < 0.12
+    for mech in ("OmniWAR", "Polarized", "OmniSP", "PolSP"):
+        assert sat(mech, "uniform") > sat("Valiant", "uniform")
+
+    # RPN is the discriminator (the paper's new traffic pattern):
+    rpn = {m: sat(m, "rpn") for m in
+           ("Minimal", "Valiant", "OmniWAR", "Polarized", "OmniSP", "PolSP")}
+    assert rpn["Minimal"] == min(rpn.values())
+    assert rpn["OmniWAR"] <= 0.55  # aligned-route cap
+    assert rpn["OmniSP"] <= 0.55
+    assert rpn["Polarized"] > 0.55  # non-aligned 3-hop routes break the cap
+    assert rpn["PolSP"] > 0.55
+    assert rpn["PolSP"] > rpn["OmniSP"]

@@ -1,0 +1,41 @@
+"""Figure 7 — the 2D structured fault shapes, at paper scale.
+
+Regenerates the three configurations (Row, Subplane, Cross) and checks
+the exact link counts the paper reports: 120, 100 and 110.
+"""
+
+from conftest import once
+from repro.experiments.figures import fig7_fault_shapes
+from repro.experiments.reporting import ascii_table
+
+
+def test_fig7_fault_shapes(benchmark):
+    rows = once(benchmark, fig7_fault_shapes, "paper")
+    print("\nFigure 7 — 2D fault shapes (paper scale)")
+    print(ascii_table(rows))
+    by = {r["shape"]: r for r in rows}
+    assert by["row"]["n_faults"] == 120  # K16
+    assert by["subplane"]["n_faults"] == 100  # K5^2
+    assert by["cross"]["n_faults"] == 110  # two K11 through the center
+    # Every shape leaves the network connected, root inside the shape.
+    for r in rows:
+        assert r["connected"]
+
+
+def test_fig7_3d_analogues(benchmark):
+    """The 3D translations: Row (28), Subcube (81), Star (63)."""
+    from repro.topology.faults import row_faults, star_faults, subcube_faults
+    from repro.topology.hyperx import HyperX
+
+    hx = HyperX((8, 8, 8), 8)
+
+    def build_counts():
+        return {
+            "row": len(row_faults(hx)),
+            "subcube": len(subcube_faults(hx)),
+            "star": len(star_faults(hx)),
+        }
+
+    counts = once(benchmark, build_counts)
+    print("\nFigure 7 analogues — 3D fault shape link counts:", counts)
+    assert counts == {"row": 28, "subcube": 81, "star": 63}

@@ -1,0 +1,41 @@
+"""Figure 8 — 2D throughput bars under Row / Subplane / Cross faults.
+
+Expected shape (paper §6): Row and Subplane cost little versus the healthy
+reference marks; Cross — which guts the escape root's connectivity — is
+the stressor, hitting Uniform hardest; OmniSP and PolSP track each other.
+"""
+
+from conftest import BENCH, once
+from repro.experiments.figures import fig8_2d_shape_faults
+from repro.experiments.reporting import ascii_table
+
+
+def test_fig8_2d_shape_faults(benchmark):
+    recs = once(benchmark, fig8_2d_shape_faults, BENCH)
+    print("\nFigure 8 — 2D structured-fault throughput")
+    print(ascii_table(recs, ("shape", "mechanism", "traffic", "accepted")))
+
+    def acc(shape, mech, traffic):
+        for r in recs:
+            if (r["shape"], r["mechanism"], r["traffic"]) == (shape, mech, traffic):
+                return r["accepted"]
+        raise KeyError((shape, mech, traffic))
+
+    for mech in ("OmniSP", "PolSP"):
+        for traffic in ("uniform", "randperm", "dcr"):
+            for shape in ("row", "subplane", "cross"):
+                faulty = acc(shape, mech, traffic)
+                healthy = acc(f"{shape}-healthy-ref", mech, traffic)
+                # Faults always cost something but never break delivery.
+                assert faulty > 0.05
+                assert faulty <= healthy + 0.05
+                if shape in ("row", "subplane"):
+                    # Mild shapes: most of the healthy throughput survives.
+                    assert faulty > 0.5 * healthy, (shape, mech, traffic)
+
+    # OmniSP and PolSP stay close under structured faults (paper: "not a
+    # great difference coming from the sets of routes").
+    for shape in ("row", "subplane", "cross"):
+        for traffic in ("uniform", "randperm"):
+            a, b = acc(shape, "OmniSP", traffic), acc(shape, "PolSP", traffic)
+            assert abs(a - b) < 0.25

@@ -1,0 +1,41 @@
+"""Figure 9 — 3D throughput bars under Row / Subcube / Star faults (+RPN).
+
+Expected shape (paper §6): Row and Subcube behave like their 2D
+counterparts; PolSP keeps its RPN advantage under the mild shapes; the
+Star configuration (escape root nearly disconnected) is the extreme case
+the completion-time experiment (Figure 10) dissects.
+"""
+
+from conftest import BENCH, once
+from repro.experiments.figures import fig9_3d_shape_faults
+from repro.experiments.reporting import ascii_table
+
+
+def test_fig9_3d_shape_faults(benchmark):
+    recs = once(benchmark, fig9_3d_shape_faults, BENCH)
+    print("\nFigure 9 — 3D structured-fault throughput")
+    print(ascii_table(recs, ("shape", "mechanism", "traffic", "accepted")))
+
+    def acc(shape, mech, traffic):
+        for r in recs:
+            if (r["shape"], r["mechanism"], r["traffic"]) == (shape, mech, traffic):
+                return r["accepted"]
+        raise KeyError((shape, mech, traffic))
+
+    # Delivery never collapses to zero under any shape/pattern.
+    for r in recs:
+        assert r["accepted"] > 0.03
+        assert not r["deadlocked"]
+
+    # Mild shapes retain most of the healthy throughput.
+    for mech in ("OmniSP", "PolSP"):
+        for traffic in ("uniform", "randperm", "dcr", "rpn"):
+            for shape in ("row", "subcube"):
+                faulty = acc(shape, mech, traffic)
+                healthy = acc(f"{shape}-healthy-ref", mech, traffic)
+                assert faulty > 0.5 * healthy, (shape, mech, traffic)
+
+    # PolSP's RPN advantage survives the mild shapes (paper: "proportional
+    # to the performance gains in a healthy network").
+    for shape in ("row", "subcube"):
+        assert acc(shape, "PolSP", "rpn") > acc(shape, "OmniSP", "rpn")

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the reproduction's hot kernels.
+
+These are proper repeated-timing benchmarks (unlike the figure
+regenerations, which run once): routing-table construction costs — the
+paper's "cost in the order of using Minimal routing" claim — and the
+simulator's slot rate, which sets the wall-clock budget of every figure.
+"""
+
+import numpy as np
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.engine import Simulator
+from repro.topology.base import Network
+from repro.topology.faults import random_fault_sequence
+from repro.topology.graph import all_pairs_distances
+from repro.topology.hyperx import HyperX
+from repro.traffic import make_traffic
+from repro.updown.escape import EscapeSubnetwork
+
+
+def test_bfs_tables_paper_3d(benchmark):
+    """All-pairs BFS on the paper's 8x8x8 — the Minimal-routing rebuild."""
+    hx = HyperX((8, 8, 8), 8)
+    net = Network(hx)
+    d = benchmark(all_pairs_distances, net)
+    assert d.max() == 3
+
+
+def test_escape_tables_paper_3d(benchmark):
+    """Escape-table (re)construction on the paper's 8x8x8 — the cost a
+    SurePath deployment pays per topology event."""
+    hx = HyperX((8, 8, 8), 8)
+    net = Network(hx)
+
+    def build():
+        return EscapeSubnetwork(net, root=0)
+
+    esc = benchmark(build)
+    assert esc.route_length_bound() >= 3
+
+
+def test_escape_tables_faulty_3d(benchmark):
+    """Same rebuild with 100 random faults (the Figure 6 regime)."""
+    hx = HyperX((8, 8, 8), 8)
+    faults = random_fault_sequence(hx, 100, rng=1)
+    net = Network(hx, faults)
+    if not net.is_connected:  # pragma: no cover - seed keeps it connected
+        raise AssertionError("fault draw disconnected the network")
+
+    def build():
+        return EscapeSubnetwork(net, root=0)
+
+    benchmark(build)
+
+
+def test_simulator_slot_rate(benchmark):
+    """Slots per second at 0.5 load on the tiny 2D network."""
+    net = Network(HyperX((4, 4), 4))
+    mech = make_mechanism("PolSP", net, rng=1)
+    sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                    offered=0.5, seed=0)
+    for _ in range(100):  # reach steady occupancy before timing
+        sim.step()
+
+    def fifty_slots():
+        for _ in range(50):
+            sim.step()
+
+    benchmark.pedantic(fifty_slots, rounds=5, iterations=1)
+    assert sim.metrics.delivered_total > 0
+
+
+def test_candidate_generation_rate(benchmark):
+    """PolSP candidate enumeration for one packet (the inner loop)."""
+    from repro.simulator.packet import Packet
+
+    net = Network(HyperX((4, 4, 4), 4))
+    mech = make_mechanism("PolSP", net, rng=1)
+    pkt = Packet(0, 0, 255, 0, 63, 0)
+    mech.init_packet(pkt)
+
+    def candidates():
+        return mech.candidates(pkt, 21)
+
+    cands = benchmark(candidates)
+    assert cands

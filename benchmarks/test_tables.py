@@ -1,0 +1,35 @@
+"""Regenerate Tables 2, 3 and 4 of the paper."""
+
+from conftest import once
+from repro.experiments.figures import table2, table3, table4
+from repro.experiments.reporting import ascii_table
+
+
+def test_table2_simulation_parameters(benchmark):
+    rows = once(benchmark, table2)
+    print("\n" + ascii_table(
+        [{"parameter": k, "value": v} for k, v in rows],
+        title="Table 2 — simulation parameters",
+    ))
+    assert dict(rows)["Packet length"] == "16 phits"
+
+
+def test_table3_topological_parameters(benchmark):
+    rows = once(benchmark, table3, "paper")
+    print("\n" + ascii_table(rows, title="Table 3 — topological parameters"))
+    by = {r["topology"]: r for r in rows}
+    assert by["2D HyperX"]["switches"] == 256
+    assert by["2D HyperX"]["radix"] == 46
+    assert by["2D HyperX"]["links"] == 3840
+    assert by["3D HyperX"]["switches"] == 512
+    assert by["3D HyperX"]["radix"] == 29
+    assert by["3D HyperX"]["links"] == 5376
+    assert by["3D HyperX"]["avg_distance"] == 2.625
+
+
+def test_table4_routing_mechanisms(benchmark):
+    rows = once(benchmark, table4, 3)
+    print("\n" + ascii_table(rows, title="Table 4 — routing mechanisms"))
+    by = {r["mechanism"]: r for r in rows}
+    assert by["OmniSP"]["required_vcs"] == 2
+    assert by["Valiant"]["required_vcs"] == 6

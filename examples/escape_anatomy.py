@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Anatomy of the opportunistic Up/Down escape subnetwork (paper §3.2).
+
+Reproduces the paper's Figure 2 walk-through on a 4x4 HyperX rooted at
+(0,0): classifies every link as Up/Down (black) or horizontal shortcut
+(red), prints the BFS levels, the classic Up/Down distances and the escape
+candidates for the paper's two worked examples, then shows how the tables
+change when the root's row burns down.
+
+Run:
+    python examples/escape_anatomy.py [--side 4] [--root 0 0]
+"""
+
+import argparse
+
+from repro import HyperX, Network
+from repro.topology.faults import row_faults
+from repro.updown import PHASE_CLIMB, EscapeSubnetwork
+
+
+def level_grid(hx: HyperX, esc: EscapeSubnetwork) -> str:
+    k = hx.sides[0]
+    lines = ["BFS levels (distance to root):"]
+    for y in range(hx.sides[1]):
+        row = "  ".join(
+            f"{int(esc.root_distance[hx.switch_id((x, y))])}" for x in range(k)
+        )
+        lines.append(f"  y={y}:  {row}")
+    return "\n".join(lines)
+
+
+def describe_candidates(hx, esc, src_coords, dst_coords) -> str:
+    s, t = hx.switch_id(src_coords), hx.switch_id(dst_coords)
+    out = [f"escape candidates {src_coords} -> {dst_coords} "
+           f"(udist={int(esc.udist[s, t])}):"]
+    kind_name = {1: "up      ", -1: "down    ", 0: "shortcut"}
+    for port, nbr, pen in esc.candidates(s, t, PHASE_CLIMB):
+        kind = esc.link_kind[s][port]
+        out.append(
+            f"  {kind_name[kind]} -> {hx.coords(nbr)}   penalty {pen:>3} phits"
+        )
+    return "\n".join(out)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--side", type=int, default=4)
+    parser.add_argument("--root", type=int, nargs=2, default=(0, 0))
+    args = parser.parse_args()
+
+    hx = HyperX((args.side, args.side), args.side)
+    net = Network(hx)
+    root = hx.switch_id(tuple(args.root))
+    esc = EscapeSubnetwork(net, root)
+
+    print(f"escape subnetwork on {hx!r}, root {tuple(args.root)}")
+    print(f"  black (Up/Down) links: {esc.n_black_links()}")
+    print(f"  red (shortcut) links:  {esc.n_red_links()}")
+    print(f"  max escape distance:   {esc.route_length_bound()}\n")
+    print(level_grid(hx, esc))
+
+    # The paper's two worked examples (Figure 2's discussion).
+    print()
+    print(describe_candidates(hx, esc, (0, 0), (1, 1)))
+    print("  (two equivalent 2-hop Up/Down paths: JSQ picks by occupancy)")
+    print()
+    print(describe_candidates(hx, esc, (0, 1), (0, 3)))
+    print("  (the direct red link cuts the Up/Down distance 2 -> 0: "
+          "preferred shortcut)")
+
+    # Burn the root's row and rebuild — the fault-tolerance path.
+    faults = row_faults(hx, dim=0, fixed=(args.root[1],))
+    fnet = Network(hx, faults)
+    fesc = EscapeSubnetwork(fnet, root)
+    print(f"\nafter burning the root's row ({len(faults)} links):")
+    print(f"  black links: {fesc.n_black_links()}, "
+          f"red links: {fesc.n_red_links()}, "
+          f"max escape distance: {fesc.route_length_bound()}")
+    print(level_grid(hx, fesc))
+    print("\nevery pair still has escape candidates; SurePath keeps routing.")
+
+
+if __name__ == "__main__":
+    main()

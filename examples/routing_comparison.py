@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compare all six routing mechanisms across the paper's traffic patterns.
+
+A miniature of the paper's Figures 4/5: saturation throughput of Minimal,
+Valiant, OmniWAR, Polarized, OmniSP and PolSP under Uniform, Random Server
+Permutation, Dimension Complement Reverse and (in 3D) Regular Permutation
+to Neighbour.
+
+The printed matrix shows the paper's story: Valiant pays 2x on benign
+traffic but is optimal on DCR; Minimal collapses on adversarial patterns;
+Omni-based mechanisms cap at 0.5 on RPN while Polarized-based ones exceed
+it; SurePath (the *SP rows) gives up nothing for its fault tolerance.
+
+Run:
+    python examples/routing_comparison.py [--dims 3] [--side 4]
+"""
+
+import argparse
+
+from repro import HyperX, Network, Simulator, make_mechanism, make_traffic
+from repro.experiments.reporting import ascii_table
+from repro.routing import MECHANISMS
+
+
+def saturation(net, mechanism, traffic_name, warmup, measure):
+    mech = make_mechanism(mechanism, net, rng=7)
+    traffic = make_traffic(traffic_name, net, rng=0)
+    sim = Simulator(net, mech, traffic, offered=1.0, seed=0)
+    return sim.run(warmup=warmup, measure=measure)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dims", type=int, default=3, choices=(2, 3))
+    parser.add_argument("--side", type=int, default=4)
+    parser.add_argument("--warmup", type=int, default=150)
+    parser.add_argument("--measure", type=int, default=300)
+    args = parser.parse_args()
+
+    topo = HyperX((args.side,) * args.dims, args.side)
+    net = Network(topo)
+    traffics = ["uniform", "randperm", "dcr"]
+    if args.dims == 3:
+        traffics.append("rpn")
+
+    print(f"saturation throughput on {topo!r}\n")
+    rows = []
+    for mech in MECHANISMS:
+        row = {"mechanism": mech}
+        for t in traffics:
+            res = saturation(net, mech, t, args.warmup, args.measure)
+            row[t] = round(res.accepted, 3)
+        rows.append(row)
+    print(ascii_table(rows, ["mechanism"] + traffics))
+
+    if args.dims == 3:
+        print(
+            "\nNote the rpn column: OmniWAR/OmniSP are capped at 0.5 "
+            "(aligned routes vs the row bisection), Polarized/PolSP "
+            "exceed it via non-aligned 3-hop routes — the paper's "
+            "headline contrast (Figure 5, rightmost column)."
+        )
+
+
+if __name__ == "__main__":
+    main()

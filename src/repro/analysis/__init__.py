@@ -1,0 +1,35 @@
+"""Analytical bounds and cost models backing the paper's arguments."""
+
+from .bounds import (
+    VALIANT_BOUND,
+    ladder_max_hops,
+    omnidimensional_max_hops,
+    polarized_max_hops,
+    rpn_aligned_bound,
+    rpn_minimal_bound,
+    star_completion_multiple,
+    uniform_bisection_bound,
+)
+from .cost import (
+    NetworkCost,
+    cost_comparison,
+    fat_tree_cost,
+    hyperx_cost,
+    matched_fat_tree,
+)
+
+__all__ = [
+    "NetworkCost",
+    "VALIANT_BOUND",
+    "cost_comparison",
+    "fat_tree_cost",
+    "hyperx_cost",
+    "ladder_max_hops",
+    "matched_fat_tree",
+    "omnidimensional_max_hops",
+    "polarized_max_hops",
+    "rpn_aligned_bound",
+    "rpn_minimal_bound",
+    "star_completion_multiple",
+    "uniform_bisection_bound",
+]

@@ -1,0 +1,101 @@
+"""Path diversity under failures (paper §2, citing [22] and [30]).
+
+The paper motivates HyperX's resiliency with its rich path structure:
+*"worst case faults are determined in [22, Corollary 5.2] and more
+recently the number of paths under failures is calculated in [30]"*.
+This module provides those quantities for any :class:`Network`:
+
+* :func:`minimal_path_count` — the number of shortest paths between two
+  switches (healthy Hamming graphs: ``d!`` for distance ``d``, since the
+  unaligned dimensions can be corrected in any order).
+* :func:`minimal_path_count_matrix` — all-pairs, by dynamic programming
+  over the BFS DAG.
+* :func:`edge_disjoint_paths` — Menger connectivity between two switches
+  (healthy Hamming graphs are maximally connected: degree-many paths).
+* :func:`survivable_pairs` — how many ordered pairs keep a shortest path
+  of the healthy length after faults, the quantity behind Figure 1's
+  "distances barely grow" story.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..topology.base import Network
+
+
+def _to_networkx(network: Network) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(network.n_switches))
+    g.add_edges_from(network.live_links())
+    return g
+
+
+def minimal_path_count(network: Network, src: int, dst: int) -> int:
+    """Number of distinct shortest paths from ``src`` to ``dst``.
+
+    Dynamic programming over the BFS distance DAG: paths(src, v) summed
+    over the predecessors of ``v`` one hop closer to ``src``.
+    """
+    if src == dst:
+        return 1
+    d = network.distances
+    if d[src, dst] < 0:
+        return 0
+    target_dist = int(d[src, dst])
+    counts = {src: 1}
+    frontier = [src]
+    for layer in range(1, target_dist + 1):
+        nxt: dict[int, int] = {}
+        for v in frontier:
+            for _port, w in network.live_ports[v]:
+                if d[src, w] == layer and d[w, dst] == target_dist - layer:
+                    nxt[w] = nxt.get(w, 0) + counts[v]
+        counts = nxt
+        frontier = list(nxt)
+    return counts.get(dst, 0)
+
+
+def minimal_path_count_matrix(network: Network) -> np.ndarray:
+    """All-pairs shortest-path counts (object dtype: counts can be huge)."""
+    n = network.n_switches
+    out = np.empty((n, n), dtype=object)
+    for s in range(n):
+        for t in range(n):
+            out[s, t] = minimal_path_count(network, s, t)
+    return out
+
+
+def edge_disjoint_paths(network: Network, src: int, dst: int) -> int:
+    """Maximum number of pairwise edge-disjoint paths (Menger's theorem)."""
+    if src == dst:
+        raise ValueError("edge-disjoint paths need distinct endpoints")
+    return nx.edge_connectivity(_to_networkx(network), src, dst)
+
+
+def edge_connectivity(network: Network) -> int:
+    """Global edge connectivity: links whose loss can disconnect something.
+
+    Healthy Hamming graphs are maximally edge-connected (= their degree),
+    the structural root of the paper's Figure 1 robustness.
+    """
+    return nx.edge_connectivity(_to_networkx(network))
+
+
+def survivable_pairs(healthy: Network, faulty: Network) -> float:
+    """Fraction of ordered switch pairs whose distance did not grow.
+
+    Both networks must share a topology; the faulty one carries the fault
+    set under study.
+    """
+    if healthy.topology is not faulty.topology:
+        raise ValueError("networks must share one topology")
+    dh = healthy.distances
+    df = faulty.distances
+    n = healthy.n_switches
+    off_diag = n * (n - 1)
+    if off_diag == 0:
+        return 1.0
+    same = ((df == dh) & (dh > 0)).sum()
+    return float(same) / off_diag

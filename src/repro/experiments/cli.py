@@ -1,0 +1,179 @@
+"""Command-line interface: ``surepath-sim <experiment> [options]``.
+
+Examples::
+
+    surepath-sim table3 --scale paper
+    surepath-sim fig4 --scale tiny
+    surepath-sim fig6 --scale small --dims 3
+    surepath-sim fig10 --scale tiny --csv out.csv
+    surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
+
+Every figure/table of the paper has a subcommand; ``--scale paper`` runs
+the exact paper topologies (slow in pure Python — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..routing.catalog import MECHANISMS
+from ..topology.base import Network
+from . import figures
+from .reporting import ascii_table, curve_sparkline, records_to_csv, throughput_matrix
+from .runner import ExperimentRunner
+from .scales import SCALES, get_scale
+
+SWEEP_COLUMNS = (
+    "mechanism", "traffic", "offered", "accepted", "latency_cycles",
+    "jain", "faults",
+)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="tiny", choices=sorted(SCALES),
+                   help="experiment scale preset (default: tiny)")
+    p.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p.add_argument("--csv", metavar="FILE", help="also write records as CSV")
+    p.add_argument("--json", metavar="FILE", help="also write records as JSON")
+
+
+def _emit(records, args, columns=None, title=None) -> None:
+    if isinstance(records, list) and records and isinstance(records[0], dict):
+        print(ascii_table(records, columns, title))
+    else:
+        print(records)
+    if getattr(args, "csv", None) and isinstance(records, list):
+        with open(args.csv, "w") as f:
+            f.write(records_to_csv(records))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if getattr(args, "json", None):
+        with open(args.json, "w") as f:
+            json.dump(records, f, indent=2, default=str)
+        print(f"wrote {args.json}", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="surepath-sim",
+        description="Regenerate the SurePath paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_ in (
+        ("table2", "simulation parameters"),
+        ("table3", "topological parameters"),
+        ("table4", "routing mechanisms and VC budgets"),
+        ("fig1", "diameter vs random link failures"),
+        ("fig2", "escape-subnetwork link colouring"),
+        ("fig3", "RPN traffic-pattern illustration"),
+        ("fig4", "2D fault-free load sweep"),
+        ("fig5", "3D fault-free load sweep (incl. RPN)"),
+        ("fig6", "throughput vs cumulative random faults"),
+        ("fig7", "structured fault shapes and link counts"),
+        ("fig8", "2D throughput under structured faults"),
+        ("fig9", "3D throughput under structured faults"),
+        ("fig10", "completion time under Star faults + RPN"),
+        ("point", "one simulation point"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        _add_common(p)
+        if name == "fig1":
+            p.add_argument("--sequences", type=int, default=4)
+            p.add_argument("--step", type=int, default=64)
+        if name == "fig6":
+            p.add_argument("--dims", type=int, default=2, choices=(2, 3))
+        if name == "point":
+            p.add_argument("--mechanism", default="PolSP", choices=MECHANISMS)
+            p.add_argument("--traffic", default="uniform")
+            p.add_argument("--offered", type=float, default=0.5)
+            p.add_argument("--dims", type=int, default=2, choices=(2, 3))
+            p.add_argument("--warmup", type=int, default=None)
+            p.add_argument("--measure", type=int, default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cmd = args.command
+
+    if cmd == "table2":
+        rows = [{"parameter": k, "value": v} for k, v in figures.table2()]
+        _emit(rows, args, ("parameter", "value"), "Table 2 — simulation parameters")
+    elif cmd == "table3":
+        _emit(figures.table3(args.scale), args, title="Table 3 — topological parameters")
+    elif cmd == "table4":
+        _emit(figures.table4(), args, title="Table 4 — routing mechanisms")
+    elif cmd == "fig1":
+        curves = figures.fig1_diameter_under_failures(
+            n_sequences=args.sequences, step=args.step, seed=args.seed
+        )
+        for c in curves:
+            pts = c["points"]
+            print(
+                f"seq {c['sequence']}: {curve_sparkline([(f, d) for f, d in pts])}"
+                f"  disconnects at {c['disconnect_at']}/{c['total_links']} faults"
+            )
+        _emit(curves, args) if (args.csv or args.json) else None
+    elif cmd == "fig2":
+        info = figures.fig2_escape_illustration(args.scale)
+        print(f"escape subnetwork rooted at {info['root']}: "
+              f"{info['black_links']} black (Up/Down) links, "
+              f"{info['red_links']} red shortcuts")
+        print(f"Up/Down example candidates: {info['example_updown']}")
+        print(f"shortcut example candidates: {info['example_shortcut']}")
+    elif cmd == "fig3":
+        info = figures.fig3_rpn_illustration(args.scale)
+        print(f"RPN on side {info['k']}: loaded rows carry "
+              f"{info['pairs_per_loaded_row']} confined pairs "
+              f"(aligned-route bound {info['aligned_bound']})")
+        print(info["plane"])
+    elif cmd == "fig4":
+        recs = figures.fig4_2d_loadsweep(args.scale, seed=args.seed)
+        print(throughput_matrix(recs))
+        _emit(recs, args, SWEEP_COLUMNS, "Figure 4 — 2D load sweep")
+    elif cmd == "fig5":
+        recs = figures.fig5_3d_loadsweep(args.scale, seed=args.seed)
+        print(throughput_matrix(recs))
+        _emit(recs, args, SWEEP_COLUMNS, "Figure 5 — 3D load sweep")
+    elif cmd == "fig6":
+        recs = figures.fig6_random_faults(args.scale, dims=args.dims, seed=args.seed)
+        _emit(recs, args, ("mechanism", "traffic", "faults", "accepted"),
+              f"Figure 6 — {args.dims}D random-fault sweep")
+    elif cmd == "fig7":
+        _emit(figures.fig7_fault_shapes(args.scale), args,
+              title="Figure 7 — 2D fault shapes")
+    elif cmd == "fig8":
+        recs = figures.fig8_2d_shape_faults(args.scale, seed=args.seed)
+        _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
+              "Figure 8 — 2D structured faults")
+    elif cmd == "fig9":
+        recs = figures.fig9_3d_shape_faults(args.scale, seed=args.seed)
+        _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
+              "Figure 9 — 3D structured faults")
+    elif cmd == "fig10":
+        recs = figures.fig10_completion_time(args.scale, seed=args.seed)
+        for r in recs:
+            print(
+                f"{r['mechanism']}: completion={r['completion_cycles']} cycles, "
+                f"peak={r['peak_load']:.3f}, delivered={r['delivered']}/{r['expected']}"
+            )
+            print("  " + curve_sparkline(r["time_series"]))
+        _emit(recs, args) if (args.csv or args.json) else None
+    elif cmd == "point":
+        sc = get_scale(args.scale)
+        hx = sc.hyperx_2d() if args.dims == 2 else sc.hyperx_3d()
+        runner = ExperimentRunner(Network(hx))
+        res = runner.run_point(
+            args.mechanism, args.traffic, args.offered,
+            warmup=args.warmup or sc.warmup,
+            measure=args.measure or sc.measure,
+            seed=args.seed,
+        )
+        print(res.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Plain-text reporting of experiment results.
+
+The figure drivers return lists of dict records; these helpers render them
+as aligned ASCII tables (the form EXPERIMENTS.md and the benchmark logs
+use) and as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+
+def format_value(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4f}" if abs(v) < 100 else f"{v:.1f}"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    return str(v)
+
+
+def ascii_table(
+    records: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render records as an aligned ASCII table."""
+    if not records:
+        return f"{title or 'table'}: (no records)"
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[format_value(rec.get(c, "")) for c in columns] for rec in records]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in rows)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def records_to_csv(records: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render records as CSV text."""
+    if not records:
+        return ""
+    if columns is None:
+        columns = list(records[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for rec in records:
+        writer.writerow(rec)
+    return buf.getvalue()
+
+
+def throughput_matrix(
+    records: Iterable[dict],
+    row_key: str = "mechanism",
+    col_key: str = "traffic",
+    value_key: str = "accepted",
+) -> str:
+    """Pivot sweep records into a saturation-throughput matrix.
+
+    For each (row, col) cell, reports the maximum of ``value_key`` over
+    the matching records (the saturation point of a load sweep).
+    """
+    cells: dict[tuple[str, str], float] = {}
+    rows: list[str] = []
+    cols: list[str] = []
+    for rec in records:
+        r, c = str(rec[row_key]), str(rec[col_key])
+        if r not in rows:
+            rows.append(r)
+        if c not in cols:
+            cols.append(c)
+        key = (r, c)
+        v = rec[value_key]
+        if key not in cells or v > cells[key]:
+            cells[key] = v
+    out_records = []
+    for r in rows:
+        rec = {row_key: r}
+        for c in cols:
+            rec[c] = cells.get((r, c), float("nan"))
+        out_records.append(rec)
+    return ascii_table(out_records, [row_key] + cols)
+
+
+def curve_sparkline(points: Sequence[tuple[float, float]], width: int = 40) -> str:
+    """A crude one-line sparkline of a curve (for terminal output)."""
+    if not points:
+        return "(empty)"
+    ys = [y for _, y in points]
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    marks = "▁▂▃▄▅▆▇█"
+    step = max(1, len(points) // width)
+    chars = []
+    for i in range(0, len(points), step):
+        frac = (points[i][1] - lo) / span
+        chars.append(marks[min(len(marks) - 1, int(frac * len(marks)))])
+    return "".join(chars) + f"  [{lo:.3g}..{hi:.3g}]"

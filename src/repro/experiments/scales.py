@@ -1,0 +1,78 @@
+"""Experiment scales: paper-size topologies and scaled-down defaults.
+
+The paper evaluates a 16x16 2D HyperX (256 switches, 4096 servers) and an
+8x8x8 3D HyperX (512 switches, 4096 servers).  A pure-Python slot-level
+simulator cannot sweep those in CI time, so every experiment driver takes
+a :class:`Scale`:
+
+* ``tiny``  — 4x4 / 4x4x4, short runs; seconds per point.  Used by the
+  benchmark suite and tests.  The qualitative shape of every figure (who
+  wins, where the 0.5 caps bind, graceful degradation) already shows here.
+* ``small`` — 8x8 / 4x4x4 with longer runs; the recommended interactive
+  scale.
+* ``paper`` — the full 16x16 / 8x8x8 with paper-length runs; hours.
+
+Sides stay even at every scale so DCR and RPN remain well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.hyperx import HyperX
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Topology sizes and run lengths for one experiment scale."""
+
+    name: str
+    side_2d: int
+    side_3d: int
+    warmup: int
+    measure: int
+    loads: tuple[float, ...]
+    #: Random-fault counts for the Figure 6 sweep (per topology links).
+    fault_fractions: tuple[float, ...] = (
+        0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20,
+    )
+    #: Packets per server for the Figure 10 batch run (paper: 8000 phits
+    #: = 500 packets); scaled down with the topology.
+    batch_packets: int = 60
+
+    def hyperx_2d(self) -> HyperX:
+        return HyperX((self.side_2d, self.side_2d), self.side_2d)
+
+    def hyperx_3d(self) -> HyperX:
+        return HyperX((self.side_3d,) * 3, self.side_3d)
+
+
+_LOADS_FULL = tuple(round(0.1 * i, 1) for i in range(1, 11))
+_LOADS_COARSE = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny", side_2d=4, side_3d=4, warmup=150, measure=300,
+        loads=_LOADS_COARSE, batch_packets=40,
+    ),
+    "small": Scale(
+        name="small", side_2d=8, side_3d=4, warmup=300, measure=600,
+        loads=_LOADS_FULL, batch_packets=80,
+    ),
+    "paper": Scale(
+        name="paper", side_2d=16, side_3d=8, warmup=1000, measure=3000,
+        loads=tuple(round(0.05 * i, 2) for i in range(1, 21)),
+        fault_fractions=tuple(10 * i / 3840 for i in range(11)),
+        batch_packets=500,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; expected one of {sorted(SCALES)}"
+        ) from None

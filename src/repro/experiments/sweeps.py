@@ -1,0 +1,169 @@
+"""Parameter sweeps: load sweeps (Figures 4/5) and fault sweeps (Figure 6).
+
+Sweep outputs are flat lists of records (plain dicts) so the reporting
+module, the benchmark suite and external analysis can consume them without
+custom types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..simulator.config import PAPER_CONFIG, SimConfig
+from ..topology.base import Network, Topology
+from ..topology.faults import random_connected_fault_sequence
+from .runner import ExperimentRunner
+
+#: Keys every sweep record carries.
+RECORD_KEYS = (
+    "mechanism",
+    "traffic",
+    "offered",
+    "accepted",
+    "latency_cycles",
+    "jain",
+    "faults",
+    "deadlocked",
+    "stalled",
+    "escape_fraction",
+    "avg_hops",
+)
+
+
+def _record(mechanism: str, traffic: str, result, faults: int = 0) -> dict:
+    return {
+        "mechanism": mechanism,
+        "traffic": traffic,
+        "offered": result.offered,
+        "accepted": result.accepted,
+        "latency_cycles": result.avg_latency_cycles,
+        "jain": result.jain,
+        "faults": faults,
+        "deadlocked": result.deadlocked,
+        "stalled": result.stalled_packets,
+        "escape_fraction": result.escape_hop_fraction,
+        "avg_hops": result.avg_hops,
+    }
+
+
+def load_sweep(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+) -> list[dict]:
+    """Throughput/latency/Jain versus offered load (Figures 4 and 5).
+
+    Returns one record per (mechanism, traffic, load).
+    """
+    runner = ExperimentRunner(network, config=config, root=root)
+    out: list[dict] = []
+    for traffic in traffics:
+        for mechanism in runner.supported_mechanisms(mechanisms):
+            for offered in loads:
+                res = runner.run_point(
+                    mechanism, traffic, offered,
+                    warmup=warmup, measure=measure, seed=seed, n_vcs=n_vcs,
+                )
+                out.append(_record(mechanism, traffic, res, len(network.faults)))
+    return out
+
+
+def fault_sweep(
+    topology: Topology,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    fault_counts: Sequence[int],
+    *,
+    offered: float = 1.0,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    fault_seed: int = 12345,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+) -> list[dict]:
+    """Saturation throughput versus cumulative random faults (Figure 6).
+
+    One random connected fault sequence is drawn; each requested count is
+    a prefix of it, so fault sets are nested exactly as in the paper's
+    "sequence of random faults" scenario.  SurePath mechanisms use 4 VCs
+    by default here, matching §6 (pass ``n_vcs`` to override).
+    """
+    counts = sorted(set(int(c) for c in fault_counts))
+    if counts and counts[-1] > 0:
+        sequence = random_connected_fault_sequence(
+            topology, counts[-1], rng=fault_seed
+        )
+    else:
+        sequence = []
+    out: list[dict] = []
+    for count in counts:
+        network = Network(topology, sequence[:count])
+        runner = ExperimentRunner(network, config=config, root=root)
+        for traffic in traffics:
+            for mechanism in runner.supported_mechanisms(mechanisms):
+                res = runner.run_point(
+                    mechanism, traffic, offered,
+                    warmup=warmup, measure=measure, seed=seed,
+                    n_vcs=4 if n_vcs is None else n_vcs,
+                )
+                out.append(_record(mechanism, traffic, res, count))
+    return out
+
+
+def shape_fault_run(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    *,
+    offered: float = 1.0,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = 4,
+) -> list[dict]:
+    """Saturation throughput on one structured-fault network (Figures 8/9)."""
+    runner = ExperimentRunner(network, config=config, root=root)
+    out: list[dict] = []
+    for traffic in traffics:
+        for mechanism in runner.supported_mechanisms(mechanisms):
+            res = runner.run_point(
+                mechanism, traffic, offered,
+                warmup=warmup, measure=measure, seed=seed, n_vcs=n_vcs,
+            )
+            out.append(_record(mechanism, traffic, res, len(network.faults)))
+    return out
+
+
+def filter_records(
+    records: Iterable[dict], **criteria
+) -> list[dict]:
+    """Records matching all the given key=value criteria."""
+    out = []
+    for rec in records:
+        if all(rec.get(k) == v for k, v in criteria.items()):
+            out.append(rec)
+    return out
+
+
+def saturation_throughput(records: Iterable[dict], mechanism: str, traffic: str) -> float:
+    """Highest accepted load seen for one (mechanism, traffic) curve."""
+    accs = [
+        r["accepted"]
+        for r in records
+        if r["mechanism"] == mechanism and r["traffic"] == traffic
+    ]
+    if not accs:
+        raise ValueError(f"no records for {mechanism}/{traffic}")
+    return max(accs)

@@ -1,0 +1,89 @@
+"""Routing-mechanism interface shared by the simulator and the analyses.
+
+A *routing mechanism* (paper Table 4) couples a route-candidate generator
+(Minimal, Valiant, Omnidimensional, Polarized) with a VC-management policy
+(Ladder or SurePath).  The simulator interrogates the mechanism once per
+allocation round for each head-of-line packet:
+
+* :meth:`RoutingMechanism.init_packet` seeds per-packet routing state at
+  injection time,
+* :meth:`RoutingMechanism.candidates` returns legal next hops as
+  ``(port, vc, penalty_phits)`` triples at the packet's current switch,
+* :meth:`RoutingMechanism.on_hop` updates per-packet state after a hop is
+  actually performed.
+
+Penalties are expressed in phits, to be added to the queue-occupancy term
+``Q`` (also in phits) of the paper's ``Q + P`` output-selection rule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.packet import Packet
+
+#: Candidate next hop: (output port, virtual channel, penalty in phits).
+Candidate = tuple[int, int, int]
+
+#: Penalty of a minimal / best candidate (paper §3.1).
+NO_PENALTY = 0
+#: Penalty of an Omnidimensional deroute or a Polarized ``Δµ = 1`` hop.
+DEROUTE_PENALTY = 64
+#: Penalty of a Polarized ``Δµ = 0`` hop.
+POLARIZED_FLAT_PENALTY = 80
+
+
+class RoutingMechanism(ABC):
+    """Abstract routing mechanism (routes + VC management)."""
+
+    #: Human-readable name, matching the paper's Table 4 where applicable.
+    name: str = "abstract"
+
+    def __init__(self, n_vcs: int):
+        if n_vcs < 1:
+            raise ValueError("need at least one virtual channel")
+        self.n_vcs = n_vcs
+
+    @abstractmethod
+    def init_packet(self, pkt: "Packet") -> None:
+        """Initialise per-packet routing state at injection."""
+
+    @abstractmethod
+    def candidates(self, pkt: "Packet", current: int) -> list[Candidate]:
+        """Legal next hops for ``pkt`` standing at switch ``current``.
+
+        An empty list means the packet cannot move under this mechanism
+        (e.g. ladder exhausted, or faults removed all legal ports); the
+        simulator will record it as *stalled*, which is exactly the failure
+        mode the paper attributes to non-fault-tolerant mechanisms.
+        """
+
+    @abstractmethod
+    def on_hop(
+        self, pkt: "Packet", old_switch: int, new_switch: int, port: int, vc: int
+    ) -> None:
+        """Update packet state after the hop ``old_switch -> new_switch``
+        through ``port`` on virtual channel ``vc``."""
+
+    # ------------------------------------------------------------------
+    def max_route_length(self) -> int | None:
+        """Upper bound on switch-to-switch hops, when one is known."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_vcs={self.n_vcs})"
+
+
+def ladder_vc(hops: int, n_vcs: int, vcs_per_step: int = 1) -> list[int]:
+    """VCs a ladder policy permits after ``hops`` switch-to-switch hops.
+
+    The ladder uses VC ``hops`` (one-by-one) or VCs ``{2*hops, 2*hops+1}``
+    (two-by-two, the paper's Minimal configuration).  Returns the empty
+    list when the ladder is exhausted — the packet has travelled further
+    than the VC budget allows, which can happen under faults and is the
+    ladder's fundamental fault-intolerance.
+    """
+    lo = hops * vcs_per_step
+    return [vc for vc in range(lo, lo + vcs_per_step) if vc < n_vcs]

@@ -1,0 +1,118 @@
+"""Catalogue of the paper's six routing mechanisms (Table 4).
+
+:func:`make_mechanism` builds any of the evaluated configurations by name
+with the paper's VC conventions: every mechanism gets ``2n`` VCs on an
+``n``-dimensional HyperX for the fault-free comparison (§4), while the
+fault experiments (§6) run SurePath with 4 VCs (3 routing + 1 escape).
+
+The factory also accepts non-HyperX networks for the mechanisms that only
+need BFS tables (Minimal, Valiant, Polarized, PolSP), matching the paper's
+remark that SurePath is topology-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..topology.base import Network
+from ..topology.hyperx import HyperX
+from ..updown.escape import EscapeSubnetwork
+from .base import RoutingMechanism
+from .minimal import MinimalRouting
+from .omni import OmniWARRouting
+from .polarized import PolarizedRouting
+from .surepath import OmniSPRouting, PolSPRouting
+from .valiant import ValiantRouting
+
+#: Mechanism names in the paper's plotting order.
+MECHANISMS: tuple[str, ...] = (
+    "Minimal",
+    "Valiant",
+    "OmniWAR",
+    "Polarized",
+    "OmniSP",
+    "PolSP",
+)
+
+#: SurePath configurations (escape-based deadlock avoidance).
+SUREPATH_MECHANISMS: tuple[str, ...] = ("OmniSP", "PolSP")
+
+#: Mechanisms that assume the HyperX coordinate structure.
+HYPERX_ONLY: tuple[str, ...] = ("OmniWAR", "OmniSP")
+
+
+def default_n_vcs(network: Network) -> int:
+    """The paper's fair-comparison VC budget: ``2n`` for an nD HyperX.
+
+    For non-HyperX topologies we fall back to twice the diameter, the
+    analogous ladder requirement.
+    """
+    topo = network.topology
+    if isinstance(topo, HyperX):
+        return 2 * topo.n_dims
+    return 2 * int(network.diameter)
+
+
+def make_mechanism(
+    name: str,
+    network: Network,
+    n_vcs: int | None = None,
+    *,
+    escape: EscapeSubnetwork | None = None,
+    root: int = 0,
+    rng: np.random.Generator | int | None = None,
+    max_deroutes: int | None = None,
+) -> RoutingMechanism:
+    """Build a routing mechanism by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`MECHANISMS` (case-insensitive).
+    network:
+        Target network; HyperX required for OmniWAR / OmniSP.
+    n_vcs:
+        VCs per port; defaults to :func:`default_n_vcs`.
+    escape:
+        Shared pre-built escape subnetwork for the SurePath mechanisms
+        (rebuilding it per mechanism is wasteful in sweeps).
+    root:
+        Escape-subnetwork root when ``escape`` is not given.
+    rng:
+        Seed or generator for Valiant's intermediate draws.
+    max_deroutes:
+        Omnidimensional deroute budget ``m`` (default: ``n`` dims).
+    """
+    if n_vcs is None:
+        n_vcs = default_n_vcs(network)
+    key = name.strip().lower()
+    builders: dict[str, Callable[[], RoutingMechanism]] = {
+        "minimal": lambda: MinimalRouting(network, n_vcs),
+        "valiant": lambda: ValiantRouting(network, n_vcs, rng=rng),
+        "omniwar": lambda: OmniWARRouting(network, n_vcs, max_deroutes=max_deroutes),
+        "polarized": lambda: PolarizedRouting(network, n_vcs),
+        "omnisp": lambda: OmniSPRouting(
+            network, n_vcs, escape=escape, root=root, max_deroutes=max_deroutes
+        ),
+        "polsp": lambda: PolSPRouting(network, n_vcs, escape=escape, root=root),
+    }
+    try:
+        builder = builders[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; expected one of {MECHANISMS}"
+        ) from None
+    return builder()
+
+
+def is_fault_tolerant(name: str) -> bool:
+    """Whether the mechanism keeps delivering under arbitrary connected faults.
+
+    Minimal is fault-tolerant in route existence but its 2-per-step ladder
+    caps route length; Valiant/OmniWAR/Polarized ladders likewise cap hops.
+    Only the SurePath configurations are unconditionally fault-tolerant
+    (paper §6).
+    """
+    return name.strip().lower() in ("omnisp", "polsp")

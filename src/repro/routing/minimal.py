@@ -1,0 +1,51 @@
+"""Minimal adaptive routing with ladder VC management (paper Table 4).
+
+Minimal routing keeps only shortest-path next hops, read from BFS-computed
+distance tables, so it keeps *working* (finding routes) under any fault set
+that leaves the network connected — the paper uses it as the robustness
+baseline.  Its VC management is a two-by-two ladder: the packet's ``h``-th
+hop may use VCs ``{2h, 2h+1}``, which is deadlock-free because the VC index
+increases monotonically along every route.  The ladder is also the weak
+point: if faults stretch shortest paths beyond ``n_vcs / 2`` hops the
+packet runs out of legal VCs.
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Network
+from .base import NO_PENALTY, Candidate, RoutingMechanism, ladder_vc
+
+
+class MinimalRouting(RoutingMechanism):
+    """Adaptive shortest-path routing, ladder with 2 VCs per step."""
+
+    name = "Minimal"
+
+    def __init__(self, network: Network, n_vcs: int, vcs_per_step: int = 2):
+        super().__init__(n_vcs)
+        self.network = network
+        self.vcs_per_step = vcs_per_step
+        self.dist = network.distances  # BFS tables, recomputed per topology
+
+    def init_packet(self, pkt) -> None:
+        pkt.hops = 0
+
+    def candidates(self, pkt, current: int) -> list[Candidate]:
+        dst = pkt.dst_switch
+        vcs = ladder_vc(pkt.hops, self.n_vcs, self.vcs_per_step)
+        if not vcs:
+            return []
+        drow = self.dist[:, dst]
+        here = drow[current]
+        out: list[Candidate] = []
+        for port, nbr in self.network.live_ports[current]:
+            if drow[nbr] == here - 1:
+                for vc in vcs:
+                    out.append((port, vc, NO_PENALTY))
+        return out
+
+    def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
+        pkt.hops += 1
+
+    def max_route_length(self) -> int | None:
+        return self.n_vcs // self.vcs_per_step

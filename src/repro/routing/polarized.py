@@ -1,0 +1,129 @@
+"""Polarized route generation and the Polarized-ladder mechanism (§3.1.2).
+
+Polarized routing builds minimal and non-minimal routes hop by hop while
+never decreasing the weight function
+
+    µ_{s,t}(c) = d(c, s) - d(c, t)
+
+where ``s``/``t`` are the packet's source/destination switches and ``d`` is
+the graph distance (read from BFS tables, so Polarized adapts to faults by
+construction).  For a hop to neighbour ``y``, write ``Δs = d(s,y) - d(s,c)``
+and ``Δt = d(t,y) - d(t,c)``; the hop's weight change is ``Δµ = Δs - Δt``.
+The paper's Table 1 allows exactly five (Δs, Δt) combinations:
+
+    (+1,-1)  Δµ=2   depart source and approach target   (penalty 0)
+    (+1, 0)  Δµ=1   depart source, revolve target       (penalty 64)
+    ( 0,-1)  Δµ=1   revolve source, approach target     (penalty 64)
+    (+1,+1)  Δµ=0   depart both                         (penalty 80)
+    (-1,-1)  Δµ=0   approach both                       (penalty 80)
+
+To avoid cycles among Δµ = 0 hops, the packet carries the boolean
+``closer = d(c,s) < d(c,t)``: while *closer to the source* only the
+departing (+1,+1) hop is legal, afterwards only the approaching (-1,-1)
+hop is.  Route length is bounded by twice the network diameter.
+
+The standalone **Polarized** mechanism of Table 4 uses these routes with a
+one-by-one VC ladder; SurePath's PolSP reuses :class:`PolarizedRoutes`
+with escape-based deadlock avoidance instead.
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Network
+from .base import (
+    DEROUTE_PENALTY,
+    NO_PENALTY,
+    POLARIZED_FLAT_PENALTY,
+    Candidate,
+    RoutingMechanism,
+    ladder_vc,
+)
+
+#: Penalty by weight gain Δµ (paper: highest Δµ -> 0, then 64, then 80).
+PENALTY_BY_DELTA_MU = {2: NO_PENALTY, 1: DEROUTE_PENALTY, 0: POLARIZED_FLAT_PENALTY}
+
+
+class PolarizedRoutes:
+    """Stateless candidate generator for Polarized routes.
+
+    Works on any connected network (the paper stresses Polarized discovers
+    the topology through BFS tables), which is what makes it a good base
+    route set for fault-tolerant SurePath.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.dist = network.distances
+
+    def init_packet(self, pkt) -> None:
+        pkt.hops = 0
+        # closer == True while d(c,s) < d(c,t); at the source d(c,s)=0 so the
+        # packet starts in the "first half" unless it is already at distance
+        # zero of the target (never: such packets eject immediately).
+        pkt.closer = True
+
+    def ports(self, pkt, current: int) -> list[tuple[int, int, int]]:
+        """Candidate ``(port, neighbour, penalty)`` hops at ``current``."""
+        src = pkt.src_switch
+        dst = pkt.dst_switch
+        ds_row = self.dist[:, src]
+        dt_row = self.dist[:, dst]
+        ds_c = ds_row[current]
+        dt_c = dt_row[current]
+        closer = pkt.closer
+        out: list[tuple[int, int, int]] = []
+        for port, nbr in self.network.live_ports[current]:
+            delta_s = ds_row[nbr] - ds_c
+            delta_t = dt_row[nbr] - dt_c
+            dmu = delta_s - delta_t
+            if dmu < 0:
+                continue
+            if dmu == 0:
+                # Only the two Table-1 Δµ=0 entries, gated by the header bit.
+                if delta_s == 1:  # (+1,+1): departing both
+                    if not closer:
+                        continue
+                elif delta_s == -1:  # (-1,-1): approaching both
+                    if closer:
+                        continue
+                else:  # (0,0) revolving both: not in Table 1
+                    continue
+            out.append((port, int(nbr), PENALTY_BY_DELTA_MU[int(dmu)]))
+        return out
+
+    def on_hop(self, pkt, new_switch: int) -> None:
+        pkt.hops += 1
+        pkt.closer = bool(
+            self.dist[new_switch, pkt.src_switch] < self.dist[new_switch, pkt.dst_switch]
+        )
+
+    def max_route_length(self) -> int:
+        # Polarized routes never exceed twice the diameter (µ increases at
+        # least every other hop and spans [-diam, diam]).
+        return 2 * int(self.network.diameter)
+
+
+class PolarizedRouting(RoutingMechanism):
+    """Polarized routes under a one-by-one VC ladder (paper Table 4)."""
+
+    name = "Polarized"
+
+    def __init__(self, network: Network, n_vcs: int):
+        super().__init__(n_vcs)
+        self.routes = PolarizedRoutes(network)
+
+    def init_packet(self, pkt) -> None:
+        self.routes.init_packet(pkt)
+
+    def candidates(self, pkt, current: int) -> list[Candidate]:
+        vcs = ladder_vc(pkt.hops, self.n_vcs, 1)
+        if not vcs:
+            return []
+        vc = vcs[0]
+        return [(port, vc, pen) for port, _nbr, pen in self.routes.ports(pkt, current)]
+
+    def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
+        self.routes.on_hop(pkt, new_switch)
+
+    def max_route_length(self) -> int | None:
+        return min(self.routes.max_route_length(), self.n_vcs)

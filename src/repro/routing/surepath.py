@@ -1,0 +1,199 @@
+"""SurePath routing mechanism (paper §3): routing VCs + Up/Down escape.
+
+SurePath splits the virtual channels of every port into two sets:
+
+* ``CRout`` — VCs ``0 .. n_vcs-2``, carrying the bulk of the load under a
+  fully-adaptive base routing (Omnidimensional or Polarized route sets).
+* ``CEsc`` — the last VC, implementing the opportunistic Up/Down escape
+  subnetwork of :mod:`repro.updown`, which is deadlock-free on its own with
+  a single FIFO per port.
+
+Transition rules (paper §3, items 1–2):
+
+1. A packet in ``CRout`` may request any hop offered by the base routing
+   algorithm, on any routing VC, with the algorithm's penalty.
+2. Any packet — in ``CRout`` *or* ``CEsc`` — may request any escape-candidate
+   hop on the escape VC, with the Up/Down penalties (Up 112, Down 96,
+   shortcuts 80/64/48 phits).  Moving from ``CEsc`` back into ``CRout`` is
+   forbidden, so once a packet escapes it rides the escape subnetwork to the
+   destination.
+
+A *forced hop* happens when a packet in ``CRout`` gets no routing candidate
+(deroute budget exhausted towards a dead link, ladder-free Polarized corner
+cases under heavy faults, ...): its only candidates are then the escape ones,
+which always exist while the network is connected.  This is the whole
+fault-tolerance argument: the escape tables are rebuilt by BFS after every
+topology change, so *some* candidate always remains and every escape hop
+strictly decreases the Up/Down distance to the destination — packets cannot
+cycle and cannot deadlock.
+
+The mechanism is exposed in the paper's two configurations through
+:func:`omni_surepath` (OmniSP) and :func:`polarized_surepath` (PolSP).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..topology.base import Network
+from ..updown.escape import PHASE_CLIMB, EscapeSubnetwork
+from .base import Candidate, RoutingMechanism
+from .omni import OmnidimensionalRoutes
+from .polarized import PolarizedRoutes
+
+
+class RouteSet(Protocol):
+    """What SurePath needs from a base route generator."""
+
+    def init_packet(self, pkt) -> None: ...
+
+    def ports(self, pkt, current: int) -> list[tuple[int, int, int]]: ...
+
+    def on_hop(self, pkt, new_switch: int) -> None: ...
+
+    def max_route_length(self) -> int: ...
+
+
+class SurePathRouting(RoutingMechanism):
+    """SurePath: base route set on ``CRout`` + Up/Down escape on ``CEsc``.
+
+    Parameters
+    ----------
+    network:
+        The (possibly faulty) network; must be connected so the escape
+        subnetwork can be built.
+    routes:
+        Base route-candidate generator (:class:`OmnidimensionalRoutes` or
+        :class:`PolarizedRoutes`).
+    n_vcs:
+        Total VCs per port.  SurePath needs at least 2 (1 routing +
+        1 escape); the paper's fault experiments use 4 and note that 2
+        suffice without performance collapse.
+    escape:
+        Pre-built escape subnetwork to share between mechanisms, or
+        ``None`` to build one rooted at ``root``.
+    root:
+        Root of the Up/Down layering when ``escape`` is not supplied.
+    """
+
+    name = "SurePath"
+
+    def __init__(
+        self,
+        network: Network,
+        routes: RouteSet,
+        n_vcs: int = 4,
+        escape: EscapeSubnetwork | None = None,
+        root: int = 0,
+    ):
+        if n_vcs < 2:
+            raise ValueError("SurePath needs >= 2 VCs (1 routing + 1 escape)")
+        super().__init__(n_vcs)
+        self.network = network
+        self.routes = routes
+        self.escape = escape if escape is not None else EscapeSubnetwork(network, root)
+        if self.escape.network is not network:
+            raise ValueError("escape subnetwork was built on a different network")
+        #: Routing VCs (CRout) and the escape VC (CEsc).
+        self.routing_vcs: tuple[int, ...] = tuple(range(n_vcs - 1))
+        self.escape_vc: int = n_vcs - 1
+
+    # ------------------------------------------------------------------
+    # RoutingMechanism interface
+    # ------------------------------------------------------------------
+    def init_packet(self, pkt) -> None:
+        self.routes.init_packet(pkt)
+        pkt.in_escape = False
+        pkt.escape_phase = PHASE_CLIMB
+        pkt.escape_hops = 0
+        pkt.forced_hops = 0
+
+    def candidates(self, pkt, current: int) -> list[Candidate]:
+        out: list[Candidate] = []
+        if not pkt.in_escape:
+            # Rule 1: base-routing hops on every routing VC.
+            for port, _nbr, pen in self.routes.ports(pkt, current):
+                for vc in self.routing_vcs:
+                    out.append((port, vc, pen))
+        # Rule 2: escape hops are always on offer (and are the only offer
+        # once the packet is in CEsc, or when rule 1 yields nothing).
+        # Packets outside the escape start it in the climb phase.
+        phase = pkt.escape_phase if pkt.in_escape else PHASE_CLIMB
+        for port, _nbr, pen in self.escape.candidates(current, pkt.dst_switch, phase):
+            out.append((port, self.escape_vc, pen))
+        return out
+
+    def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
+        if vc == self.escape_vc:
+            if not pkt.in_escape:
+                # This hop either escaped voluntarily (congestion) or was
+                # forced (no routing candidate); the simulator distinguishes
+                # them when tallying, we record the transition itself here.
+                pkt.in_escape = True
+                pkt.escape_phase = PHASE_CLIMB
+            pkt.escape_phase = self.escape.next_phase(
+                old_switch, port, pkt.escape_phase
+            )
+            pkt.escape_hops += 1
+            pkt.hops += 1
+        else:
+            self.routes.on_hop(pkt, new_switch)
+
+    def max_route_length(self) -> int | None:
+        # A packet may ride routing hops up to the base bound and then the
+        # escape subnetwork from anywhere: the escape length is bounded by
+        # the maximum Up/Down distance (strictly decreasing per hop).
+        return self.routes.max_route_length() + self.escape.route_length_bound()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(routes={type(self.routes).__name__},"
+            f" n_vcs={self.n_vcs}, root={self.escape.root})"
+        )
+
+
+class OmniSPRouting(SurePathRouting):
+    """SurePath over Omnidimensional routes — the paper's *OmniSP*."""
+
+    name = "OmniSP"
+
+    def __init__(
+        self,
+        network: Network,
+        n_vcs: int = 4,
+        escape: EscapeSubnetwork | None = None,
+        root: int = 0,
+        max_deroutes: int | None = None,
+    ):
+        routes = OmnidimensionalRoutes(network, max_deroutes)
+        super().__init__(network, routes, n_vcs, escape, root)
+
+
+class PolSPRouting(SurePathRouting):
+    """SurePath over Polarized routes — the paper's *PolSP*."""
+
+    name = "PolSP"
+
+    def __init__(
+        self,
+        network: Network,
+        n_vcs: int = 4,
+        escape: EscapeSubnetwork | None = None,
+        root: int = 0,
+    ):
+        routes = PolarizedRoutes(network)
+        super().__init__(network, routes, n_vcs, escape, root)
+
+
+def omni_surepath(
+    network: Network, n_vcs: int = 4, root: int = 0, **kw
+) -> OmniSPRouting:
+    """Build the paper's OmniSP configuration."""
+    return OmniSPRouting(network, n_vcs=n_vcs, root=root, **kw)
+
+
+def polarized_surepath(
+    network: Network, n_vcs: int = 4, root: int = 0, **kw
+) -> PolSPRouting:
+    """Build the paper's PolSP configuration."""
+    return PolSPRouting(network, n_vcs=n_vcs, root=root, **kw)

@@ -1,0 +1,24 @@
+"""Slot-level network simulator: the reproduction's CAMINOS substitute."""
+
+from .config import PAPER_CONFIG, SimConfig, table2_rows
+from .engine import DeadlockError, Simulator
+from .injection import BatchInjection, BernoulliInjection, InjectionProcess
+from .metrics import MetricsCollector, SimResult, jain_index
+from .packet import Packet
+from .switch import Switch
+
+__all__ = [
+    "BatchInjection",
+    "BernoulliInjection",
+    "DeadlockError",
+    "InjectionProcess",
+    "MetricsCollector",
+    "PAPER_CONFIG",
+    "Packet",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "Switch",
+    "jain_index",
+    "table2_rows",
+]

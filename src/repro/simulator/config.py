@@ -1,0 +1,87 @@
+"""Simulation parameters (paper §4, Table 2).
+
+The paper simulates phit-level virtual cut-through with 16-phit packets.
+This reproduction advances time in *slots* of one packet transmission
+(= ``packet_phits`` cycles): every link moves at most one packet per slot
+and all occupancies and penalties are accounted in phits so the paper's
+penalty constants apply unchanged (see DESIGN.md, "Key substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the cycle(-slot)-level simulator.
+
+    Defaults reproduce the paper's Table 2.
+
+    Attributes
+    ----------
+    input_buffer_packets:
+        Capacity of every input VC FIFO, in packets (paper: 8).
+    output_buffer_packets:
+        Capacity of every output VC FIFO, in packets (paper: 4).
+    packet_phits:
+        Packet length in phits (paper: 16); also the cycles-per-slot
+        conversion factor for reported latencies.
+    crossbar_speedup:
+        Grants per output port and per input port per slot (paper: 2).
+    source_queue_packets:
+        Capacity of each server's source (generation) queue.  Finite so
+        that saturated servers throttle generation, which is what the Jain
+        index of *generated* load measures.  Not in Table 2; chosen to be
+        deep enough not to limit sub-saturation injection.
+    deadlock_threshold_slots:
+        Watchdog: slots without any ejection or crossbar grant (while
+        packets are in flight) after which the network is declared
+        deadlocked/stalled.
+    """
+
+    input_buffer_packets: int = 8
+    output_buffer_packets: int = 4
+    packet_phits: int = 16
+    crossbar_speedup: int = 2
+    source_queue_packets: int = 16
+    deadlock_threshold_slots: int = 500
+
+    def __post_init__(self) -> None:
+        for name in (
+            "input_buffer_packets",
+            "output_buffer_packets",
+            "packet_phits",
+            "crossbar_speedup",
+            "source_queue_packets",
+            "deadlock_threshold_slots",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    def with_(self, **kw) -> "SimConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kw)
+
+    @property
+    def cycles_per_slot(self) -> int:
+        """Cycles represented by one simulation slot (= packet serialization)."""
+        return self.packet_phits
+
+
+#: The paper's Table 2 configuration.
+PAPER_CONFIG = SimConfig()
+
+
+def table2_rows() -> list[tuple[str, str]]:
+    """The rows of the paper's Table 2, for the table-regeneration bench."""
+    c = PAPER_CONFIG
+    return [
+        ("Input Buffer size", f"{c.input_buffer_packets} packets"),
+        ("Output Buffer size", f"{c.output_buffer_packets} packets"),
+        ("Flow control", "Virtual cut-through"),
+        ("Packet length", f"{c.packet_phits} phits"),
+        ("Link latency", "1 cycle"),
+        ("Crossbar latency", "1 cycle (link)"),
+        ("Crossbar internal speedup", str(c.crossbar_speedup)),
+    ]

@@ -1,0 +1,385 @@
+"""Slot-level network simulator (the CAMINOS substitute).
+
+One simulation slot (= 16 cycles, one packet serialization) advances in
+four phases, following DESIGN.md:
+
+1. **Ejection** — every server consumes at most one head-of-line packet
+   addressed to it; the freed input slot returns a credit upstream.
+2. **Allocation** — every head-of-line packet (network inputs and
+   injection queues alike) asks its routing mechanism for candidate
+   ``(port, vc, penalty)`` hops, filters them by flow control (downstream
+   credit + output-buffer space) and requests the single candidate with
+   the lowest ``Q + P`` (phits; ties broken uniformly at random).  Every
+   output port grants up to ``crossbar_speedup`` requests in ascending
+   ``Q + P`` order; every input port wins at most ``crossbar_speedup``
+   grants.  A granted packet moves to the output VC, consuming the
+   downstream credit (virtual cut-through reservation) and returning the
+   credit of its freed input slot.
+3. **Transmission** — every output port drains one packet, round-robin
+   over its VCs, into the reserved downstream input slot; the packet
+   becomes eligible for allocation there the next slot (1-slot link).
+4. **Injection** — the injection process picks attempting servers; an
+   attempt enqueues a fresh packet into the server's source queue if it
+   has room (Bernoulli attempts against a full queue are lost and dent
+   the Jain index).
+
+A watchdog declares the network *stalled* when packets are in flight but
+no ejection or grant has happened for ``deadlock_threshold_slots`` slots —
+this is how the ladder mechanisms' fault-intolerance (and any genuine
+deadlock) surfaces.  Packets whose mechanism returns **no candidate at
+all** (e.g. an exhausted ladder after fault-lengthened routes) are counted
+as *stalled packets*; they keep occupying buffers, as they would in
+hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..routing.base import RoutingMechanism
+from ..topology.base import Network
+from ..traffic.base import TrafficPattern
+from .config import PAPER_CONFIG, SimConfig
+from .injection import BernoulliInjection, InjectionProcess
+from .metrics import MetricsCollector, SimResult
+from .packet import Packet
+from .switch import Switch
+
+
+class DeadlockError(RuntimeError):
+    """Raised in strict mode when the watchdog detects a stalled network."""
+
+
+class Simulator:
+    """Cycle(-slot)-accurate simulator of one network + routing mechanism.
+
+    Parameters
+    ----------
+    network:
+        The (possibly faulty) network to simulate.
+    mechanism:
+        Routing mechanism; its ``n_vcs`` defines the per-port VC count.
+    traffic:
+        Traffic pattern supplying per-packet destinations.
+    injection:
+        Injection process; defaults to Bernoulli at ``offered``.
+    offered:
+        Offered load for the default Bernoulli process (ignored when an
+        explicit ``injection`` is given).
+    config:
+        Buffer/crossbar parameters (defaults to the paper's Table 2).
+    seed:
+        Seed of the simulator's own RNG (tie-breaks, traffic draws).
+    series_interval:
+        When set, record the accepted-load time series with this many
+        slots per bin (used by the Figure 10 completion-time experiment).
+    strict_deadlock:
+        Raise :class:`DeadlockError` when the watchdog fires instead of
+        just flagging the run.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        mechanism: RoutingMechanism,
+        traffic: TrafficPattern,
+        *,
+        injection: InjectionProcess | None = None,
+        offered: float = 0.5,
+        config: SimConfig = PAPER_CONFIG,
+        seed: int | None = 0,
+        series_interval: int | None = None,
+        strict_deadlock: bool = False,
+    ):
+        self.network = network
+        self.mechanism = mechanism
+        self.traffic = traffic
+        self.cfg = config
+        self.rng = np.random.default_rng(seed)
+        n_servers = network.n_servers
+        if injection is None:
+            injection = BernoulliInjection(n_servers, offered)
+        if injection.n_servers != n_servers:
+            raise ValueError("injection process sized for a different network")
+        self.injection = injection
+        self.offered = getattr(injection, "offered", offered)
+        self.strict_deadlock = strict_deadlock
+
+        n_vcs = mechanism.n_vcs
+        sps = network.servers_per_switch
+        self.switches: list[Switch] = [
+            Switch(s, network.topology.degree(s), n_vcs, sps, config)
+            for s in range(network.n_switches)
+        ]
+        # rev_port[s][p]: the port index on the neighbour reached through
+        # port p of s that leads back to s (None for dead/self bookkeeping
+        # is unnecessary: dead ports never carry packets).
+        topo = network.topology
+        self.rev_port: list[list[int]] = [
+            [topo.port_of(t, s) if t >= 0 else -1 for t in network.port_neighbour[s]]
+            for s in range(network.n_switches)
+        ]
+
+        self.metrics = MetricsCollector(
+            n_servers, config.cycles_per_slot, series_interval
+        )
+        #: Packets transmitted per (switch, port) and, of those, how many
+        #: rode the escape VC — the observability behind the paper's
+        #: root-congestion discussion (§3.2).
+        self.link_packets: list[list[int]] = [
+            [0] * network.topology.degree(s) for s in range(network.n_switches)
+        ]
+        self.link_escape_packets: list[list[int]] = [
+            [0] * network.topology.degree(s) for s in range(network.n_switches)
+        ]
+        self._escape_vc = getattr(mechanism, "escape_vc", None)
+        self.slot = 0
+        self.in_flight = 0
+        self.next_pid = 0
+        self.idle_slots = 0
+        self.deadlocked = False
+        self._sps = sps
+        self._n_vcs = n_vcs
+        self._phits = config.packet_phits
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _eject(self) -> int:
+        """Phase 1: servers consume packets destined to them."""
+        ejected = 0
+        sps = self._sps
+        for sw in self.switches:
+            if not sw.active_inputs:
+                continue
+            sid = sw.sid
+            served = 0  # bitmask over local servers
+            for idx in sorted(sw.active_inputs):
+                pkt = sw.in_q[idx][0]
+                if pkt.dst_switch != sid:
+                    continue
+                local = pkt.dst_server - sid * sps
+                bit = 1 << local
+                if served & bit:
+                    continue  # this server already consumed its packet
+                served |= bit
+                sw.in_q[idx].popleft()
+                if not sw.in_q[idx]:
+                    sw.active_inputs.discard(idx)
+                self._return_input_credit(sw, idx)
+                pkt.eject_slot = self.slot
+                self.metrics.on_ejected(pkt, self.slot)
+                self.in_flight -= 1
+                ejected += 1
+        return ejected
+
+    def _return_input_credit(self, sw: Switch, idx: int) -> None:
+        """Return the upstream credit of a freed network-input slot."""
+        if sw.is_injection_input(idx):
+            return  # source queues are credit-free
+        port = idx // self._n_vcs
+        vc = idx - port * self._n_vcs
+        upstream = self.network.port_neighbour[sw.sid][port]
+        self.switches[upstream].return_credit(self.rev_port[sw.sid][port], vc)
+
+    def _allocate(self) -> int:
+        """Phase 2: Q+P requests, per-output-port grants."""
+        granted = 0
+        mech = self.mechanism
+        phits = self._phits
+        speedup = self.cfg.crossbar_speedup
+        rng = self.rng
+        metrics = self.metrics
+        for sw in self.switches:
+            if not sw.active_inputs:
+                continue
+            sid = sw.sid
+            # ---- requests -------------------------------------------------
+            requests: dict[int, list[tuple[int, float, int, int, Packet]]] = {}
+            for idx in sw.active_inputs:
+                pkt = sw.in_q[idx][0]
+                if pkt.dst_switch == sid:
+                    continue  # waiting for ejection
+                cands = mech.candidates(pkt, sid)
+                if not cands:
+                    metrics.on_stalled(pkt)
+                    continue
+                best_score = None
+                best: list[tuple[int, int]] = []
+                for port, vc, pen in cands:
+                    if not sw.can_accept(port, vc):
+                        continue
+                    score = sw.q_value(port, vc) * phits + pen
+                    if best_score is None or score < best_score:
+                        best_score = score
+                        best = [(port, vc)]
+                    elif score == best_score:
+                        best.append((port, vc))
+                if not best:
+                    continue  # flow-control blocked this slot
+                port, vc = best[0] if len(best) == 1 else best[
+                    int(rng.integers(len(best)))
+                ]
+                requests.setdefault(port, []).append(
+                    (best_score, rng.random(), idx, vc, pkt)
+                )
+            if not requests:
+                continue
+            # ---- grants ---------------------------------------------------
+            input_wins: dict[int, int] = {}
+            for port, reqs in requests.items():
+                reqs.sort()
+                grants_here = 0
+                for score, _tie, idx, vc, pkt in reqs:
+                    if grants_here >= speedup:
+                        break
+                    in_port = sw.input_port(idx)
+                    if input_wins.get(in_port, 0) >= speedup:
+                        continue
+                    if not sw.can_accept(port, vc):
+                        continue  # an earlier grant consumed the last slot
+                    sw.in_q[idx].popleft()
+                    if not sw.in_q[idx]:
+                        sw.active_inputs.discard(idx)
+                    self._return_input_credit(sw, idx)
+                    sw.grant(sw.pv(port, vc), pkt)
+                    new_switch = self.network.port_neighbour[sid][port]
+                    mech.on_hop(pkt, sid, new_switch, port, vc)
+                    input_wins[in_port] = input_wins.get(in_port, 0) + 1
+                    grants_here += 1
+                    granted += 1
+        return granted
+
+    def _transmit(self) -> int:
+        """Phase 3: each output port pushes one packet over its link."""
+        moved = 0
+        for sw in self.switches:
+            sid = sw.sid
+            port_load = sw.port_load
+            for port in range(sw.n_ports):
+                if port_load[port] == 0:
+                    continue  # no occupancy and no consumed credits
+                res = sw.transmit(port)
+                if res is None:
+                    continue
+                vc, pkt = res
+                self.link_packets[sid][port] += 1
+                if vc == self._escape_vc:
+                    self.link_escape_packets[sid][port] += 1
+                t = self.network.port_neighbour[sid][port]
+                tsw = self.switches[t]
+                tidx = tsw.pv(self.rev_port[sid][port], vc)
+                tsw.in_q[tidx].append(pkt)
+                tsw.active_inputs.add(tidx)
+                moved += 1
+        return moved
+
+    def _inject(self) -> int:
+        """Phase 4: generation attempts into source queues."""
+        injected = 0
+        cap = self.cfg.source_queue_packets
+        sps = self._sps
+        traffic = self.traffic
+        rng = self.rng
+        for srv in self.injection.attempts(self.slot, rng):
+            srv = int(srv)
+            sid = srv // sps
+            sw = self.switches[sid]
+            idx = sw.injection_input(srv - sid * sps)
+            if len(sw.in_q[idx]) >= cap:
+                self.injection.on_blocked(srv)
+                continue
+            dst = int(traffic.destination(srv, rng))
+            pkt = Packet(
+                self.next_pid, srv, dst, sid, dst // sps, self.slot
+            )
+            self.next_pid += 1
+            self.mechanism.init_packet(pkt)
+            sw.in_q[idx].append(pkt)
+            sw.active_inputs.add(idx)
+            self.injection.on_success(srv)
+            self.metrics.on_generated(srv, self.slot)
+            self.in_flight += 1
+            injected += 1
+        return injected
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one slot (all four phases + watchdog)."""
+        ejected = self._eject()
+        granted = self._allocate()
+        self._transmit()
+        self._inject()
+        if self.in_flight > 0 and ejected == 0 and granted == 0:
+            self.idle_slots += 1
+            if self.idle_slots >= self.cfg.deadlock_threshold_slots:
+                self.deadlocked = True
+                if self.strict_deadlock:
+                    raise DeadlockError(
+                        f"no progress for {self.idle_slots} slots with "
+                        f"{self.in_flight} packets in flight at slot {self.slot}"
+                    )
+        else:
+            self.idle_slots = 0
+        self.slot += 1
+
+    def run(self, warmup: int = 300, measure: int = 700) -> SimResult:
+        """Steady-state run: ``warmup`` slots, then ``measure`` slots."""
+        if warmup < 0 or measure <= 0:
+            raise ValueError("warmup must be >= 0 and measure > 0")
+        for _ in range(warmup):
+            self.step()
+            if self.deadlocked:
+                break
+        self.metrics.start_measurement(self.slot)
+        if not self.deadlocked:
+            for _ in range(measure):
+                self.step()
+                if self.deadlocked:
+                    break
+        return self.metrics.result(
+            self.offered, measure, self.in_flight, self.deadlocked
+        )
+
+    def run_until_drained(self, max_slots: int = 1_000_000) -> SimResult:
+        """Batch run: simulate until every packet is consumed (Figure 10).
+
+        Measurement starts immediately (there is no steady state to skip).
+        """
+        self.metrics.start_measurement(self.slot)
+        completion: int | None = None
+        while self.slot < max_slots:
+            self.step()
+            if self.deadlocked:
+                break
+            if self.in_flight == 0 and self.injection.exhausted:
+                completion = self.slot
+                break
+        return self.metrics.result(
+            self.offered, max(self.slot, 1), self.in_flight, self.deadlocked,
+            completion_slot=completion,
+        )
+
+    # ------------------------------------------------------------------
+    def buffered_packets(self) -> int:
+        """Packets currently buffered anywhere (conservation checks)."""
+        return sum(sw.occupancy_packets() for sw in self.switches)
+
+    def link_utilization(self) -> dict[tuple[int, int], float]:
+        """Packets per slot carried by each directed live link so far."""
+        slots = max(self.slot, 1)
+        out: dict[tuple[int, int], float] = {}
+        for s in range(self.network.n_switches):
+            for port, t in self.network.live_ports[s]:
+                out[(s, t)] = self.link_packets[s][port] / slots
+        return out
+
+    def switch_escape_share(self, s: int) -> float:
+        """Fraction of the packets through switch ``s``'s output links
+        that travelled on the escape VC."""
+        total = sum(self.link_packets[s])
+        if total == 0:
+            return 0.0
+        return sum(self.link_escape_packets[s]) / total

@@ -1,0 +1,90 @@
+"""Injection processes: who tries to generate a packet each slot.
+
+Two generation regimes cover the paper's experiments:
+
+* :class:`BernoulliInjection` — every server generates a packet with
+  probability ``offered`` per slot (offered load 1.0 = one 16-phit packet
+  per 16 cycles = 1 phit/cycle/server, the paper's load unit).  Used by all
+  steady-state throughput/latency/Jain experiments (Figures 4–6, 8, 9).
+* :class:`BatchInjection` — every server has a fixed budget of packets and
+  generates as fast as its source queue accepts; the run ends when the last
+  packet is consumed.  Used by the completion-time experiment (Figure 10,
+  8000 phits = 500 packets per server).
+
+A generation *attempt* that finds the source queue full is lost for
+Bernoulli (the server was throttled; this is what dents the Jain index)
+and retried for Batch (the budget only decrements on success).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class InjectionProcess(ABC):
+    """Decides which servers attempt to generate a packet each slot."""
+
+    def __init__(self, n_servers: int):
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self.n_servers = n_servers
+
+    @abstractmethod
+    def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
+        """Server ids attempting generation this slot (ascending order)."""
+
+    def on_success(self, server: int) -> None:
+        """The attempt of ``server`` was enqueued."""
+
+    def on_blocked(self, server: int) -> None:
+        """The attempt of ``server`` found a full source queue."""
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the process will never generate again (batch drained)."""
+        return False
+
+
+class BernoulliInjection(InjectionProcess):
+    """Independent Bernoulli(offered) generation per server per slot."""
+
+    def __init__(self, n_servers: int, offered: float):
+        super().__init__(n_servers)
+        if not 0.0 <= offered <= 1.0:
+            raise ValueError(f"offered load must be in [0, 1], got {offered}")
+        self.offered = float(offered)
+
+    def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
+        if self.offered == 0.0:
+            return np.empty(0, dtype=np.int64)
+        if self.offered == 1.0:
+            return np.arange(self.n_servers, dtype=np.int64)
+        mask = rng.random(self.n_servers) < self.offered
+        return np.nonzero(mask)[0]
+
+
+class BatchInjection(InjectionProcess):
+    """Fixed per-server packet budget, injected at full source-queue rate."""
+
+    def __init__(self, n_servers: int, packets_per_server: int):
+        super().__init__(n_servers)
+        if packets_per_server < 1:
+            raise ValueError("packets_per_server must be >= 1")
+        self.packets_per_server = packets_per_server
+        self.remaining = np.full(n_servers, packets_per_server, dtype=np.int64)
+
+    def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
+        return np.nonzero(self.remaining > 0)[0]
+
+    def on_success(self, server: int) -> None:
+        self.remaining[server] -= 1
+
+    @property
+    def exhausted(self) -> bool:
+        return bool((self.remaining == 0).all())
+
+    @property
+    def total_packets(self) -> int:
+        return self.packets_per_server * self.n_servers

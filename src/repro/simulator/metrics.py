@@ -1,0 +1,189 @@
+"""Performance metrics (paper §4): throughput, latency, Jain fairness.
+
+The three metrics the paper reports, plus the diagnostics this
+reproduction adds (escape/forced-hop shares, stall counts):
+
+* **Accepted throughput** — packets ejected per server per slot during the
+  measurement window; with 16-phit packets and 16-cycle slots this equals
+  the paper's phits/cycle/server load unit.
+* **Average message latency** — generation-to-delivery time in cycles, for
+  packets generated inside the measurement window.
+* **Jain index of generated load** — ``(Σx)² / (n·Σx²)`` over the
+  per-server counts of packets actually *generated* (enqueued) during
+  measurement; saturated source queues throttle unlucky servers and drop
+  the index below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def jain_index(loads: np.ndarray) -> float:
+    """Jain fairness index of a non-negative load vector (1.0 = equity)."""
+    x = np.asarray(loads, dtype=np.float64)
+    if x.size == 0:
+        return 1.0
+    if (x < 0).any():
+        raise ValueError("loads must be non-negative")
+    total = x.sum()
+    if total == 0.0:
+        return 1.0  # nobody generated anything: trivially fair
+    return float(total * total / (x.size * np.square(x).sum()))
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run (steady-state or batch)."""
+
+    offered: float
+    accepted: float
+    avg_latency_cycles: float
+    jain: float
+    n_servers: int
+    measure_slots: int
+    cycles_per_slot: int
+    generated: int
+    delivered: int
+    delivered_measured: int
+    in_flight_end: int
+    avg_hops: float
+    escape_hop_fraction: float
+    forced_hop_count: int
+    stalled_packets: int
+    deadlocked: bool
+    completion_slot: int | None = None
+    time_series: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def completion_cycles(self) -> int | None:
+        """Batch completion time in cycles (Figure 10's x-axis)."""
+        if self.completion_slot is None:
+            return None
+        return self.completion_slot * self.cycles_per_slot
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        bits = [
+            f"offered={self.offered:.3f}",
+            f"accepted={self.accepted:.3f}",
+            f"latency={self.avg_latency_cycles:.1f}cy",
+            f"jain={self.jain:.4f}",
+        ]
+        if self.stalled_packets:
+            bits.append(f"stalled={self.stalled_packets}")
+        if self.deadlocked:
+            bits.append("DEADLOCK")
+        if self.completion_slot is not None:
+            bits.append(f"completion={self.completion_cycles}cy")
+        return " ".join(bits)
+
+
+class MetricsCollector:
+    """Accumulates events during a run; the engine drives the windowing."""
+
+    def __init__(self, n_servers: int, cycles_per_slot: int, series_interval: int | None = None):
+        self.n_servers = n_servers
+        self.cycles_per_slot = cycles_per_slot
+        #: Per-server packets generated (enqueued) during measurement.
+        self.generated_measured = np.zeros(n_servers, dtype=np.int64)
+        self.generated_total = 0
+        self.delivered_total = 0
+        #: Ejections during the measurement window (any birth time).
+        self.delivered_measured = 0
+        #: Latency tally over packets *born* during measurement.
+        self.latency_slots_sum = 0
+        self.latency_count = 0
+        self.hops_sum = 0
+        self.escape_hops_sum = 0
+        self.forced_hops_sum = 0
+        self.stalled_pids: set[int] = set()
+        self.measuring = False
+        self.measure_start = 0
+        #: Optional accepted-load time series: (slot, packets in interval).
+        self.series_interval = series_interval
+        self._series_bins: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the engine)
+    # ------------------------------------------------------------------
+    def start_measurement(self, slot: int) -> None:
+        self.measuring = True
+        self.measure_start = slot
+
+    def on_generated(self, server: int, slot: int) -> None:
+        self.generated_total += 1
+        if self.measuring:
+            self.generated_measured[server] += 1
+
+    def on_ejected(self, pkt, slot: int) -> None:
+        self.delivered_total += 1
+        self.hops_sum += pkt.hops
+        self.escape_hops_sum += pkt.escape_hops
+        self.forced_hops_sum += pkt.forced_hops
+        if self.measuring:
+            self.delivered_measured += 1
+            if pkt.birth_slot >= self.measure_start:
+                self.latency_slots_sum += slot - pkt.birth_slot
+                self.latency_count += 1
+        if self.series_interval:
+            self._series_bins.setdefault(slot // self.series_interval, 0)
+            self._series_bins[slot // self.series_interval] += 1
+
+    def on_stalled(self, pkt) -> None:
+        self.stalled_pids.add(pkt.pid)
+
+    # ------------------------------------------------------------------
+    def time_series(self) -> list[tuple[int, float]]:
+        """Accepted load (packets/server/slot) per series interval."""
+        if not self.series_interval:
+            return []
+        out = []
+        for bin_idx in sorted(self._series_bins):
+            count = self._series_bins[bin_idx]
+            load = count / (self.n_servers * self.series_interval)
+            out.append((bin_idx * self.series_interval, load))
+        return out
+
+    def result(
+        self,
+        offered: float,
+        measure_slots: int,
+        in_flight_end: int,
+        deadlocked: bool,
+        completion_slot: int | None = None,
+    ) -> SimResult:
+        accepted = (
+            self.delivered_measured / (self.n_servers * measure_slots)
+            if measure_slots > 0
+            else 0.0
+        )
+        avg_lat = (
+            self.latency_slots_sum / self.latency_count * self.cycles_per_slot
+            if self.latency_count
+            else float("nan")
+        )
+        avg_hops = self.hops_sum / self.delivered_total if self.delivered_total else 0.0
+        esc_frac = self.escape_hops_sum / self.hops_sum if self.hops_sum else 0.0
+        return SimResult(
+            offered=offered,
+            accepted=accepted,
+            avg_latency_cycles=avg_lat,
+            jain=jain_index(self.generated_measured),
+            n_servers=self.n_servers,
+            measure_slots=measure_slots,
+            cycles_per_slot=self.cycles_per_slot,
+            generated=self.generated_total,
+            delivered=self.delivered_total,
+            delivered_measured=self.delivered_measured,
+            in_flight_end=in_flight_end,
+            avg_hops=avg_hops,
+            escape_hop_fraction=esc_frac,
+            forced_hop_count=self.forced_hops_sum,
+            stalled_packets=len(self.stalled_pids),
+            deadlocked=deadlocked,
+            completion_slot=completion_slot,
+            time_series=self.time_series(),
+        )

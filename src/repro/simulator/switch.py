@@ -1,0 +1,158 @@
+"""Per-switch buffer, credit and crossbar-accounting state.
+
+Layout (all sizes from :class:`~repro.simulator.config.SimConfig`):
+
+* **Input VCs** — one FIFO per (network port, VC) pair, plus one *injection
+  queue* per attached server (the server's source queue; it participates in
+  allocation like any other input).  Inputs are indexed by a flat integer:
+  ``port * n_vcs + vc`` for network inputs, ``n_ports * n_vcs + i`` for the
+  ``i``-th server's injection queue.
+* **Output VCs** — one FIFO per (port, VC); a port's link drains one packet
+  per slot, round-robin over its non-empty VCs.
+* **Credits** — ``credits[pv]`` counts free slots of the *downstream* input
+  FIFO reached through that output VC.  A credit is consumed when a packet
+  is granted into the output VC and returned when the packet later leaves
+  the downstream input FIFO (virtual cut-through with allocation-time
+  reservation).
+
+For the paper's ``Q + P`` output-selection rule the switch maintains, in
+O(1) per event, the per-output-VC load ``load[pv] = output-FIFO occupancy +
+consumed credits`` and its per-port sum ``port_load[port]`` — both in
+packets; the engine scales by ``packet_phits`` when combining with the
+penalty ``P``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .config import SimConfig
+from .packet import Packet
+
+
+class Switch:
+    """Buffers and credit state of one switch."""
+
+    __slots__ = (
+        "sid",
+        "n_ports",
+        "n_vcs",
+        "n_servers",
+        "cfg",
+        "in_q",
+        "active_inputs",
+        "out_q",
+        "credits",
+        "load",
+        "port_load",
+        "rr",
+        "n_inputs",
+    )
+
+    def __init__(self, sid: int, n_ports: int, n_vcs: int, n_servers: int, cfg: SimConfig):
+        self.sid = sid
+        self.n_ports = n_ports
+        self.n_vcs = n_vcs
+        self.n_servers = n_servers
+        self.cfg = cfg
+        npv = n_ports * n_vcs
+        self.n_inputs = npv + n_servers
+        #: Input FIFOs: network inputs then injection queues.
+        self.in_q: list[Deque[Packet]] = [deque() for _ in range(self.n_inputs)]
+        #: Indices of non-empty input FIFOs (maintained by the engine).
+        self.active_inputs: set[int] = set()
+        #: Output FIFOs per (port, vc).
+        self.out_q: list[Deque[Packet]] = [deque() for _ in range(npv)]
+        #: Free downstream input slots per output VC.
+        self.credits: list[int] = [cfg.input_buffer_packets] * npv
+        #: Q-rule load per output VC: output occupancy + consumed credits.
+        self.load: list[int] = [0] * npv
+        #: Sum of ``load`` over the VCs of each port.
+        self.port_load: list[int] = [0] * n_ports
+        #: Round-robin pointer per port for link transmission.
+        self.rr: list[int] = [0] * n_ports
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def pv(self, port: int, vc: int) -> int:
+        """Flat output-VC / network-input index of (port, vc)."""
+        return port * self.n_vcs + vc
+
+    def injection_input(self, local_server: int) -> int:
+        """Flat input index of the ``local_server``-th injection queue."""
+        return self.n_ports * self.n_vcs + local_server
+
+    def input_port(self, idx: int) -> int:
+        """Physical input port of a flat input index (injections count as
+        one port each, beyond the network ports)."""
+        npv = self.n_ports * self.n_vcs
+        if idx < npv:
+            return idx // self.n_vcs
+        return self.n_ports + (idx - npv)
+
+    def is_injection_input(self, idx: int) -> bool:
+        return idx >= self.n_ports * self.n_vcs
+
+    # ------------------------------------------------------------------
+    # Q+P bookkeeping (packets; engine scales to phits)
+    # ------------------------------------------------------------------
+    def q_value(self, port: int, vc: int) -> int:
+        """The paper's ``Q`` for requesting (port, vc): the requested VC's
+        load plus every load of the same port (requested VC counted twice)."""
+        return self.port_load[port] + self.load[self.pv(port, vc)]
+
+    def can_accept(self, port: int, vc: int) -> bool:
+        """Flow control: a grant needs a downstream credit and output space."""
+        pv = self.pv(port, vc)
+        return (
+            self.credits[pv] > 0
+            and len(self.out_q[pv]) < self.cfg.output_buffer_packets
+        )
+
+    def grant(self, pv: int, pkt: Packet) -> None:
+        """Commit a packet to output VC ``pv``: occupy the FIFO slot and
+        reserve (consume) the downstream credit."""
+        self.out_q[pv].append(pkt)
+        self.credits[pv] -= 1
+        self.load[pv] += 2  # +1 occupancy, +1 consumed credit
+        self.port_load[pv // self.n_vcs] += 2
+
+    def transmit(self, port: int) -> tuple[int, Packet] | None:
+        """Pop one packet from the port's output VCs, round-robin.
+
+        Returns ``(vc, packet)`` or ``None`` when the port is idle.  The
+        consumed-credit half of the load stays until the downstream FIFO
+        slot is freed.
+        """
+        base = port * self.n_vcs
+        start = self.rr[port]
+        for off in range(self.n_vcs):
+            vc = (start + off) % self.n_vcs
+            q = self.out_q[base + vc]
+            if q:
+                self.rr[port] = (vc + 1) % self.n_vcs
+                pkt = q.popleft()
+                self.load[base + vc] -= 1
+                self.port_load[port] -= 1
+                return vc, pkt
+        return None
+
+    def return_credit(self, port: int, vc: int) -> None:
+        """Downstream freed the input slot reserved by :meth:`grant`."""
+        pv = self.pv(port, vc)
+        self.credits[pv] += 1
+        self.load[pv] -= 1
+        self.port_load[port] -= 1
+
+    # ------------------------------------------------------------------
+    def occupancy_packets(self) -> int:
+        """Packets buffered in this switch (inputs + outputs)."""
+        return sum(len(q) for q in self.in_q) + sum(len(q) for q in self.out_q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Switch({self.sid}, ports={self.n_ports}, vcs={self.n_vcs},"
+            f" buffered={self.occupancy_packets()})"
+        )

@@ -1,0 +1,65 @@
+"""Topology substrate: HyperX topologies, faulted networks, graph metrics."""
+
+from .base import Link, Network, Topology, normalize_link
+from .custom import ExplicitTopology, mesh_topology, ring_topology
+from .dragonfly import Dragonfly, balanced_dragonfly
+from .faults import (
+    apply_faults,
+    cross_faults,
+    random_connected_fault_sequence,
+    random_fault_sequence,
+    random_switch_fault_sequence,
+    row_faults,
+    shape_faults,
+    shape_root,
+    star_faults,
+    subcube_faults,
+    subplane_faults,
+    switch_faults,
+)
+from .graph import (
+    UNREACHABLE,
+    all_pairs_distances,
+    average_distance,
+    bfs_distances,
+    connected_components,
+    diameter,
+    diameter_or_none,
+    is_connected,
+)
+from .hyperx import HyperX, complete_graph, regular_hyperx
+
+__all__ = [
+    "Dragonfly",
+    "ExplicitTopology",
+    "HyperX",
+    "Link",
+    "Network",
+    "Topology",
+    "UNREACHABLE",
+    "all_pairs_distances",
+    "apply_faults",
+    "average_distance",
+    "balanced_dragonfly",
+    "bfs_distances",
+    "complete_graph",
+    "connected_components",
+    "cross_faults",
+    "diameter",
+    "diameter_or_none",
+    "is_connected",
+    "mesh_topology",
+    "normalize_link",
+    "random_connected_fault_sequence",
+    "random_fault_sequence",
+    "random_switch_fault_sequence",
+    "regular_hyperx",
+    "ring_topology",
+    "row_faults",
+    "shape_faults",
+    "shape_root",
+    "star_faults",
+    "subcube_faults",
+    "subplane_faults",
+    "switch_faults",
+]

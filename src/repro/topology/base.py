@@ -1,0 +1,204 @@
+"""Topology substrate: abstract topologies and faulted network instances.
+
+The paper's evaluation operates on HyperX (Hamming graph) topologies with
+link failures injected.  This module separates the two concerns:
+
+* :class:`Topology` describes a *healthy* switch-to-switch graph with a
+  stable per-switch port numbering (ports keep their index when links fail,
+  which is how real switches behave and what routing tables assume).
+* :class:`Network` is a concrete instance: a topology plus a set of failed
+  links.  All routing-table computation and simulation happens on a
+  ``Network``.
+
+Switches are integers ``0..n_switches-1``.  A link is an unordered pair of
+switches, normalised as ``(min, max)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+Link = tuple[int, int]
+
+
+def normalize_link(a: int, b: int) -> Link:
+    """Return the canonical (sorted) representation of an undirected link."""
+    if a == b:
+        raise ValueError(f"self-link ({a},{b}) is not a valid network link")
+    return (a, b) if a < b else (b, a)
+
+
+class Topology(ABC):
+    """A healthy switch-level topology with stable port numbering.
+
+    Subclasses define the switch count, the per-switch neighbour lists and
+    how many servers attach to every switch.  Port ``p`` of switch ``s``
+    refers to the ``p``-th entry of ``neighbours(s)`` and keeps meaning even
+    when the link on it fails.
+    """
+
+    @property
+    @abstractmethod
+    def n_switches(self) -> int:
+        """Number of switches."""
+
+    @property
+    @abstractmethod
+    def servers_per_switch(self) -> int:
+        """Number of servers (terminals) attached to every switch."""
+
+    @abstractmethod
+    def neighbours(self, s: int) -> Sequence[int]:
+        """Ordered neighbour list of switch ``s`` (defines port numbering)."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        """Total number of servers in the system."""
+        return self.n_switches * self.servers_per_switch
+
+    def degree(self, s: int) -> int:
+        """Switch-to-switch degree of switch ``s`` in the healthy topology."""
+        return len(self.neighbours(s))
+
+    @property
+    def radix(self) -> int:
+        """Switch radix: network ports plus server ports (uniform case)."""
+        return self.degree(0) + self.servers_per_switch
+
+    def links(self) -> list[Link]:
+        """All healthy links, normalised, sorted, each listed once."""
+        out: set[Link] = set()
+        for s in range(self.n_switches):
+            for t in self.neighbours(s):
+                out.add(normalize_link(s, t))
+        return sorted(out)
+
+    def port_of(self, s: int, t: int) -> int:
+        """Port index on switch ``s`` whose link leads to switch ``t``."""
+        try:
+            return self.neighbours(s).index(t)
+        except ValueError:
+            raise ValueError(f"switches {s} and {t} are not adjacent") from None
+
+    def server_switch(self, server: int) -> int:
+        """Switch to which ``server`` is attached."""
+        return server // self.servers_per_switch
+
+    def switch_servers(self, s: int) -> range:
+        """Servers attached to switch ``s``."""
+        c = self.servers_per_switch
+        return range(s * c, (s + 1) * c)
+
+
+class Network:
+    """A topology instance with an (optionally empty) set of failed links.
+
+    The network exposes *live* adjacency for routing-table computation and
+    simulation while keeping the healthy topology's port numbering.  The
+    all-pairs distance matrix is computed lazily (BFS over live links) and
+    cached.
+    """
+
+    def __init__(self, topology: Topology, faults: Iterable[Link] = ()):
+        self.topology = topology
+        self.faults: frozenset[Link] = frozenset(
+            normalize_link(a, b) for a, b in faults
+        )
+        healthy = set(topology.links())
+        unknown = self.faults - healthy
+        if unknown:
+            raise ValueError(f"faulty links not present in topology: {sorted(unknown)[:5]}")
+
+        n = topology.n_switches
+        # port_neighbour[s][p] = neighbour on port p, or -1 if the link failed
+        self.port_neighbour: list[list[int]] = []
+        # live_ports[s] = [(port, neighbour), ...] for live links only
+        self.live_ports: list[list[tuple[int, int]]] = []
+        for s in range(n):
+            row: list[int] = []
+            live: list[tuple[int, int]] = []
+            for p, t in enumerate(topology.neighbours(s)):
+                if normalize_link(s, t) in self.faults:
+                    row.append(-1)
+                else:
+                    row.append(t)
+                    live.append((p, t))
+            self.port_neighbour.append(row)
+            self.live_ports.append(live)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        return self.topology.n_switches
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self.topology.servers_per_switch
+
+    @property
+    def n_servers(self) -> int:
+        return self.topology.n_servers
+
+    def live_links(self) -> list[Link]:
+        """Normalised list of live (non-faulty) links."""
+        return [l for l in self.topology.links() if l not in self.faults]
+
+    def neighbour_on_port(self, s: int, p: int) -> int:
+        """Neighbour reached through port ``p`` of switch ``s`` (-1 if dead)."""
+        return self.port_neighbour[s][p]
+
+    def live_degree(self, s: int) -> int:
+        return len(self.live_ports[s])
+
+    def port_of(self, s: int, t: int) -> int:
+        """Port on ``s`` towards adjacent switch ``t`` (live or dead)."""
+        return self.topology.port_of(s, t)
+
+    def with_faults(self, extra: Iterable[Link]) -> "Network":
+        """A new network with ``extra`` faults added to the current ones."""
+        return Network(self.topology, set(self.faults) | {normalize_link(a, b) for a, b in extra})
+
+    # ------------------------------------------------------------------
+    # Graph metrics (delegated to repro.topology.graph, cached here)
+    # ------------------------------------------------------------------
+    @cached_property
+    def distances(self) -> np.ndarray:
+        """All-pairs hop distance matrix (int16; -1 for unreachable pairs)."""
+        from .graph import all_pairs_distances
+
+        return all_pairs_distances(self)
+
+    @cached_property
+    def diameter(self) -> int:
+        """Largest finite pairwise distance; raises if disconnected."""
+        from .graph import diameter
+
+        return diameter(self)
+
+    @cached_property
+    def is_connected(self) -> bool:
+        from .graph import is_connected
+
+        return is_connected(self)
+
+    @cached_property
+    def average_distance(self) -> float:
+        """Mean switch-to-switch distance over ordered distinct pairs."""
+        from .graph import average_distance
+
+        return average_distance(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.topology!r}, faults={len(self.faults)} links,"
+            f" switches={self.n_switches})"
+        )

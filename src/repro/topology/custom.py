@@ -1,0 +1,127 @@
+"""User-defined topologies from explicit adjacency lists.
+
+The paper's closing remark (§7) is that SurePath's escape subnetwork *"is
+defined without any specific knowledge of the underlying topology, so it
+apparently could be used in any topology"*.  :class:`ExplicitTopology`
+makes that a one-liner for downstream users: wrap any undirected graph
+(adjacency lists, a networkx graph, an edge list) and every
+topology-agnostic piece of this library — Minimal, Valiant, Polarized,
+PolSP, the escape subnetwork, the simulator, the fault models — runs on
+it unchanged.  Only the Omnidimensional mechanisms (OmniWAR/OmniSP) and
+the HyperX-structured traffic patterns stay HyperX-only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .base import Topology, normalize_link
+
+
+class ExplicitTopology(Topology):
+    """A topology given by explicit per-switch neighbour lists.
+
+    Parameters
+    ----------
+    neighbours:
+        ``neighbours[s]`` is the ordered port list of switch ``s``.  The
+        relation must be symmetric, self-loop-free and duplicate-free;
+        the list order *is* the port numbering and is preserved.
+    servers_per_switch:
+        Terminals attached to every switch.
+    """
+
+    def __init__(self, neighbours: Sequence[Sequence[int]], servers_per_switch: int = 1):
+        if not neighbours:
+            raise ValueError("topology needs at least one switch")
+        if servers_per_switch < 1:
+            raise ValueError("servers_per_switch must be >= 1")
+        n = len(neighbours)
+        cleaned: list[list[int]] = []
+        for s, nbrs in enumerate(neighbours):
+            row = [int(t) for t in nbrs]
+            if len(set(row)) != len(row):
+                raise ValueError(f"switch {s} lists a neighbour twice")
+            for t in row:
+                if not 0 <= t < n:
+                    raise ValueError(f"switch {s} links to unknown switch {t}")
+                if t == s:
+                    raise ValueError(f"switch {s} has a self-loop")
+            cleaned.append(row)
+        for s, row in enumerate(cleaned):
+            for t in row:
+                if s not in cleaned[t]:
+                    raise ValueError(
+                        f"asymmetric adjacency: {s} lists {t} but not vice versa"
+                    )
+        self._neighbours = cleaned
+        self._servers_per_switch = int(servers_per_switch)
+
+    @property
+    def n_switches(self) -> int:
+        return len(self._neighbours)
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self._servers_per_switch
+
+    def neighbours(self, s: int) -> list[int]:
+        return self._neighbours[s]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_switches: int,
+        edges: Iterable[tuple[int, int]],
+        servers_per_switch: int = 1,
+    ) -> "ExplicitTopology":
+        """Build from an undirected edge list (ports ordered by peer id)."""
+        adj: list[set[int]] = [set() for _ in range(n_switches)]
+        for a, b in edges:
+            a, b = normalize_link(int(a), int(b))
+            if b >= n_switches:
+                raise ValueError(f"edge ({a},{b}) exceeds switch count")
+            adj[a].add(b)
+            adj[b].add(a)
+        return cls([sorted(s) for s in adj], servers_per_switch)
+
+    @classmethod
+    def from_networkx(cls, graph, servers_per_switch: int = 1) -> "ExplicitTopology":
+        """Build from a networkx graph with nodes ``0..n-1``."""
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("graph nodes must be 0..n-1 integers")
+        return cls.from_edges(len(nodes), graph.edges, servers_per_switch)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitTopology(switches={self.n_switches},"
+            f" servers_per_switch={self._servers_per_switch})"
+        )
+
+
+def ring_topology(n: int, servers_per_switch: int = 1) -> ExplicitTopology:
+    """A ring of ``n`` switches — the classic deadlock-theory testbed."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 switches")
+    return ExplicitTopology.from_edges(
+        n, [(i, (i + 1) % n) for i in range(n)], servers_per_switch
+    )
+
+
+def mesh_topology(cols: int, rows: int, servers_per_switch: int = 1) -> ExplicitTopology:
+    """A 2D mesh (no wraparound), as used by the NoC literature [7, 23]."""
+    if cols < 2 or rows < 2:
+        raise ValueError("mesh needs at least 2x2 switches")
+    edges = []
+    for y in range(rows):
+        for x in range(cols):
+            s = y * cols + x
+            if x + 1 < cols:
+                edges.append((s, s + 1))
+            if y + 1 < rows:
+                edges.append((s, s + cols))
+    return ExplicitTopology.from_edges(cols * rows, edges, servers_per_switch)

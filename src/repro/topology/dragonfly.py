@@ -1,0 +1,115 @@
+"""Dragonfly topology — the §7 portability case study.
+
+The paper closes by noting that SurePath's escape subnetwork *"is defined
+without any specific knowledge of the underlying topology, so it
+apparently could be used in any topology"*, but that HyperX has an
+advantage: *"in HyperX the escape subnetwork contains shortest paths or
+minimal routes.  This is not true, for example, if the same mechanism
+would be used, as it is defined here, in Dragonfly networks."*
+
+This module provides the canonical Dragonfly [20] so that claim can be
+measured (see ``tests/topology/test_dragonfly.py`` and the integration
+suite): ``g = a·h + 1`` groups of ``a`` switches, every group a complete
+graph, ``h`` global ports per switch, exactly one global link between any
+two groups (the *consecutive* global arrangement), and ``p`` servers per
+switch.  The balanced sizing of [20] is ``a = 2h, p = h``.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+
+class Dragonfly(Topology):
+    """Canonical one-level Dragonfly ``(a, p, h)``.
+
+    Parameters
+    ----------
+    a:
+        Switches per group (each group is a complete graph ``K_a``).
+    p:
+        Servers per switch.
+    h:
+        Global (inter-group) links per switch.  The group count is fixed
+        to the maximum ``g = a·h + 1`` so every pair of groups shares
+        exactly one global link.
+    """
+
+    def __init__(self, a: int, p: int, h: int):
+        if a < 2 or h < 1 or p < 1:
+            raise ValueError("need a >= 2, h >= 1, p >= 1")
+        self.a = a
+        self.p = p
+        self.h = h
+        self.n_groups = a * h + 1
+        self._n_switches = self.n_groups * a
+        self._neighbours: list[list[int]] = [
+            self._build_neighbours(s) for s in range(self._n_switches)
+        ]
+
+    # ------------------------------------------------------------------
+    # Topology interface
+    # ------------------------------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        return self._n_switches
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self.p
+
+    def neighbours(self, s: int) -> list[int]:
+        return self._neighbours[s]
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def group_of(self, s: int) -> int:
+        """Group index of switch ``s``."""
+        return s // self.a
+
+    def local_of(self, s: int) -> int:
+        """Position of switch ``s`` within its group."""
+        return s % self.a
+
+    def switch_id(self, group: int, local: int) -> int:
+        if not (0 <= group < self.n_groups and 0 <= local < self.a):
+            raise ValueError(f"({group}, {local}) out of range")
+        return group * self.a + local
+
+    def global_target(self, group: int, channel: int) -> tuple[int, int]:
+        """Remote (group, channel) of one global channel.
+
+        Channels ``0 .. a·h - 1`` of a group are assigned consecutively:
+        channel ``c`` reaches the group at offset ``c + 1`` and lands on
+        its channel ``a·h - (c + 1)`` — the standard *consecutive*
+        arrangement, self-consistent in both directions.
+        """
+        g = self.n_groups
+        ah = self.a * self.h
+        if not 0 <= channel < ah:
+            raise ValueError(f"global channel {channel} out of range")
+        offset = channel + 1
+        return (group + offset) % g, ah - offset
+
+    def _build_neighbours(self, s: int) -> list[int]:
+        grp, loc = self.group_of(s), self.local_of(s)
+        out: list[int] = []
+        # Local ports first: the rest of the group's complete graph.
+        for l in range(self.a):
+            if l != loc:
+                out.append(self.switch_id(grp, l))
+        # Then the h global ports of this switch.
+        for k in range(self.h):
+            channel = loc * self.h + k
+            tgroup, tchannel = self.global_target(grp, channel)
+            out.append(self.switch_id(tgroup, tchannel // self.h))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Dragonfly(a={self.a}, p={self.p}, h={self.h})"
+
+
+def balanced_dragonfly(h: int) -> Dragonfly:
+    """The balanced sizing of [20]: ``a = 2h``, ``p = h``."""
+    return Dragonfly(a=2 * h, p=h, h=h)

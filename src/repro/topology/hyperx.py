@@ -1,0 +1,171 @@
+"""HyperX (Hamming graph) topologies.
+
+An ``n``-dimensional HyperX with sides ``k_1 x ... x k_n`` has one switch per
+coordinate vector ``(x_1, ..., x_n)`` with ``0 <= x_i < k_i``.  Two switches
+are adjacent iff their Hamming distance is 1, i.e. each "row" along any
+dimension forms a complete graph ``K_{k_i}``.  Graph distance equals Hamming
+distance, hence the alternative name *Hamming graph*; the regular case is the
+Cartesian power ``K_k^n``.
+
+Port numbering is dimension-major: ports for dimension 0 come first
+(``k_1 - 1`` of them, ordered by increasing coordinate value, skipping the
+switch's own value), then dimension 1, and so on.  This numbering is the one
+switch firmware would use and stays stable under link failures.
+
+The paper's two evaluation topologies are ``HyperX((16, 16), 16)`` (256
+switches, radix 46) and ``HyperX((8, 8, 8), 8)`` (512 switches, radix 29).
+A complete graph ``K_k`` is the 1-dimensional special case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Topology
+
+
+class HyperX(Topology):
+    """Hamming-graph topology ``K_{k1} x ... x K_{kn}``.
+
+    Parameters
+    ----------
+    sides:
+        The per-dimension sides ``(k_1, ..., k_n)``; every ``k_i >= 2``.
+    servers_per_switch:
+        Terminals attached to every switch.  The paper's convention for a
+        regular HyperX of side ``k`` is ``k`` servers per switch; we default
+        to ``max(sides)`` accordingly but any value is accepted.
+    """
+
+    def __init__(self, sides: Sequence[int], servers_per_switch: int | None = None):
+        sides = tuple(int(k) for k in sides)
+        if not sides:
+            raise ValueError("HyperX needs at least one dimension")
+        if any(k < 2 for k in sides):
+            raise ValueError(f"every side must be >= 2, got {sides}")
+        self.sides = sides
+        self.n_dims = len(sides)
+        if servers_per_switch is None:
+            servers_per_switch = max(sides)
+        if servers_per_switch < 1:
+            raise ValueError("servers_per_switch must be >= 1")
+        self._servers_per_switch = int(servers_per_switch)
+
+        # Mixed-radix strides, dimension 0 fastest-varying.
+        strides = []
+        acc = 1
+        for k in sides:
+            strides.append(acc)
+            acc *= k
+        self._strides = tuple(strides)
+        self._n_switches = acc
+
+        # Precompute coordinate vectors and neighbour lists once; the
+        # simulator and the routing tables consult them heavily.
+        self._coords: list[tuple[int, ...]] = [
+            self._id_to_coords(s) for s in range(self._n_switches)
+        ]
+        self._neighbours: list[list[int]] = [
+            self._build_neighbours(s) for s in range(self._n_switches)
+        ]
+        # port_index[(dim, value_rank)] arithmetic helpers
+        self._dim_port_base = []
+        base = 0
+        for k in sides:
+            self._dim_port_base.append(base)
+            base += k - 1
+
+    # ------------------------------------------------------------------
+    # Topology interface
+    # ------------------------------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        return self._n_switches
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self._servers_per_switch
+
+    def neighbours(self, s: int) -> list[int]:
+        return self._neighbours[s]
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def _id_to_coords(self, s: int) -> tuple[int, ...]:
+        return tuple((s // st) % k for st, k in zip(self._strides, self.sides))
+
+    def coords(self, s: int) -> tuple[int, ...]:
+        """Coordinate vector of switch ``s``."""
+        return self._coords[s]
+
+    def switch_id(self, coords: Sequence[int]) -> int:
+        """Switch id of a coordinate vector."""
+        if len(coords) != self.n_dims:
+            raise ValueError(f"expected {self.n_dims} coordinates, got {len(coords)}")
+        s = 0
+        for x, st, k in zip(coords, self._strides, self.sides):
+            if not 0 <= x < k:
+                raise ValueError(f"coordinate {x} out of range [0,{k})")
+            s += x * st
+        return s
+
+    def _build_neighbours(self, s: int) -> list[int]:
+        x = self._coords[s]
+        out = []
+        for dim, k in enumerate(self.sides):
+            st = self._strides[dim]
+            base = s - x[dim] * st
+            for v in range(k):
+                if v != x[dim]:
+                    out.append(base + v * st)
+        return out
+
+    # ------------------------------------------------------------------
+    # HyperX-specific helpers used by Omnidimensional routing
+    # ------------------------------------------------------------------
+    def port(self, s: int, dim: int, value: int) -> int:
+        """Port of switch ``s`` leading to coordinate ``value`` in ``dim``."""
+        x = self._coords[s][dim]
+        if value == x:
+            raise ValueError("a switch has no port to its own coordinate")
+        rank = value if value < x else value - 1
+        return self._dim_port_base[dim] + rank
+
+    def port_dim_value(self, s: int, port: int) -> tuple[int, int]:
+        """Inverse of :meth:`port`: the (dimension, coordinate) of a port."""
+        if not 0 <= port < sum(k - 1 for k in self.sides):
+            raise ValueError(f"port {port} out of range")
+        for dim in reversed(range(self.n_dims)):
+            base = self._dim_port_base[dim]
+            if port >= base:
+                rank = port - base
+                x = self._coords[s][dim]
+                value = rank if rank < x else rank + 1
+                return dim, value
+        raise ValueError(f"port {port} out of range")
+
+    def hamming_distance(self, a: int, b: int) -> int:
+        """Graph distance between switches (= Hamming distance of coords)."""
+        ca, cb = self._coords[a], self._coords[b]
+        return sum(1 for u, v in zip(ca, cb) if u != v)
+
+    def unaligned_dims(self, a: int, b: int) -> list[int]:
+        """Dimensions in which the coordinates of ``a`` and ``b`` differ."""
+        ca, cb = self._coords[a], self._coords[b]
+        return [i for i, (u, v) in enumerate(zip(ca, cb)) if u != v]
+
+    def __repr__(self) -> str:
+        return f"HyperX(sides={self.sides}, servers_per_switch={self._servers_per_switch})"
+
+
+def complete_graph(k: int, servers_per_switch: int | None = None) -> HyperX:
+    """The complete graph ``K_k`` as a 1-dimensional HyperX."""
+    return HyperX((k,), servers_per_switch)
+
+
+def regular_hyperx(n_dims: int, side: int, servers_per_switch: int | None = None) -> HyperX:
+    """The regular HyperX ``K_side^n_dims`` (paper notation ``K^n_k``)."""
+    if servers_per_switch is None:
+        servers_per_switch = side
+    return HyperX((side,) * n_dims, servers_per_switch)

@@ -1,0 +1,59 @@
+"""Synthetic traffic patterns of the paper's evaluation (§4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import Network
+from .base import PermutationTraffic, TrafficPattern, validate_permutation
+from .patterns import (
+    DimensionComplementReverse,
+    RandomServerPermutation,
+    UniformTraffic,
+)
+from .rpn import RegularPermutationToNeighbour, gray_cycle, next_in_gray_cycle
+
+#: Short names accepted by :func:`make_traffic`, in the paper's order.
+TRAFFIC_PATTERNS: tuple[str, ...] = ("uniform", "randperm", "dcr", "rpn")
+
+#: Paper display names by short name.
+TRAFFIC_DISPLAY: dict[str, str] = {
+    "uniform": "Uniform",
+    "randperm": "Random Server Permutation",
+    "dcr": "Dimension Complement Reverse",
+    "rpn": "Regular Permutation to Neighbour",
+}
+
+
+def make_traffic(
+    name: str,
+    network: Network,
+    rng: np.random.Generator | int | None = None,
+) -> TrafficPattern:
+    """Build a traffic pattern by short name (see :data:`TRAFFIC_PATTERNS`)."""
+    key = name.strip().lower()
+    if key == "uniform":
+        return UniformTraffic(network)
+    if key in ("randperm", "random server permutation"):
+        return RandomServerPermutation(network, rng)
+    if key in ("dcr", "dimension complement reverse"):
+        return DimensionComplementReverse(network)
+    if key in ("rpn", "regular permutation to neighbour"):
+        return RegularPermutationToNeighbour(network)
+    raise ValueError(f"unknown traffic pattern {name!r}; expected one of {TRAFFIC_PATTERNS}")
+
+
+__all__ = [
+    "DimensionComplementReverse",
+    "PermutationTraffic",
+    "RandomServerPermutation",
+    "RegularPermutationToNeighbour",
+    "TRAFFIC_DISPLAY",
+    "TRAFFIC_PATTERNS",
+    "TrafficPattern",
+    "UniformTraffic",
+    "gray_cycle",
+    "make_traffic",
+    "next_in_gray_cycle",
+    "validate_permutation",
+]

@@ -1,0 +1,157 @@
+"""Regular Permutation to Neighbour (RPN) — the paper's new pattern (§4).
+
+Construction (Figure 3): a regular HyperX ``K_k^n`` with ``k`` even is
+decomposed into ``(k/2)^n`` embedded hypercubes ``K_2^n`` by pairing
+coordinate values ``{2b, 2b+1}`` in every dimension (the natural
+embedding).  On the ``n``-cube a directed Hamiltonian cycle of length
+``2^n`` is fixed — we use the standard reflected Gray code, whose
+consecutive words differ in exactly one bit, cyclically.  Every switch
+sends the traffic of all its servers to the *next* switch of its cycle,
+same server offset.
+
+Because each Gray step flips one coordinate inside a pair, every
+destination is a *neighbour* switch and, in any ``K_k`` row, the confined
+source→destination pairs are either none (the row's dimension is not the
+one the Gray step flips for any resident switch) or exactly ``k/2``
+disjoint pairs.  Counting the ``k^2/4`` links between sources and
+destinations inside such a row against its ``k^2/2`` source servers bounds
+aligned-route throughput by **0.5** — which is why Omnidimensional-based
+mechanisms cap at 0.5 while Polarized's non-aligned 3-hop routes exceed it
+(paper Figure 5, rightmost column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import Network
+from ..topology.hyperx import HyperX
+from .base import PermutationTraffic
+
+
+def gray_cycle(n_bits: int) -> list[int]:
+    """The reflected Gray code as a directed Hamiltonian cycle of the n-cube.
+
+    Returns the ``2^n_bits`` codewords in cycle order; consecutive words
+    (including last -> first) differ in exactly one bit.
+    """
+    if n_bits < 1:
+        raise ValueError("need at least one bit")
+    return [i ^ (i >> 1) for i in range(1 << n_bits)]
+
+
+def next_in_gray_cycle(word: int, n_bits: int) -> int:
+    """Successor of ``word`` in the reflected Gray cycle of ``n_bits`` bits."""
+    # Invert g(i) = i ^ (i >> 1): binary-to-Gray inverse by prefix XOR.
+    i = word
+    shift = 1
+    while shift < n_bits:
+        i ^= i >> shift
+        shift <<= 1
+    nxt = (i + 1) % (1 << n_bits)
+    return nxt ^ (nxt >> 1)
+
+
+class RegularPermutationToNeighbour(PermutationTraffic):
+    """The paper's RPN pattern over embedded ``K_2^n`` hypercube cycles."""
+
+    name = "Regular Permutation to Neighbour"
+
+    def __init__(self, network: Network):
+        topo = network.topology
+        if not isinstance(topo, HyperX):
+            raise TypeError("RPN requires a HyperX topology")
+        if any(k % 2 for k in topo.sides):
+            raise ValueError(f"RPN needs even sides, got {topo.sides}")
+        self.hx = topo
+        n = topo.n_dims
+        sps = topo.servers_per_switch
+        perm = np.empty(network.n_servers, dtype=np.int64)
+        for s in range(topo.n_switches):
+            coords = topo.coords(s)
+            parity = 0
+            for d, c in enumerate(coords):
+                parity |= (c & 1) << d
+            nxt = next_in_gray_cycle(parity, n)
+            dst_coords = tuple(
+                (c & ~1) | ((nxt >> d) & 1) for d, c in enumerate(coords)
+            )
+            dst_sw = topo.switch_id(dst_coords)
+            base, dbase = s * sps, dst_sw * sps
+            for w in range(sps):
+                perm[base + w] = dbase + w
+        super().__init__(network, perm)
+
+    # ------------------------------------------------------------------
+    # Analytical helpers (used by tests and the Figure 3 illustration)
+    # ------------------------------------------------------------------
+    def switch_destination(self, s: int) -> int:
+        """Destination switch of switch ``s``'s servers."""
+        return int(self.permutation[s * self.hx.servers_per_switch]) // (
+            self.hx.servers_per_switch
+        )
+
+    def confined_pairs_per_row(self) -> dict[tuple[int, tuple[int, ...]], int]:
+        """Source/destination pairs confined to each row.
+
+        Keys are ``(dim, fixed_coords)`` identifying a ``K_k`` row; values
+        count resident switches whose destination lies in the same row.
+        The paper's construction makes every count 0 or ``k/2``.
+        """
+        hx = self.hx
+        out: dict[tuple[int, tuple[int, ...]], int] = {}
+        for s in range(hx.n_switches):
+            d = self.switch_destination(s)
+            sc, dc = hx.coords(s), hx.coords(d)
+            diff = [i for i, (a, b) in enumerate(zip(sc, dc)) if a != b]
+            if len(diff) != 1:  # pragma: no cover - construction guarantees 1
+                continue
+            dim = diff[0]
+            fixed = tuple(c for i, c in enumerate(sc) if i != dim)
+            out[(dim, fixed)] = out.get((dim, fixed), 0) + 1
+        return out
+
+    @staticmethod
+    def aligned_route_bound() -> float:
+        """Throughput bound for routes confined to the source/dest row."""
+        return 0.5
+
+    def plane_ascii(self, fixed_dims: dict[int, int] | None = None) -> str:
+        """ASCII rendering of one plane's source->destination arrows.
+
+        Reproduces the paper's Figure 3 view: for a 3D HyperX, fix one
+        coordinate (default: the last dimension at 0) and draw, for every
+        switch of the remaining plane, the direction of its destination —
+        ``>``/``<`` along the horizontal dimension, ``^``/``v`` along the
+        vertical one, ``.`` when the destination leaves the plane.
+        """
+        hx = self.hx
+        if fixed_dims is None:
+            fixed_dims = {d: 0 for d in range(2, hx.n_dims)}
+        free = [d for d in range(hx.n_dims) if d not in fixed_dims]
+        if len(free) != 2:
+            raise ValueError("plane_ascii needs exactly two free dimensions")
+        dx, dy = free
+        lines = []
+        for y in range(hx.sides[dy]):
+            row = []
+            for x in range(hx.sides[dx]):
+                coords = [0] * hx.n_dims
+                coords[dx], coords[dy] = x, y
+                for d, v in fixed_dims.items():
+                    coords[d] = v
+                s = hx.switch_id(coords)
+                t = self.switch_destination(s)
+                cs, ct = hx.coords(s), hx.coords(t)
+                if ct[dx] > cs[dx]:
+                    row.append(">")
+                elif ct[dx] < cs[dx]:
+                    row.append("<")
+                elif ct[dy] > cs[dy]:
+                    row.append("v")
+                elif ct[dy] < cs[dy]:
+                    row.append("^")
+                else:
+                    row.append(".")  # destination leaves the plane
+            lines.append(" ".join(row))
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Opportunistic Up/Down escape subnetwork (SurePath's deadlock escape)."""
+
+from .roots import ROOT_STRATEGIES, choose_root
+from .escape import (
+    DOWN_PENALTY,
+    NO_PATH,
+    PHASE_CLIMB,
+    PHASE_DESCEND,
+    SHORTCUT_PENALTIES,
+    SHORTCUT_PENALTY_FLOOR,
+    UP_PENALTY,
+    EscapeSubnetwork,
+    shortcut_penalty,
+)
+
+__all__ = [
+    "ROOT_STRATEGIES",
+    "choose_root",
+    "DOWN_PENALTY",
+    "NO_PATH",
+    "PHASE_CLIMB",
+    "PHASE_DESCEND",
+    "SHORTCUT_PENALTIES",
+    "SHORTCUT_PENALTY_FLOOR",
+    "UP_PENALTY",
+    "EscapeSubnetwork",
+    "shortcut_penalty",
+]

@@ -1,0 +1,274 @@
+"""Opportunistic Up/Down escape subnetwork (paper §3.2).
+
+The escape subnetwork is SurePath's deadlock-avoidance and fault-tolerance
+device.  Its construction, following AutoNet's Up*/Down* enriched with
+shortcuts:
+
+1. Pick a root switch ``r`` and run a BFS from it over live links.
+2. Classify every live link ``(x, y)``: **Up/Down (black)** when
+   ``d(x, r) != d(y, r)``, **horizontal (red)** otherwise.
+3. Black links induce the **Up/Down distance** ``udist(x, y)``: the length
+   of the shortest path made of an *up* subpath (every hop closer to the
+   root) followed by a *down* subpath (every hop further).  Such a path
+   always exists while the network is connected, so ``udist`` is finite.
+4. Red links are used *opportunistically* as shortcuts when they cut the
+   remaining escape distance, with penalties by how much they cut it
+   (1 -> 80, 2 -> 64, >= 3 -> 48 phits); black links carry the tree
+   penalties (Up 112, Down 96 phits).
+
+**Deadlock-freedom (and one deliberate deviation).**  The paper offers as
+escape candidate *any* link that reduces the Up/Down distance to the
+destination.  Reproducing that rule verbatim yields cyclic channel
+dependencies — chains of same-level shortcuts can close rings — and this
+simulator does reach those deadlocks under extreme load on heavily faulted
+networks (see ``tests/updown/test_deadlock_freedom.py``).  We therefore
+restrict escape routes to the canonical shape
+
+    up* [shortcut] down*
+
+i.e. a climb, at most one horizontal hop, then a descent.  Directed escape
+channels then fall into three classes — UP (tail level strictly
+decreasing), H (at most one per route, never followed by another H) and
+DOWN (tail level strictly increasing) — and every escape-to-escape request
+goes from a class to the same-or-later class, with each class internally
+acyclic.  The whole request graph is thus acyclic and a cycle of full
+escape buffers is impossible, with a single escape FIFO per port and
+virtual cut-through, exactly the resource budget the paper claims.  In a
+HyperX the restricted escape still contains every one-dimension minimal
+route (rows are cliques, so the direct link is always up, down or one
+shortcut) and still steers load away from the root; what it loses are the
+chained-shortcut multi-dimension minimal routes, for which it pays one
+extra up/down hop.  DESIGN.md records the substitution.
+
+The implementation is table-driven exactly as the paper suggests: two
+distance matrices indexed (current, target) — the *full escape distance*
+``dist_a`` (up* [h] down* paths, for packets that may still climb) and the
+*pure-descent distance* ``dist_b`` (down* only, for packets past their
+apex) — plus per-link colours.  Both come from one compiled BFS over a
+layered digraph with (switch, phase) states, so full paper-scale networks
+are cheap to (re)build after every fault event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+from ..topology.base import Network
+
+#: Penalties in phits (paper §3.2): black tree links and red shortcuts.
+UP_PENALTY = 112
+DOWN_PENALTY = 96
+SHORTCUT_PENALTIES = {1: 80, 2: 64}  # reduction >= 3 -> 48
+SHORTCUT_PENALTY_FLOOR = 48
+
+#: Escape route phases: CLIMB may still go up; DESCEND only goes down.
+PHASE_CLIMB = 0
+PHASE_DESCEND = 1
+
+#: Large sentinel for unreachable (infinite) pure-descent distances.
+NO_PATH = np.int32(2**30)
+
+
+def shortcut_penalty(reduction: int) -> int:
+    """Penalty of a red (horizontal) link cutting ``reduction`` escape hops."""
+    if reduction <= 0:
+        raise ValueError("shortcuts must strictly reduce the escape distance")
+    return SHORTCUT_PENALTIES.get(reduction, SHORTCUT_PENALTY_FLOOR)
+
+
+class EscapeSubnetwork:
+    """Routing tables of the opportunistic Up/Down escape subnetwork.
+
+    Parameters
+    ----------
+    network:
+        The (possibly faulty) network; must be connected.
+    root:
+        Root switch of the Up/Down layering.  The paper picks an arbitrary
+        switch, noting that heavily faulted switches make poor roots; the
+        fault-shape experiments deliberately root inside the faulty region.
+    shortcuts:
+        Enable the opportunistic horizontal links.  Disabling them yields
+        the classic AutoNet Up*/Down* escape — the ablation baseline whose
+        "marginal throughput of a tree" the paper's shortcuts fix.
+    """
+
+    def __init__(self, network: Network, root: int = 0, shortcuts: bool = True):
+        if not 0 <= root < network.n_switches:
+            raise ValueError(f"root {root} out of range")
+        if not network.is_connected:
+            raise ValueError(
+                "escape subnetwork requires a connected network; "
+                "disconnected fault sets cannot be escaped"
+            )
+        self.network = network
+        self.root = int(root)
+        self.shortcuts = bool(shortcuts)
+
+        from ..topology.graph import bfs_distances
+
+        #: BFS level of every switch (distance to the root).
+        self.root_distance: np.ndarray = bfs_distances(network, self.root)
+
+        # Link colours, indexed [switch][port]: +1 up (towards root),
+        # -1 down (away from root), 0 red/horizontal; dead ports get 0 but
+        # never appear among live_ports so the value is moot.
+        n = network.n_switches
+        self.link_kind: list[list[int]] = []
+        for s in range(n):
+            kinds = []
+            ds = int(self.root_distance[s])
+            for t in network.port_neighbour[s]:
+                if t < 0:
+                    kinds.append(0)
+                    continue
+                dt = int(self.root_distance[t])
+                kinds.append(+1 if dt < ds else (-1 if dt > ds else 0))
+            self.link_kind.append(kinds)
+
+        self.dist_a, self.dist_b = self._compute_escape_distances()
+        #: Classic Up/Down distance over black links only (analysis/tests).
+        self.udist: np.ndarray = self._compute_updown_distances()
+
+    # ------------------------------------------------------------------
+    # Distance tables over layered (switch, phase) digraphs
+    # ------------------------------------------------------------------
+    def _layered_edges(self, with_shortcuts: bool) -> tuple[list[int], list[int]]:
+        """Edges of the (switch, phase) digraph.
+
+        State encoding: ``s`` = (s, CLIMB), ``n + s`` = (s, DESCEND).
+        CLIMB takes up edges (staying CLIMB) and down edges (entering
+        DESCEND); with shortcuts enabled, a horizontal edge also enters
+        DESCEND (the single allowed shortcut).  DESCEND takes down edges.
+        """
+        n = self.network.n_switches
+        level = self.root_distance
+        rows: list[int] = []
+        cols: list[int] = []
+        for a, b in self.network.live_links():
+            la, lb = int(level[a]), int(level[b])
+            if la == lb:
+                if with_shortcuts:
+                    rows += (a, b)
+                    cols += (n + b, n + a)
+                continue
+            lo, hi = (a, b) if la < lb else (b, a)
+            # Up move hi -> lo keeps the climb phase.
+            rows.append(hi)
+            cols.append(lo)
+            # Down move lo -> hi enters/keeps the descend phase.
+            rows += (lo, n + lo)
+            cols += (n + hi, n + hi)
+        return rows, cols
+
+    def _phase_distances(self, with_shortcuts: bool) -> tuple[np.ndarray, np.ndarray]:
+        n = self.network.n_switches
+        rows, cols = self._layered_edges(with_shortcuts)
+        data = np.ones(len(rows), dtype=np.int8)
+        layered = sp.csr_matrix((data, (rows, cols)), shape=(2 * n, 2 * n))
+        dist = csgraph.shortest_path(
+            layered, method="D", unweighted=True, directed=True
+        )
+        # dist_a[c, t]: from (c, CLIMB), arriving at t in either phase.
+        da = np.minimum(dist[:n, :n], dist[:n, n:])
+        # dist_b[c, t]: from (c, DESCEND), necessarily arriving in DESCEND.
+        db = dist[n:, n:]
+        da = np.where(np.isinf(da), NO_PATH, da).astype(np.int32)
+        db = np.where(np.isinf(db), NO_PATH, db).astype(np.int32)
+        return da, db
+
+    def _compute_escape_distances(self) -> tuple[np.ndarray, np.ndarray]:
+        da, db = self._phase_distances(with_shortcuts=self.shortcuts)
+        if (da >= NO_PATH).any():
+            raise AssertionError(
+                "connected network has unreachable escape pairs; "
+                "the layered BFS construction is broken"
+            )
+        return da, db
+
+    def _compute_updown_distances(self) -> np.ndarray:
+        """Classic shortcut-free Up/Down distance (paper §3.2 definition)."""
+        da, _db = self._phase_distances(with_shortcuts=False)
+        return da.astype(np.int16)
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+    # ------------------------------------------------------------------
+    def candidates(
+        self, current: int, target: int, phase: int = PHASE_CLIMB
+    ) -> list[tuple[int, int, int]]:
+        """Escape candidates ``(port, neighbour, penalty)`` at ``current``.
+
+        ``phase`` is the packet's escape phase: :data:`PHASE_CLIMB` for
+        packets that have not yet taken a shortcut or down hop (including
+        every packet still outside the escape subnetwork) and
+        :data:`PHASE_DESCEND` afterwards.  Every hop strictly reduces the
+        phase-aware remaining distance, so escape routes terminate; the
+        list is non-empty whenever ``current != target``.
+        """
+        if current == target:
+            return []
+        da_row = self.dist_a[:, target]
+        db_row = self.dist_b[:, target]
+        kinds = self.link_kind[current]
+        out: list[tuple[int, int, int]] = []
+        if phase == PHASE_CLIMB:
+            here = int(da_row[current])
+            ud_row = self.udist[:, target]
+            ud_here = int(ud_row[current])
+            for port, nbr in self.network.live_ports[current]:
+                kind = kinds[port]
+                if kind > 0:  # up: stay in climb phase
+                    if da_row[nbr] < here:
+                        out.append((port, nbr, UP_PENALTY))
+                elif kind < 0:  # down: enter descend phase
+                    if db_row[nbr] < here:
+                        out.append((port, nbr, DOWN_PENALTY))
+                else:  # shortcut: the single horizontal hop, then descend
+                    if self.shortcuts and db_row[nbr] < here:
+                        # Penalty graded by the paper's metric: how much the
+                        # classic Up/Down distance shrinks across the link.
+                        reduction = max(1, ud_here - int(ud_row[nbr]))
+                        out.append((port, nbr, shortcut_penalty(reduction)))
+        else:
+            here = int(db_row[current])
+            for port, nbr in self.network.live_ports[current]:
+                if kinds[port] < 0 and db_row[nbr] < here:
+                    out.append((port, nbr, DOWN_PENALTY))
+        if not out:
+            raise AssertionError(
+                f"escape subnetwork has no candidate from {current} "
+                f"(phase {phase}) to {target}; tables are inconsistent"
+            )
+        return out
+
+    def next_phase(self, current: int, port: int, phase: int) -> int:
+        """Escape phase after taking ``port`` out of ``current``."""
+        if phase == PHASE_DESCEND:
+            return PHASE_DESCEND
+        return PHASE_CLIMB if self.link_kind[current][port] > 0 else PHASE_DESCEND
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def route_length_bound(self) -> int:
+        """Upper bound on escape route lengths (max escape distance)."""
+        return int(self.dist_a.max())
+
+    def n_black_links(self) -> int:
+        """Number of Up/Down (tree-ish) links."""
+        level = self.root_distance
+        return sum(1 for a, b in self.network.live_links() if level[a] != level[b])
+
+    def n_red_links(self) -> int:
+        """Number of horizontal (shortcut) links."""
+        level = self.root_distance
+        return sum(1 for a, b in self.network.live_links() if level[a] == level[b])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EscapeSubnetwork(root={self.root}, black={self.n_black_links()},"
+            f" red={self.n_red_links()}, max_dist={int(self.dist_a.max())})"
+        )

@@ -1,0 +1,56 @@
+"""Escape-root selection policies.
+
+The paper's Star-fault analysis closes with: *"some of the issues can be
+addressed by avoiding to choose a switch with many faulty links as the
+root of the escape subnetwork"* (§6).  These helpers encode the sensible
+policies a control plane would apply when (re)building the escape after a
+topology event.  The fault-shape experiments deliberately *ignore* them —
+they root inside the faulty region for maximum stress — which is why the
+policies live apart from :class:`~repro.updown.escape.EscapeSubnetwork`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import Network
+
+#: Available strategies for :func:`choose_root`.
+ROOT_STRATEGIES = ("first", "max_live_degree", "min_eccentricity", "central")
+
+
+def choose_root(network: Network, strategy: str = "max_live_degree") -> int:
+    """Pick an escape root for a (possibly faulty) network.
+
+    Strategies
+    ----------
+    ``first``
+        Switch 0 — the paper's arbitrary default.
+    ``max_live_degree``
+        The switch with the most live links (ties to the lowest id): the
+        §6 recommendation, directly avoiding heavily faulted roots.
+    ``min_eccentricity``
+        A true graph center: minimises the worst-case Up distance, hence
+        the Up/Down route lengths.
+    ``central``
+        ``min_eccentricity`` with live degree as the tie-break — the best
+        of both, at the cost of the all-pairs table (already cached).
+    """
+    if strategy == "first":
+        return 0
+    if strategy == "max_live_degree":
+        degrees = [network.live_degree(s) for s in range(network.n_switches)]
+        return int(np.argmax(degrees))
+    if strategy in ("min_eccentricity", "central"):
+        d = network.distances
+        if (d < 0).any():
+            raise ValueError("eccentricity-based roots need a connected network")
+        ecc = d.max(axis=1)
+        if strategy == "min_eccentricity":
+            return int(np.argmin(ecc))
+        best = np.flatnonzero(ecc == ecc.min())
+        degrees = np.array([network.live_degree(int(s)) for s in best])
+        return int(best[int(np.argmax(degrees))])
+    raise ValueError(
+        f"unknown root strategy {strategy!r}; expected one of {ROOT_STRATEGIES}"
+    )

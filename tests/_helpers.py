@@ -1,0 +1,52 @@
+"""Test helpers shared across the suite (imported via conftest's path hook)."""
+
+from __future__ import annotations
+
+from repro.simulator.packet import Packet
+from repro.topology.base import Network
+
+
+def make_packet(
+    network: Network,
+    src_switch: int,
+    dst_switch: int,
+    pid: int = 0,
+) -> Packet:
+    """A packet between the first servers of two switches."""
+    sps = network.servers_per_switch
+    return Packet(
+        pid,
+        src_switch * sps,
+        dst_switch * sps,
+        src_switch,
+        dst_switch,
+        birth_slot=0,
+    )
+
+
+def walk_route(mechanism, network: Network, src: int, dst: int, rng, max_hops=64):
+    """Drive one packet hop by hop, picking a random candidate each time.
+
+    Returns the list of visited switches; raises if the mechanism strands
+    the packet (no candidates before arrival) or exceeds ``max_hops``.
+    """
+    pkt = make_packet(network, src, dst)
+    mechanism.init_packet(pkt)
+    current = src
+    visited = [current]
+    while current != dst:
+        if len(visited) > max_hops:
+            raise AssertionError(f"route from {src} to {dst} exceeded {max_hops} hops")
+        cands = mechanism.candidates(pkt, current)
+        if not cands:
+            raise AssertionError(
+                f"no candidates at {current} en route {src}->{dst} after "
+                f"{len(visited) - 1} hops"
+            )
+        port, vc, _pen = cands[int(rng.integers(len(cands)))]
+        nxt = network.port_neighbour[current][port]
+        assert nxt >= 0, "mechanism offered a dead port"
+        mechanism.on_hop(pkt, current, nxt, port, vc)
+        current = nxt
+        visited.append(current)
+    return visited

@@ -1,0 +1,94 @@
+"""Analytical-bound tests, including simulation cross-checks."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    VALIANT_BOUND,
+    ladder_max_hops,
+    omnidimensional_max_hops,
+    polarized_max_hops,
+    rpn_aligned_bound,
+    rpn_minimal_bound,
+    star_completion_multiple,
+    uniform_bisection_bound,
+)
+from repro.topology.hyperx import HyperX
+
+
+class TestClosedForms:
+    def test_valiant_bound(self):
+        assert VALIANT_BOUND == 0.5
+
+    def test_rpn_aligned_bound_independent_of_k(self):
+        assert rpn_aligned_bound(4) == rpn_aligned_bound(16) == 0.5
+
+    def test_rpn_minimal_bound(self):
+        assert rpn_minimal_bound(8) == pytest.approx(1 / 8)
+        with pytest.raises(ValueError):
+            rpn_minimal_bound(0)
+
+    def test_uniform_bisection_not_the_limit(self):
+        """HyperX is injection-limited on Uniform (bound >= 1)."""
+        assert uniform_bisection_bound(HyperX((16, 16), 16)) >= 1.0
+        assert uniform_bisection_bound(HyperX((8, 8, 8), 8)) >= 1.0
+
+    def test_uniform_bisection_rejects_odd_sides(self):
+        with pytest.raises(ValueError):
+            uniform_bisection_bound(HyperX((3, 3), 3))
+
+    def test_ladder_budget(self):
+        assert ladder_max_hops(6) == 6
+        assert ladder_max_hops(6, 2) == 3
+        with pytest.raises(ValueError):
+            ladder_max_hops(0)
+
+    def test_route_length_bounds(self):
+        assert omnidimensional_max_hops(3) == 6
+        assert omnidimensional_max_hops(3, 1) == 4
+        assert polarized_max_hops(3) == 6
+
+    def test_star_completion_multiple(self):
+        # Paper's worked example: 8 servers, 1 usable link, 0.5 throughput
+        # -> tail 4T on top of the bulk T, about 5T.
+        assert star_completion_multiple(8, 1, 0.5) == pytest.approx(5.0)
+        # Ideal: all 3 links usable -> ~1.33T extra + bulk.
+        ideal = star_completion_multiple(8, 3, 0.5)
+        assert ideal == pytest.approx(1 + 8 / 3 * 0.5)
+        with pytest.raises(ValueError):
+            star_completion_multiple(8, 0, 0.5)
+        with pytest.raises(ValueError):
+            star_completion_multiple(8, 1, 0.0)
+
+
+class TestBoundsHoldInSimulation:
+    """The simulator must never beat the closed-form caps."""
+
+    def test_valiant_capped(self, net2d):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        mech = make_mechanism("Valiant", net2d, rng=1)
+        res = Simulator(net2d, mech, make_traffic("uniform", net2d, 0),
+                        offered=1.0, seed=0).run(150, 300)
+        assert res.accepted <= VALIANT_BOUND + 0.1
+
+    def test_omni_rpn_capped(self, net3d):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        mech = make_mechanism("OmniWAR", net3d, rng=1)
+        res = Simulator(net3d, mech, make_traffic("rpn", net3d, 0),
+                        offered=1.0, seed=0).run(150, 300)
+        assert res.accepted <= rpn_aligned_bound() + 0.05
+
+    def test_minimal_rpn_capped(self, net3d):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        mech = make_mechanism("Minimal", net3d, rng=1)
+        res = Simulator(net3d, mech, make_traffic("rpn", net3d, 0),
+                        offered=1.0, seed=0).run(150, 300)
+        assert res.accepted <= rpn_minimal_bound(4) + 0.05

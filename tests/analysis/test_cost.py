@@ -1,0 +1,58 @@
+"""Cost-model tests: the paper's "cheaper than Fat Trees" motivation."""
+
+import pytest
+
+from repro.analysis.cost import (
+    cost_comparison,
+    fat_tree_cost,
+    hyperx_cost,
+    matched_fat_tree,
+)
+from repro.topology.hyperx import HyperX
+
+
+class TestHyperXCost:
+    def test_paper_2d_counts(self):
+        c = hyperx_cost(HyperX((16, 16), 16))
+        assert c.servers == 4096
+        assert c.switches == 256
+        assert c.inter_switch_cables == 3840
+        assert c.radix == 46
+
+    def test_per_server_normalisation(self):
+        c = hyperx_cost(HyperX((16, 16), 16))
+        assert c.switches_per_server == pytest.approx(1 / 16)
+        assert c.cables_per_server == pytest.approx(3840 / 4096)
+
+
+class TestFatTreeCost:
+    def test_standard_k_ary_counts(self):
+        c = fat_tree_cost(4)
+        assert c.servers == 16
+        assert c.switches == 20
+        assert c.inter_switch_cables == 32
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(ValueError):
+            fat_tree_cost(5)
+
+    def test_matched_tree_covers_servers(self):
+        hx = HyperX((16, 16), 16)
+        f = matched_fat_tree(hx)
+        assert f.servers >= hx.n_servers
+        smaller = fat_tree_cost(f.radix - 2)
+        assert smaller.servers < hx.n_servers
+
+
+class TestComparison:
+    @pytest.mark.parametrize("hx", [HyperX((16, 16), 16), HyperX((8, 8, 8), 8)])
+    def test_hyperx_is_cheaper(self, hx):
+        """The §1 claim: fewer switches and cables per server."""
+        cmp = cost_comparison(hx)
+        assert cmp["switch_ratio"] < 1.0
+        assert cmp["cable_ratio"] < 1.0
+
+    def test_2d_cable_savings_are_substantial(self):
+        cmp = cost_comparison(HyperX((16, 16), 16))
+        # ~25% cheaper cabling (paper: "around a 25% cheaper").
+        assert cmp["cable_ratio"] < 0.8

@@ -1,0 +1,79 @@
+"""Path-diversity tests: the structure behind HyperX's resiliency."""
+
+import math
+
+import pytest
+
+from repro.analysis.diversity import (
+    edge_connectivity,
+    edge_disjoint_paths,
+    minimal_path_count,
+    minimal_path_count_matrix,
+    survivable_pairs,
+)
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX
+
+
+class TestMinimalPathCounts:
+    def test_identity_and_neighbours(self, net2d):
+        assert minimal_path_count(net2d, 0, 0) == 1
+        for _port, nbr in net2d.live_ports[0]:
+            assert minimal_path_count(net2d, 0, nbr) == 1
+
+    def test_hamming_distance_d_gives_d_factorial(self, net3d):
+        """Healthy Hamming graph: d unaligned dimensions can be fixed in
+        any order -> d! shortest paths."""
+        hx = net3d.topology
+        for s, t in [(0, 63), (5, 40), (0, 21)]:
+            d = hx.hamming_distance(s, t)
+            assert minimal_path_count(net3d, s, t) == math.factorial(d)
+
+    def test_faults_reduce_counts(self, hx2d):
+        s, t = hx2d.switch_id((0, 0)), hx2d.switch_id((1, 1))
+        healthy = Network(hx2d)
+        assert minimal_path_count(healthy, s, t) == 2
+        mid = hx2d.switch_id((1, 0))
+        faulty = Network(hx2d, [tuple(sorted((s, mid)))])
+        assert minimal_path_count(faulty, s, t) == 1
+
+    def test_disconnected_pair_counts_zero(self, hx2d):
+        faults = [l for l in hx2d.links() if 0 in l]
+        net = Network(hx2d, faults)
+        assert minimal_path_count(net, 0, 5) == 0
+
+    def test_matrix_matches_pointwise(self, net2d):
+        m = minimal_path_count_matrix(net2d)
+        for s in (0, 7):
+            for t in (3, 12):
+                assert m[s, t] == minimal_path_count(net2d, s, t)
+
+
+class TestEdgeDisjointPaths:
+    def test_healthy_hamming_is_maximally_connected(self, net2d):
+        """Edge connectivity equals the degree (paper §2 / [22])."""
+        degree = net2d.topology.degree(0)
+        assert edge_connectivity(net2d) == degree
+        assert edge_disjoint_paths(net2d, 0, 15) == degree
+
+    def test_faults_lower_connectivity(self, heavy_faulty2d):
+        assert edge_connectivity(heavy_faulty2d) < heavy_faulty2d.topology.degree(0)
+        assert edge_connectivity(heavy_faulty2d) >= 1  # still connected
+
+    def test_same_endpoint_rejected(self, net2d):
+        with pytest.raises(ValueError):
+            edge_disjoint_paths(net2d, 3, 3)
+
+
+class TestSurvivablePairs:
+    def test_healthy_vs_itself_is_total(self, hx2d):
+        net = Network(hx2d)
+        assert survivable_pairs(net, net) == 1.0
+
+    def test_few_faults_keep_most_distances(self, hx2d, faulty2d):
+        frac = survivable_pairs(Network(hx2d), faulty2d)
+        assert 0.5 < frac < 1.0
+
+    def test_requires_shared_topology(self, hx2d, hx3d):
+        with pytest.raises(ValueError):
+            survivable_pairs(Network(hx2d), Network(hx3d))

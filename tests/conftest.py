@@ -1,0 +1,63 @@
+"""Shared fixtures: small topologies, networks and deterministic RNGs."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+# Make tests/_helpers.py importable from every test subdirectory.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.topology.base import Network
+from repro.topology.faults import random_connected_fault_sequence
+from repro.topology.hyperx import HyperX
+
+
+@pytest.fixture(scope="session")
+def hx2d() -> HyperX:
+    """4x4 2D HyperX with 4 servers per switch (tiny paper analogue)."""
+    return HyperX((4, 4), 4)
+
+
+@pytest.fixture(scope="session")
+def hx3d() -> HyperX:
+    """4x4x4 3D HyperX with 4 servers per switch."""
+    return HyperX((4, 4, 4), 4)
+
+
+@pytest.fixture(scope="session")
+def hx_rect() -> HyperX:
+    """Irregular-sided HyperX to catch side-ordering bugs."""
+    return HyperX((3, 5), 2)
+
+
+@pytest.fixture(scope="session")
+def net2d(hx2d) -> Network:
+    return Network(hx2d)
+
+
+@pytest.fixture(scope="session")
+def net3d(hx3d) -> Network:
+    return Network(hx3d)
+
+
+@pytest.fixture(scope="session")
+def faulty2d(hx2d) -> Network:
+    """4x4 2D HyperX with 12 random (connected) faults — diameter grows."""
+    seq = random_connected_fault_sequence(hx2d, 12, rng=7)
+    return Network(hx2d, seq)
+
+
+@pytest.fixture(scope="session")
+def heavy_faulty2d(hx2d) -> Network:
+    """4x4 2D HyperX at 50% link failures, still connected."""
+    seq = random_connected_fault_sequence(hx2d, 24, rng=7)
+    return Network(hx2d, seq)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,74 @@
+"""CLI tests (parser wiring and fast subcommands)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = [a for a in parser._actions if a.dest == "command"][0]
+        expected = {
+            "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "point",
+        }
+        assert expected <= set(sub.choices)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--scale", "gigantic"])
+
+
+class TestFastCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Virtual cut-through" in out
+
+    def test_table3_tiny(self, capsys):
+        assert main(["table3", "--scale", "tiny"]) == 0
+        assert "2D HyperX" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "PolSP" in capsys.readouterr().out
+
+    def test_fig2_tiny(self, capsys):
+        assert main(["fig2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "black" in out and "shortcut" in out
+
+    def test_fig3_tiny(self, capsys):
+        assert main(["fig3", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "confined pairs" in out
+        assert ">" in out
+
+    def test_fig7_tiny(self, capsys):
+        assert main(["fig7", "--scale", "tiny"]) == 0
+        assert "cross" in capsys.readouterr().out
+
+    def test_point_runs(self, capsys):
+        assert main([
+            "point", "--mechanism", "Minimal", "--traffic", "uniform",
+            "--offered", "0.1", "--warmup", "30", "--measure", "60",
+        ]) == 0
+        assert "accepted=" in capsys.readouterr().out
+
+    def test_csv_and_json_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "t3.csv"
+        json_path = tmp_path / "t3.json"
+        assert main([
+            "table3", "--scale", "tiny",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ]) == 0
+        assert csv_path.read_text().startswith("topology,")
+        data = json.loads(json_path.read_text())
+        assert len(data) == 2

@@ -1,0 +1,31 @@
+"""Scale-preset tests."""
+
+import pytest
+
+from repro.experiments.scales import SCALES, get_scale
+
+
+class TestScales:
+    def test_known_presets(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_paper_scale_matches_paper_topologies(self):
+        sc = get_scale("paper")
+        assert sc.hyperx_2d().sides == (16, 16)
+        assert sc.hyperx_2d().servers_per_switch == 16
+        assert sc.hyperx_3d().sides == (8, 8, 8)
+        assert sc.hyperx_3d().servers_per_switch == 8
+
+    def test_all_sides_even(self):
+        """DCR and RPN need even sides at every scale."""
+        for sc in SCALES.values():
+            assert sc.side_2d % 2 == 0
+            assert sc.side_3d % 2 == 0
+
+    def test_loads_in_unit_interval(self):
+        for sc in SCALES.values():
+            assert all(0 < l <= 1.0 for l in sc.loads)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")

@@ -1,0 +1,81 @@
+"""Sweep-runner tests (records, filtering, nested fault prefixes)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    fault_sweep,
+    filter_records,
+    load_sweep,
+    saturation_throughput,
+    shape_fault_run,
+)
+from repro.topology.base import Network
+from repro.topology.faults import row_faults
+
+
+class TestLoadSweep:
+    def test_record_per_point(self, net2d):
+        recs = load_sweep(
+            net2d, ["Minimal", "PolSP"], ["uniform"], [0.1, 0.3],
+            warmup=40, measure=80,
+        )
+        assert len(recs) == 4
+        keys = {(r["mechanism"], r["offered"]) for r in recs}
+        assert keys == {("Minimal", 0.1), ("Minimal", 0.3),
+                        ("PolSP", 0.1), ("PolSP", 0.3)}
+
+    def test_accepted_tracks_offered_below_saturation(self, net2d):
+        recs = load_sweep(net2d, ["PolSP"], ["uniform"], [0.2],
+                          warmup=80, measure=200)
+        assert recs[0]["accepted"] == pytest.approx(0.2, abs=0.05)
+
+
+class TestFaultSweep:
+    def test_counts_are_prefixes(self, hx2d):
+        recs = fault_sweep(
+            hx2d, ["PolSP"], ["uniform"], [0, 4, 8],
+            warmup=40, measure=80, fault_seed=3,
+        )
+        counts = sorted({r["faults"] for r in recs})
+        assert counts == [0, 4, 8]
+
+    def test_throughput_degrades_gracefully(self, hx2d):
+        recs = fault_sweep(
+            hx2d, ["PolSP"], ["uniform"], [0, 12],
+            warmup=150, measure=300, fault_seed=3,
+        )
+        healthy = [r for r in recs if r["faults"] == 0][0]
+        faulty = [r for r in recs if r["faults"] == 12][0]
+        assert faulty["accepted"] > 0.25 * healthy["accepted"]
+        assert not faulty["deadlocked"]
+
+
+class TestShapeRun:
+    def test_runs_on_shaped_network(self, hx2d):
+        net = Network(hx2d, row_faults(hx2d))
+        recs = shape_fault_run(
+            net, ["OmniSP", "PolSP"], ["uniform"],
+            warmup=60, measure=120,
+        )
+        assert len(recs) == 2
+        for r in recs:
+            assert r["faults"] == len(net.faults)
+            assert r["accepted"] > 0.0
+
+
+class TestHelpers:
+    def test_filter_records(self):
+        recs = [
+            {"mechanism": "A", "traffic": "u", "accepted": 0.5},
+            {"mechanism": "B", "traffic": "u", "accepted": 0.6},
+        ]
+        assert filter_records(recs, mechanism="A") == [recs[0]]
+
+    def test_saturation_throughput(self):
+        recs = [
+            {"mechanism": "A", "traffic": "u", "accepted": 0.5},
+            {"mechanism": "A", "traffic": "u", "accepted": 0.7},
+        ]
+        assert saturation_throughput(recs, "A", "u") == 0.7
+        with pytest.raises(ValueError):
+            saturation_throughput(recs, "Z", "u")

@@ -1,0 +1,75 @@
+"""Integration: deadlock-freedom of SurePath under saturation stress.
+
+These runs push far past saturation on brutalised topologies — the regime
+where the naive escape rule demonstrably deadlocked (see
+tests/updown/test_deadlock_freedom.py) — and assert sustained progress.
+"""
+
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.engine import Simulator
+from repro.topology.base import Network
+from repro.topology.faults import (
+    cross_faults,
+    random_connected_fault_sequence,
+    shape_root,
+    star_faults,
+)
+from repro.topology.hyperx import HyperX
+from repro.traffic import make_traffic
+
+
+def stress(net, mechanism, traffic, root=0, offered=1.0, seed=0,
+           warmup=200, measure=400, n_vcs=4):
+    mech = make_mechanism(mechanism, net, n_vcs, root=root, rng=seed + 1)
+    cfg = PAPER_CONFIG.with_(deadlock_threshold_slots=250)
+    sim = Simulator(net, mech, make_traffic(traffic, net, seed),
+                    offered=offered, seed=seed, config=cfg)
+    return sim.run(warmup=warmup, measure=measure)
+
+
+class TestHeavyRandomFaults:
+    @pytest.mark.parametrize("mechanism", ["OmniSP", "PolSP"])
+    def test_half_links_dead_full_load(self, heavy_faulty2d, mechanism):
+        res = stress(heavy_faulty2d, mechanism, "uniform")
+        assert not res.deadlocked
+        assert res.accepted > 0.05
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_multiple_fault_draws(self, hx2d, seed):
+        seq = random_connected_fault_sequence(hx2d, 20, rng=100 + seed)
+        net = Network(hx2d, seq)
+        res = stress(net, "PolSP", "uniform", seed=seed)
+        assert not res.deadlocked
+        assert res.accepted > 0.05
+
+
+class TestRootedInsideFaults:
+    def test_cross_rooted_at_center(self, hx2d):
+        faults = cross_faults(hx2d, arm=3)
+        root = shape_root(hx2d, "cross")
+        net = Network(hx2d, faults)
+        res = stress(net, "PolSP", "uniform", root=root)
+        assert not res.deadlocked
+        assert res.accepted > 0.1
+
+    def test_star_rooted_at_center_adversarial_traffic(self):
+        hx = HyperX((4, 4, 4), 4)
+        faults = star_faults(hx, arm=3)
+        root = shape_root(hx, "star")
+        net = Network(hx, faults)
+        for traffic in ("uniform", "rpn"):
+            res = stress(net, "OmniSP", traffic, root=root, measure=300)
+            assert not res.deadlocked, traffic
+            assert res.accepted > 0.05, traffic
+
+
+class TestMinimumVCBudget:
+    def test_two_vcs_no_deadlock_at_saturation(self, heavy_faulty2d):
+        """1 routing VC + 1 escape VC at offered 1.0: the acid test."""
+        res = stress(heavy_faulty2d, "PolSP", "uniform", n_vcs=2)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0
+        assert res.accepted > 0.03

@@ -1,0 +1,79 @@
+"""Integration: the paper's central fault-tolerance claims (§6).
+
+Ladder-based mechanisms stop delivering when faults stretch routes past
+their VC budget; SurePath keeps every packet deliverable with just 2 VCs
+as long as the network is connected.
+"""
+
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.engine import Simulator
+from repro.simulator.injection import BatchInjection
+from repro.traffic import make_traffic
+
+
+def run_batch(net, mechanism, packets=2, seed=0, n_vcs=None, max_slots=30_000):
+    mech = make_mechanism(mechanism, net, n_vcs, rng=seed + 1)
+    inj = BatchInjection(net.n_servers, packets)
+    cfg = PAPER_CONFIG.with_(deadlock_threshold_slots=300)
+    sim = Simulator(net, mech, make_traffic("uniform", net, seed),
+                    injection=inj, seed=seed, config=cfg)
+    return sim.run_until_drained(max_slots=max_slots)
+
+
+class TestLadderFragility:
+    @pytest.mark.parametrize("mechanism", ["Minimal", "OmniWAR", "Polarized"])
+    def test_ladders_strand_packets_under_heavy_faults(
+        self, heavy_faulty2d, mechanism
+    ):
+        """Diameter 5 > ladder budget: some packets become undeliverable."""
+        assert heavy_faulty2d.diameter > 4
+        res = run_batch(heavy_faulty2d, mechanism)
+        assert res.completion_slot is None or res.stalled_packets > 0
+        assert res.delivered < 2 * heavy_faulty2d.n_servers
+
+    def test_ladders_fine_when_faults_are_mild(self, faulty2d):
+        """With diameter within budget, ladders still complete."""
+        if faulty2d.diameter > 4:
+            pytest.skip("fault draw stretched diameter beyond the ladder")
+        res = run_batch(faulty2d, "Polarized", n_vcs=2 * faulty2d.diameter)
+        assert res.completion_slot is not None
+
+
+class TestSurePathRobustness:
+    @pytest.mark.parametrize("mechanism", ["OmniSP", "PolSP"])
+    def test_surepath_delivers_everything_heavy_faults(
+        self, heavy_faulty2d, mechanism
+    ):
+        res = run_batch(heavy_faulty2d, mechanism, n_vcs=4)
+        assert res.completion_slot is not None
+        assert res.delivered == 2 * heavy_faulty2d.n_servers
+        assert res.stalled_packets == 0
+        assert not res.deadlocked
+
+    def test_surepath_with_minimum_two_vcs(self, heavy_faulty2d):
+        """The paper's cost claim: 2 VCs (1 routing + 1 escape) suffice."""
+        res = run_batch(heavy_faulty2d, "PolSP", n_vcs=2)
+        assert res.completion_slot is not None
+        assert res.stalled_packets == 0
+
+    def test_escape_usage_grows_with_faults(self, net2d, heavy_faulty2d):
+        healthy = run_batch(net2d, "PolSP", n_vcs=4)
+        faulty = run_batch(heavy_faulty2d, "PolSP", n_vcs=4)
+        assert faulty.escape_hop_fraction > healthy.escape_hop_fraction
+
+    def test_throughput_degrades_gracefully_not_catastrophically(
+        self, net2d, heavy_faulty2d
+    ):
+        """50% of links dead: slower, but nowhere near zero."""
+        mech_h = make_mechanism("PolSP", net2d, 4, rng=1)
+        mech_f = make_mechanism("PolSP", heavy_faulty2d, 4, rng=1)
+        r_h = Simulator(net2d, mech_h, make_traffic("uniform", net2d, 0),
+                        offered=1.0, seed=0).run(150, 300)
+        r_f = Simulator(heavy_faulty2d, mech_f,
+                        make_traffic("uniform", heavy_faulty2d, 0),
+                        offered=1.0, seed=0).run(150, 300)
+        assert r_f.accepted > 0.15 * r_h.accepted
+        assert not r_f.deadlocked

@@ -1,0 +1,73 @@
+"""Integration: per-link observability and the root-congestion claim.
+
+Paper §3.2: black (tree) links are penalised hard *"lest congest the
+root"*, and shortcuts exist so the escape spreads load away from it.  The
+engine's per-link counters let us watch that actually happen.
+"""
+
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.routing.escape_only import EscapeOnlyRouting
+from repro.simulator.engine import Simulator
+from repro.traffic import make_traffic
+
+
+def run(net, mech, offered=0.4, slots=400, seed=0):
+    sim = Simulator(net, mech, make_traffic("uniform", net, seed),
+                    offered=offered, seed=seed)
+    for _ in range(slots):
+        sim.step()
+    return sim
+
+
+def root_link_share(sim, root: int) -> float:
+    """Fraction of all transmitted packets crossing the root's links."""
+    util = sim.link_utilization()
+    total = sum(util.values())
+    if total == 0:
+        return 0.0
+    at_root = sum(v for (s, t), v in util.items() if root in (s, t))
+    return at_root / total
+
+
+class TestLinkCounters:
+    def test_utilization_covers_live_links(self, net2d):
+        sim = run(net2d, make_mechanism("PolSP", net2d, rng=1))
+        util = sim.link_utilization()
+        # Directed entries for every live link, each within link capacity.
+        assert len(util) == 2 * len(net2d.live_links())
+        assert all(0.0 <= v <= 1.0 for v in util.values())
+
+    def test_counters_sum_to_transmissions(self, net2d):
+        sim = run(net2d, make_mechanism("PolSP", net2d, rng=1))
+        total_hops = sum(sum(row) for row in sim.link_packets)
+        # Every delivered/in-flight packet's hops crossed links.
+        assert total_hops > 0
+        esc_hops = sum(sum(row) for row in sim.link_escape_packets)
+        assert 0 <= esc_hops <= total_hops
+
+    def test_escape_share_zero_for_ladder_mechanisms(self, net2d):
+        sim = run(net2d, make_mechanism("Polarized", net2d, rng=1))
+        assert all(
+            sim.switch_escape_share(s) == 0.0 for s in range(net2d.n_switches)
+        )
+
+
+class TestRootCongestion:
+    def test_shortcuts_relieve_the_root(self, net2d):
+        """Escape-only traffic: without shortcuts the root carries a far
+        larger share of all link traversals."""
+        tree = run(net2d, EscapeOnlyRouting(net2d, n_vcs=2, shortcuts=False),
+                   offered=0.15)
+        shortcut = run(net2d, EscapeOnlyRouting(net2d, n_vcs=2, shortcuts=True),
+                       offered=0.15)
+        assert root_link_share(tree, 0) > 1.5 * root_link_share(shortcut, 0)
+
+    def test_surepath_keeps_escape_marginal_when_healthy(self, net2d):
+        """On a healthy network at moderate load, the escape VC carries a
+        tiny share of hops (it is the last resort)."""
+        sim = run(net2d, make_mechanism("PolSP", net2d, rng=1), offered=0.4)
+        total = sum(sum(row) for row in sim.link_packets)
+        esc = sum(sum(row) for row in sim.link_escape_packets)
+        assert esc / total < 0.05

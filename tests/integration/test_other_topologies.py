@@ -1,0 +1,77 @@
+"""Integration: SurePath beyond HyperX (paper §7).
+
+The paper's closing discussion: the escape subnetwork is topology-
+agnostic — PolSP must *work* on a Dragonfly — but only in HyperX does the
+escape contain (most) minimal routes, so the escape's stretch is worse on
+Dragonfly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.engine import Simulator
+from repro.topology.base import Network
+from repro.topology.dragonfly import balanced_dragonfly
+from repro.topology.hyperx import HyperX
+from repro.traffic import make_traffic
+from repro.updown.escape import NO_PATH, EscapeSubnetwork
+
+
+def escape_stretch(net: Network) -> float:
+    """Mean escape-route length divided by graph distance over all pairs."""
+    esc = EscapeSubnetwork(net, root=0)
+    d = net.distances.astype(np.float64)
+    da = esc.dist_a.astype(np.float64)
+    mask = d > 0
+    return float((da[mask] / d[mask]).mean())
+
+
+class TestTopologyAgnosticism:
+    def test_polsp_delivers_on_dragonfly(self):
+        net = Network(balanced_dragonfly(2))
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.3, seed=0)
+        res = sim.run(warmup=150, measure=300)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0
+        assert res.accepted == pytest.approx(0.3, abs=0.06)
+
+    def test_polsp_delivers_on_faulty_dragonfly(self):
+        from repro.topology.faults import random_connected_fault_sequence
+
+        df = balanced_dragonfly(2)
+        faults = random_connected_fault_sequence(df, 30, rng=5)
+        net = Network(df, faults)
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.2, seed=0)
+        res = sim.run(warmup=150, measure=300)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0
+
+    def test_hyperx_only_mechanisms_rejected(self):
+        net = Network(balanced_dragonfly(2))
+        with pytest.raises(TypeError):
+            make_mechanism("OmniWAR", net)
+        with pytest.raises(TypeError):
+            make_mechanism("OmniSP", net)
+
+
+class TestEscapeStretch:
+    def test_hyperx_escape_nearly_minimal(self, net2d):
+        """In HyperX the escape contains every 1-dim minimal route and
+        pays at most one extra hop elsewhere: low stretch."""
+        assert escape_stretch(net2d) < 1.5
+
+    def test_dragonfly_escape_stretches_more(self, net2d):
+        """The §7 caveat: the same construction on Dragonfly detours more."""
+        df_net = Network(balanced_dragonfly(2))
+        assert escape_stretch(df_net) > escape_stretch(net2d)
+
+    def test_dragonfly_escape_still_total(self):
+        """Stretched or not, every pair keeps a finite escape route."""
+        net = Network(balanced_dragonfly(2))
+        esc = EscapeSubnetwork(net, root=0)
+        assert int(esc.dist_a.max()) < NO_PATH

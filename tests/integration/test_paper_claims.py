@@ -1,0 +1,102 @@
+"""Integration: fault-free performance shapes from the paper's §5.
+
+Tiny-scale simulations with generous tolerances; these assert *orderings*
+(who beats whom) rather than absolute numbers, which is exactly what the
+reproduction can claim about the paper's figures.
+"""
+
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.engine import Simulator
+from repro.traffic import make_traffic
+
+
+def saturation(net, mechanism, traffic, seed=0, warmup=150, measure=300):
+    mech = make_mechanism(mechanism, net, rng=seed + 1)
+    sim = Simulator(net, mech, make_traffic(traffic, net, seed),
+                    offered=1.0, seed=seed)
+    return sim.run(warmup=warmup, measure=measure).accepted
+
+
+@pytest.fixture(scope="module")
+def sat2d(net2d):
+    """Saturation throughput of every mechanism on 2D uniform/dcr."""
+    out = {}
+    for mech in ("Minimal", "Valiant", "OmniWAR", "Polarized", "OmniSP", "PolSP"):
+        for traffic in ("uniform", "dcr"):
+            out[(mech, traffic)] = saturation(net2d, mech, traffic)
+    return out
+
+
+@pytest.fixture(scope="module")
+def sat_rpn(net3d):
+    out = {}
+    for mech in ("Minimal", "Valiant", "OmniWAR", "Polarized", "OmniSP", "PolSP"):
+        out[mech] = saturation(net3d, mech, "rpn")
+    return out
+
+
+class TestUniformTraffic:
+    def test_valiant_halves_throughput(self, sat2d):
+        """Valiant's 2x path length caps it near 0.5 on benign traffic."""
+        assert sat2d[("Valiant", "uniform")] == pytest.approx(0.5, abs=0.1)
+
+    def test_adaptive_mechanisms_beat_valiant(self, sat2d):
+        for mech in ("Minimal", "OmniWAR", "Polarized", "OmniSP", "PolSP"):
+            assert sat2d[(mech, "uniform")] > sat2d[("Valiant", "uniform")] + 0.1
+
+    def test_surepath_matches_ladder_counterparts(self, sat2d):
+        """SurePath trades nothing on benign traffic (paper Figure 4)."""
+        assert sat2d[("OmniSP", "uniform")] >= sat2d[("OmniWAR", "uniform")] - 0.05
+        assert sat2d[("PolSP", "uniform")] >= sat2d[("Polarized", "uniform")] - 0.05
+
+
+class TestDimensionComplementReverse:
+    def test_valiant_achieves_optimal_half(self, sat2d):
+        assert sat2d[("Valiant", "dcr")] == pytest.approx(0.5, abs=0.06)
+
+    def test_minimal_collapses(self, sat2d):
+        """Minimal routes pile onto few links: far below 0.5."""
+        assert sat2d[("Minimal", "dcr")] < 0.35
+
+    def test_nonminimal_mechanisms_reach_valiant(self, sat2d):
+        for mech in ("OmniWAR", "Polarized", "OmniSP", "PolSP"):
+            assert sat2d[(mech, "dcr")] > 0.8 * sat2d[("Valiant", "dcr")]
+
+
+class TestRegularPermutationToNeighbour:
+    def test_minimal_is_worst(self, sat_rpn):
+        worst = min(sat_rpn.values())
+        assert sat_rpn["Minimal"] == worst
+        # Minimal is bounded by 1/(k/2) per confined row pair structure.
+        assert sat_rpn["Minimal"] < 0.35
+
+    def test_omni_mechanisms_capped_at_half(self, sat_rpn):
+        """Aligned routes cannot exceed 0.5 (bisection argument, §4)."""
+        assert sat_rpn["OmniWAR"] <= 0.55
+        assert sat_rpn["OmniSP"] <= 0.55
+
+    def test_polarized_mechanisms_exceed_half(self, sat_rpn):
+        """Non-aligned 3-hop routes break the 0.5 cap (the paper's point)."""
+        assert sat_rpn["Polarized"] > 0.55
+        assert sat_rpn["PolSP"] > 0.55
+
+    def test_polsp_beats_omnisp(self, sat_rpn):
+        assert sat_rpn["PolSP"] > sat_rpn["OmniSP"] + 0.05
+
+
+class TestJainFairness:
+    def test_uniform_traffic_is_fair_below_saturation(self, net2d):
+        mech = make_mechanism("PolSP", net2d, rng=1)
+        sim = Simulator(net2d, mech, make_traffic("uniform", net2d, 0),
+                        offered=0.4, seed=0)
+        res = sim.run(150, 300)
+        assert res.jain > 0.98
+
+    def test_saturation_drops_jain(self, net2d):
+        mech = make_mechanism("PolSP", net2d, rng=1)
+        sim = Simulator(net2d, mech, make_traffic("dcr", net2d, 0),
+                        offered=1.0, seed=0)
+        res = sim.run(150, 300)
+        assert res.jain < 0.999

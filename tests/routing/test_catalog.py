@@ -1,0 +1,62 @@
+"""Mechanism catalogue tests (paper Table 4 configurations)."""
+
+import pytest
+
+from repro.routing.catalog import (
+    MECHANISMS,
+    default_n_vcs,
+    is_fault_tolerant,
+    make_mechanism,
+)
+from repro.updown.escape import EscapeSubnetwork
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_builds_every_mechanism(self, net2d, name):
+        mech = make_mechanism(name, net2d)
+        assert mech.name.lower() == name.lower()
+
+    def test_case_insensitive(self, net2d):
+        assert make_mechanism("polsp", net2d).name == "PolSP"
+        assert make_mechanism("OMNIWAR", net2d).name == "OmniWAR"
+
+    def test_unknown_name_rejected(self, net2d):
+        with pytest.raises(ValueError):
+            make_mechanism("DOR", net2d)
+
+    def test_default_vc_budget_is_2n(self, net2d, net3d):
+        assert default_n_vcs(net2d) == 4
+        assert default_n_vcs(net3d) == 6
+        assert make_mechanism("Polarized", net2d).n_vcs == 4
+        assert make_mechanism("Valiant", net3d).n_vcs == 6
+
+    def test_explicit_vcs_override(self, net2d):
+        assert make_mechanism("PolSP", net2d, n_vcs=2).n_vcs == 2
+
+    def test_shared_escape_reused(self, net2d):
+        esc = EscapeSubnetwork(net2d, 0)
+        m1 = make_mechanism("OmniSP", net2d, escape=esc)
+        m2 = make_mechanism("PolSP", net2d, escape=esc)
+        assert m1.escape is esc and m2.escape is esc
+
+    def test_root_forwarded(self, net2d):
+        mech = make_mechanism("PolSP", net2d, root=7)
+        assert mech.escape.root == 7
+
+    def test_max_deroutes_forwarded(self, net3d):
+        mech = make_mechanism("OmniWAR", net3d, max_deroutes=1)
+        assert mech.routes.max_deroutes == 1
+
+
+class TestClassification:
+    def test_fault_tolerance_classification(self):
+        assert is_fault_tolerant("OmniSP")
+        assert is_fault_tolerant("polsp")
+        for name in ("Minimal", "Valiant", "OmniWAR", "Polarized"):
+            assert not is_fault_tolerant(name)
+
+    def test_mechanism_list_matches_paper_order(self):
+        assert MECHANISMS == (
+            "Minimal", "Valiant", "OmniWAR", "Polarized", "OmniSP", "PolSP",
+        )

@@ -1,0 +1,58 @@
+"""Escape-only (ablation) mechanism tests."""
+
+import pytest
+
+from _helpers import make_packet, walk_route
+from repro.routing.escape_only import EscapeOnlyRouting
+from repro.updown.escape import EscapeSubnetwork
+
+
+class TestConstruction:
+    def test_names_reflect_shortcut_setting(self, net2d):
+        assert EscapeOnlyRouting(net2d).name == "EscapeOnly"
+        assert EscapeOnlyRouting(net2d, shortcuts=False).name == "UpDownOnly"
+
+    def test_mismatched_escape_rejected(self, net2d):
+        esc = EscapeSubnetwork(net2d, 0, shortcuts=True)
+        with pytest.raises(ValueError):
+            EscapeOnlyRouting(net2d, shortcuts=False, escape=esc)
+
+
+class TestRoutes:
+    @pytest.mark.parametrize("shortcuts", [True, False])
+    def test_all_pairs_deliver(self, net2d, rng, shortcuts):
+        mech = EscapeOnlyRouting(net2d, n_vcs=1, shortcuts=shortcuts)
+        for src in range(0, 16, 3):
+            for dst in range(1, 16, 4):
+                if src == dst:
+                    continue
+                visited = walk_route(mech, net2d, src, dst, rng)
+                assert visited[-1] == dst
+
+    def test_shortcuts_shorten_routes(self, net2d):
+        """With shortcuts the escape contains 1-dim minimal routes; the
+        pure Up*/Down* tree must detour through the root's vicinity."""
+        with_sc = EscapeSubnetwork(net2d, 0, shortcuts=True)
+        without = EscapeSubnetwork(net2d, 0, shortcuts=False)
+        assert (with_sc.dist_a <= without.dist_a).all()
+        assert (with_sc.dist_a < without.dist_a).any()
+
+    def test_hops_counted_as_escape_hops(self, net2d, rng):
+        mech = EscapeOnlyRouting(net2d)
+        pkt = make_packet(net2d, 0, 15)
+        mech.init_packet(pkt)
+        cands = mech.candidates(pkt, 0)
+        port, vc, _ = cands[0]
+        nbr = net2d.port_neighbour[0][port]
+        mech.on_hop(pkt, 0, nbr, port, vc)
+        assert pkt.hops == pkt.escape_hops == 1
+
+    def test_faulty_network_still_delivers(self, heavy_faulty2d, rng):
+        mech = EscapeOnlyRouting(heavy_faulty2d, root=5)
+        for src in range(0, 16, 5):
+            for dst in range(2, 16, 5):
+                if src == dst:
+                    continue
+                visited = walk_route(mech, heavy_faulty2d, src, dst, rng,
+                                     max_hops=64)
+                assert visited[-1] == dst

@@ -1,0 +1,53 @@
+"""SimConfig validation and Table 2 regeneration."""
+
+import pytest
+
+from repro.simulator.config import PAPER_CONFIG, SimConfig, table2_rows
+
+
+class TestSimConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.input_buffer_packets == 8
+        assert PAPER_CONFIG.output_buffer_packets == 4
+        assert PAPER_CONFIG.packet_phits == 16
+        assert PAPER_CONFIG.crossbar_speedup == 2
+
+    def test_cycles_per_slot_is_packet_length(self):
+        assert PAPER_CONFIG.cycles_per_slot == 16
+        assert SimConfig(packet_phits=8).cycles_per_slot == 8
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "input_buffer_packets",
+            "output_buffer_packets",
+            "packet_phits",
+            "crossbar_speedup",
+            "source_queue_packets",
+            "deadlock_threshold_slots",
+        ],
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError):
+            SimConfig(**{field: 0})
+
+    def test_with_replaces_fields(self):
+        c = PAPER_CONFIG.with_(crossbar_speedup=1)
+        assert c.crossbar_speedup == 1
+        assert c.input_buffer_packets == 8
+        assert PAPER_CONFIG.crossbar_speedup == 2  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_CONFIG.input_buffer_packets = 3
+
+
+class TestTable2:
+    def test_rows_match_paper(self):
+        rows = dict(table2_rows())
+        assert rows["Input Buffer size"] == "8 packets"
+        assert rows["Output Buffer size"] == "4 packets"
+        assert rows["Flow control"] == "Virtual cut-through"
+        assert rows["Packet length"] == "16 phits"
+        assert rows["Crossbar internal speedup"] == "2"
+        assert len(rows) == 7

@@ -1,0 +1,187 @@
+"""Engine tests: conservation, latency floors, determinism, flow control."""
+
+import numpy as np
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.config import PAPER_CONFIG, SimConfig
+from repro.simulator.engine import DeadlockError, Simulator
+from repro.simulator.injection import BatchInjection
+from repro.traffic import make_traffic
+
+
+def make_sim(net, mechanism="PolSP", traffic="uniform", offered=0.3, seed=0,
+             **kw):
+    mech = make_mechanism(mechanism, net, rng=seed + 1)
+    return Simulator(net, mech, make_traffic(traffic, net, seed),
+                     offered=offered, seed=seed, **kw)
+
+
+class TestConservation:
+    def test_packets_conserved_every_slot(self, net2d):
+        sim = make_sim(net2d, offered=0.5)
+        for _ in range(120):
+            sim.step()
+            buffered = sim.buffered_packets()
+            assert buffered == sim.in_flight
+            assert (
+                sim.metrics.generated_total
+                == sim.metrics.delivered_total + sim.in_flight
+            )
+
+    def test_credit_invariant(self, net2d):
+        """credits == input capacity - (output occupancy + downstream input)."""
+        sim = make_sim(net2d, offered=0.6)
+        for _ in range(100):
+            sim.step()
+        cap = sim.cfg.input_buffer_packets
+        for sw in sim.switches:
+            for p in range(sw.n_ports):
+                nbr = net2d.port_neighbour[sw.sid][p]
+                rp = sim.rev_port[sw.sid][p]
+                tsw = sim.switches[nbr]
+                for vc in range(sw.n_vcs):
+                    pv = sw.pv(p, vc)
+                    expected = cap - len(sw.out_q[pv]) - len(
+                        tsw.in_q[tsw.pv(rp, vc)]
+                    )
+                    assert sw.credits[pv] == expected
+
+    def test_load_bookkeeping_matches_state(self, net2d):
+        sim = make_sim(net2d, offered=0.6)
+        for _ in range(100):
+            sim.step()
+        cap = sim.cfg.input_buffer_packets
+        for sw in sim.switches:
+            for p in range(sw.n_ports):
+                total = 0
+                for vc in range(sw.n_vcs):
+                    pv = sw.pv(p, vc)
+                    expected = len(sw.out_q[pv]) + (cap - sw.credits[pv])
+                    assert sw.load[pv] == expected
+                    total += expected
+                assert sw.port_load[p] == total
+
+
+class TestDelivery:
+    def test_all_delivered_at_low_load(self, net2d):
+        sim = make_sim(net2d, offered=0.05)
+        res = sim.run(warmup=50, measure=400)
+        assert res.accepted == pytest.approx(0.05, abs=0.02)
+        assert res.stalled_packets == 0
+        assert not res.deadlocked
+
+    def test_latency_floor_single_hop(self, net2d):
+        """Minimum latency: inject + per-hop slots, in cycles."""
+        sim = make_sim(net2d, mechanism="Minimal", offered=0.02)
+        res = sim.run(warmup=50, measure=300)
+        # Avg distance ~1.9 switch hops; each hop >= 1 slot (16 cycles),
+        # plus injection-queue and ejection slots.
+        assert res.avg_latency_cycles >= 2 * 16
+        assert res.avg_latency_cycles < 12 * 16
+
+    def test_batch_drains_completely(self, net2d):
+        inj = BatchInjection(net2d.n_servers, 5)
+        mech = make_mechanism("PolSP", net2d, rng=1)
+        sim = Simulator(net2d, mech, make_traffic("randperm", net2d, 0),
+                        injection=inj, seed=0)
+        res = sim.run_until_drained(max_slots=20_000)
+        assert res.completion_slot is not None
+        assert res.delivered == 5 * net2d.n_servers
+        assert sim.in_flight == 0
+
+    def test_hop_counts_recorded(self, net2d):
+        sim = make_sim(net2d, mechanism="Minimal", offered=0.05)
+        res = sim.run(warmup=50, measure=300)
+        # Minimal routes: average hops equals average switch distance.
+        assert 1.0 < res.avg_hops < 2.1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, net2d):
+        r1 = make_sim(net2d, offered=0.4, seed=9).run(100, 200)
+        r2 = make_sim(net2d, offered=0.4, seed=9).run(100, 200)
+        assert r1.accepted == r2.accepted
+        assert r1.avg_latency_cycles == r2.avg_latency_cycles
+        assert r1.jain == r2.jain
+        assert r1.generated == r2.generated
+
+    def test_different_seeds_differ(self, net2d):
+        r1 = make_sim(net2d, offered=0.4, seed=1).run(100, 200)
+        r2 = make_sim(net2d, offered=0.4, seed=2).run(100, 200)
+        assert r1.generated != r2.generated
+
+
+class TestFlowControl:
+    def test_output_buffers_respect_capacity(self, net2d):
+        sim = make_sim(net2d, offered=1.0)
+        for _ in range(150):
+            sim.step()
+            for sw in sim.switches:
+                for q in sw.out_q:
+                    assert len(q) <= sim.cfg.output_buffer_packets
+
+    def test_input_buffers_respect_capacity(self, net2d):
+        sim = make_sim(net2d, offered=1.0)
+        npv2 = net2d.topology.degree(0) * 4
+        for _ in range(150):
+            sim.step()
+            for sw in sim.switches:
+                for idx, q in enumerate(sw.in_q):
+                    cap = (
+                        sim.cfg.source_queue_packets
+                        if sw.is_injection_input(idx)
+                        else sim.cfg.input_buffer_packets
+                    )
+                    assert len(q) <= cap
+
+    def test_speedup_limits_grants(self, net2d):
+        """With speedup 1 the network still works, just slower."""
+        cfg = PAPER_CONFIG.with_(crossbar_speedup=1)
+        mech = make_mechanism("PolSP", net2d, rng=1)
+        sim = Simulator(net2d, mech, make_traffic("uniform", net2d, 0),
+                        offered=0.2, seed=0, config=cfg)
+        res = sim.run(warmup=100, measure=300)
+        assert res.accepted == pytest.approx(0.2, abs=0.04)
+
+
+class TestWatchdog:
+    def test_strict_mode_raises_on_stall(self, heavy_faulty2d):
+        """A ladder mechanism under heavy faults strands packets; with a
+        tiny threshold the watchdog must fire."""
+        cfg = PAPER_CONFIG.with_(deadlock_threshold_slots=50)
+        mech = make_mechanism("OmniWAR", heavy_faulty2d)
+        sim = Simulator(
+            heavy_faulty2d, mech, make_traffic("uniform", heavy_faulty2d, 0),
+            offered=0.3, seed=0, config=cfg, strict_deadlock=True,
+        )
+        with pytest.raises(DeadlockError):
+            for _ in range(5000):
+                sim.step()
+
+    def test_flag_mode_sets_deadlocked(self, heavy_faulty2d):
+        cfg = PAPER_CONFIG.with_(deadlock_threshold_slots=50)
+        mech = make_mechanism("Minimal", heavy_faulty2d)
+        sim = Simulator(
+            heavy_faulty2d, mech, make_traffic("uniform", heavy_faulty2d, 0),
+            offered=0.3, seed=0, config=cfg,
+        )
+        res = sim.run(warmup=100, measure=2000)
+        assert res.deadlocked
+        assert res.stalled_packets > 0
+
+
+class TestValidation:
+    def test_mismatched_injection_rejected(self, net2d):
+        mech = make_mechanism("Minimal", net2d)
+        inj = BatchInjection(3, 1)  # wrong server count
+        with pytest.raises(ValueError):
+            Simulator(net2d, mech, make_traffic("uniform", net2d, 0),
+                      injection=inj)
+
+    def test_run_validates_windows(self, net2d):
+        sim = make_sim(net2d)
+        with pytest.raises(ValueError):
+            sim.run(warmup=-1, measure=10)
+        with pytest.raises(ValueError):
+            sim.run(warmup=10, measure=0)

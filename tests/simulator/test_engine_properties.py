@@ -1,0 +1,106 @@
+"""Property-based engine tests: invariants over random configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.catalog import MECHANISMS, make_mechanism
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.engine import Simulator
+from repro.topology.base import Network
+from repro.topology.faults import random_connected_fault_sequence
+from repro.topology.hyperx import HyperX
+from repro.traffic import make_traffic
+
+CONFIG_STRATEGY = st.fixed_dictionaries(
+    {
+        "mechanism": st.sampled_from(MECHANISMS),
+        "traffic": st.sampled_from(["uniform", "randperm"]),
+        "offered": st.sampled_from([0.1, 0.4, 0.8]),
+        "n_faults": st.sampled_from([0, 4, 10]),
+        "seed": st.integers(0, 100),
+        "speedup": st.sampled_from([1, 2]),
+    }
+)
+
+
+@st.composite
+def simulators(draw):
+    cfg = draw(CONFIG_STRATEGY)
+    hx = HyperX((3, 3), 2)
+    faults = (
+        random_connected_fault_sequence(hx, cfg["n_faults"], rng=cfg["seed"])
+        if cfg["n_faults"]
+        else []
+    )
+    net = Network(hx, faults)
+    mech = make_mechanism(cfg["mechanism"], net, rng=cfg["seed"])
+    sim_cfg = PAPER_CONFIG.with_(crossbar_speedup=cfg["speedup"])
+    return Simulator(
+        net,
+        mech,
+        make_traffic(cfg["traffic"], net, cfg["seed"]),
+        offered=cfg["offered"],
+        seed=cfg["seed"],
+        config=sim_cfg,
+    )
+
+
+class TestInvariantsUnderRandomConfigs:
+    @given(sim=simulators())
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_conservation_and_capacities(self, sim):
+        for _ in range(60):
+            sim.step()
+        # Packet conservation.
+        assert sim.buffered_packets() == sim.in_flight
+        assert (
+            sim.metrics.generated_total
+            == sim.metrics.delivered_total + sim.in_flight
+        )
+        # Buffer capacities.
+        for sw in sim.switches:
+            for q in sw.out_q:
+                assert len(q) <= sim.cfg.output_buffer_packets
+            for idx, q in enumerate(sw.in_q):
+                cap = (
+                    sim.cfg.source_queue_packets
+                    if sw.is_injection_input(idx)
+                    else sim.cfg.input_buffer_packets
+                )
+                assert len(q) <= cap
+            # Credits never negative nor above capacity.
+            for c in sw.credits:
+                assert 0 <= c <= sim.cfg.input_buffer_packets
+
+    @given(sim=simulators())
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_delivered_packets_are_well_formed(self, sim):
+        delivered_before = sim.metrics.delivered_total
+        for _ in range(80):
+            sim.step()
+        assert sim.metrics.delivered_total >= delivered_before
+        # Latency tallies are consistent (same-switch pairs hop 0 times).
+        m = sim.metrics
+        assert m.latency_count <= m.delivered_total
+        assert m.hops_sum >= 0
+        assert m.escape_hops_sum <= m.hops_sum
+
+
+class TestZeroLoad:
+    def test_idle_network_stays_idle(self, net2d):
+        mech = make_mechanism("PolSP", net2d, rng=0)
+        sim = Simulator(net2d, mech, make_traffic("uniform", net2d, 0),
+                        offered=0.0, seed=0)
+        for _ in range(50):
+            sim.step()
+        assert sim.in_flight == 0
+        assert sim.metrics.generated_total == 0
+        assert not sim.deadlocked

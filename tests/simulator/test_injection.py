@@ -1,0 +1,63 @@
+"""Injection-process tests."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.injection import BatchInjection, BernoulliInjection
+
+
+class TestBernoulli:
+    def test_offered_zero_never_attempts(self, rng):
+        inj = BernoulliInjection(8, 0.0)
+        assert inj.attempts(0, rng).size == 0
+
+    def test_offered_one_always_attempts(self, rng):
+        inj = BernoulliInjection(8, 1.0)
+        assert list(inj.attempts(0, rng)) == list(range(8))
+
+    def test_long_run_rate_matches_offered(self):
+        rng = np.random.default_rng(0)
+        inj = BernoulliInjection(64, 0.3)
+        total = sum(inj.attempts(t, rng).size for t in range(2000))
+        rate = total / (64 * 2000)
+        assert rate == pytest.approx(0.3, abs=0.01)
+
+    def test_rejects_out_of_range_load(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(8, 1.5)
+        with pytest.raises(ValueError):
+            BernoulliInjection(8, -0.1)
+
+    def test_never_exhausted(self, rng):
+        assert not BernoulliInjection(8, 0.5).exhausted
+
+
+class TestBatch:
+    def test_attempts_until_budget_spent(self, rng):
+        inj = BatchInjection(4, 2)
+        assert list(inj.attempts(0, rng)) == [0, 1, 2, 3]
+        for _ in range(2):
+            inj.on_success(0)
+        assert list(inj.attempts(1, rng)) == [1, 2, 3]
+
+    def test_blocked_attempt_keeps_budget(self, rng):
+        inj = BatchInjection(2, 1)
+        inj.on_blocked(0)
+        assert list(inj.attempts(0, rng)) == [0, 1]
+
+    def test_exhaustion(self, rng):
+        inj = BatchInjection(2, 1)
+        assert not inj.exhausted
+        inj.on_success(0)
+        inj.on_success(1)
+        assert inj.exhausted
+        assert inj.attempts(5, rng).size == 0
+
+    def test_total_packets(self):
+        assert BatchInjection(8, 10).total_packets == 80
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatchInjection(0, 5)
+        with pytest.raises(ValueError):
+            BatchInjection(4, 0)

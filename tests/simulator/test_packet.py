@@ -1,0 +1,37 @@
+"""Packet record tests."""
+
+import pytest
+
+from repro.simulator.packet import Packet
+
+
+class TestPacket:
+    def make(self) -> Packet:
+        return Packet(7, src_server=1, dst_server=9, src_switch=0, dst_switch=2,
+                      birth_slot=5)
+
+    def test_initial_state(self):
+        p = self.make()
+        assert not p.delivered
+        assert p.latency_slots() == -1
+        assert p.hops == 0 and p.escape_hops == 0 and not p.in_escape
+
+    def test_latency_after_ejection(self):
+        p = self.make()
+        p.eject_slot = 25
+        assert p.delivered
+        assert p.latency_slots() == 20
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        p = self.make()
+        with pytest.raises(AttributeError):
+            p.surprise = 1
+
+    def test_routing_state_fields_writable(self):
+        p = self.make()
+        p.mid = 3
+        p.phase = 1
+        p.closer = False
+        p.deroutes = 2
+        p.escape_phase = 1
+        assert (p.mid, p.phase, p.closer, p.deroutes) == (3, 1, False, 2)

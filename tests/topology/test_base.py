@@ -1,0 +1,80 @@
+"""Tests for the Topology/Network substrate (ports, faults, invariants)."""
+
+import pytest
+
+from repro.topology.base import Network, normalize_link
+from repro.topology.hyperx import HyperX
+
+
+class TestNormalizeLink:
+    def test_orders_endpoints(self):
+        assert normalize_link(3, 1) == (1, 3)
+        assert normalize_link(1, 3) == (1, 3)
+
+    def test_rejects_self_link(self):
+        with pytest.raises(ValueError):
+            normalize_link(2, 2)
+
+
+class TestHealthyNetwork:
+    def test_link_count_matches_handshake(self, hx2d, net2d):
+        degsum = sum(hx2d.degree(s) for s in range(hx2d.n_switches))
+        assert len(net2d.live_links()) == degsum // 2
+
+    def test_every_port_live(self, net2d):
+        for s in range(net2d.n_switches):
+            assert all(t >= 0 for t in net2d.port_neighbour[s])
+
+    def test_port_of_matches_neighbour_on_port(self, net2d):
+        for s in range(net2d.n_switches):
+            for p, t in net2d.live_ports[s]:
+                assert net2d.port_of(s, t) == p
+                assert net2d.neighbour_on_port(s, p) == t
+
+    def test_basic_metrics(self, net2d):
+        assert net2d.is_connected
+        assert net2d.diameter == 2
+        assert 0 < net2d.average_distance < 2
+
+
+class TestFaultyNetwork:
+    def test_faults_normalised(self, hx2d):
+        l = hx2d.links()[0]
+        net = Network(hx2d, [(l[1], l[0])])
+        assert l in net.faults
+
+    def test_unknown_fault_rejected(self, hx2d):
+        with pytest.raises(ValueError):
+            Network(hx2d, [(0, 15)])  # (0,0) and (3,3) are not adjacent
+
+    def test_dead_port_marked(self, hx2d):
+        a, b = hx2d.links()[0]
+        net = Network(hx2d, [(a, b)])
+        p = hx2d.port_of(a, b)
+        assert net.neighbour_on_port(a, p) == -1
+        assert all(t != b for _, t in net.live_ports[a])
+
+    def test_port_numbering_stable_under_faults(self, hx2d):
+        """Ports keep their index when other links fail (firmware behaviour)."""
+        a, b = hx2d.links()[0]
+        net = Network(hx2d, [(a, b)])
+        healthy = Network(hx2d)
+        for p, t in net.live_ports[a]:
+            assert healthy.port_neighbour[a][p] == t
+
+    def test_live_degree_drops(self, hx2d):
+        a, b = hx2d.links()[0]
+        net = Network(hx2d, [(a, b)])
+        assert net.live_degree(a) == hx2d.degree(a) - 1
+
+    def test_with_faults_accumulates(self, hx2d):
+        links = hx2d.links()
+        net = Network(hx2d, links[:1]).with_faults(links[1:2])
+        assert len(net.faults) == 2
+
+    def test_distances_grow_with_faults(self, heavy_faulty2d, net2d):
+        assert heavy_faulty2d.diameter > net2d.diameter
+
+    def test_server_accessors(self, net2d):
+        assert net2d.n_servers == 64
+        assert net2d.servers_per_switch == 4

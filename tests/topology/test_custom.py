@@ -1,0 +1,134 @@
+"""ExplicitTopology tests, including escape liveness on random graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.base import Network
+from repro.topology.custom import ExplicitTopology, mesh_topology, ring_topology
+from repro.updown.escape import PHASE_CLIMB, EscapeSubnetwork
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology([])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology([[0]])
+
+    def test_rejects_asymmetry(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology([[1], []])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology([[1, 1], [0, 0]])
+
+    def test_rejects_unknown_switch(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology([[5], [0]])
+
+    def test_port_order_preserved(self):
+        t = ExplicitTopology([[2, 1], [0, 2], [1, 0]])
+        assert t.neighbours(0) == [2, 1]
+        assert t.port_of(0, 2) == 0
+
+
+class TestConstructors:
+    def test_from_edges(self):
+        t = ExplicitTopology.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert t.n_switches == 3
+        assert all(t.degree(s) == 2 for s in range(3))
+
+    def test_from_networkx(self):
+        g = nx.petersen_graph()
+        t = ExplicitTopology.from_networkx(g, servers_per_switch=2)
+        assert t.n_switches == 10
+        assert all(t.degree(s) == 3 for s in range(10))
+        assert Network(t).diameter == 2
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        g = nx.Graph([("a", "b")])
+        with pytest.raises(ValueError):
+            ExplicitTopology.from_networkx(g)
+
+    def test_ring(self):
+        t = ring_topology(6, 2)
+        net = Network(t)
+        assert net.diameter == 3
+        assert all(t.degree(s) == 2 for s in range(6))
+
+    def test_mesh(self):
+        t = mesh_topology(3, 3)
+        net = Network(t)
+        assert net.diameter == 4  # corner to corner
+        corners = [0, 2, 6, 8]
+        assert all(t.degree(c) == 2 for c in corners)
+        assert t.degree(4) == 4  # the center
+
+    def test_small_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+        with pytest.raises(ValueError):
+            mesh_topology(1, 5)
+
+
+class TestEscapeOnArbitraryGraphs:
+    """§7: the escape construction works on *any* connected topology."""
+
+    @pytest.mark.parametrize("topo", [
+        ring_topology(7), mesh_topology(3, 4),
+        ExplicitTopology.from_networkx(nx.petersen_graph()),
+    ], ids=["ring", "mesh", "petersen"])
+    def test_escape_builds_and_walks_terminate(self, topo, rng):
+        net = Network(topo)
+        esc = EscapeSubnetwork(net, root=0)
+        bound = esc.route_length_bound()
+        for s in range(net.n_switches):
+            for t in range(net.n_switches):
+                if s == t:
+                    continue
+                c, phase, hops = s, PHASE_CLIMB, 0
+                while c != t:
+                    cands = esc.candidates(c, t, phase)
+                    port, nbr, _pen = cands[int(rng.integers(len(cands)))]
+                    phase = esc.next_phase(c, port, phase)
+                    c = nbr
+                    hops += 1
+                    assert hops <= bound
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_escape_liveness_on_random_connected_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        m = int(rng.integers(n, min(n * (n - 1) // 2, 3 * n) + 1))
+        g = nx.gnm_random_graph(n, m, seed=seed)
+        if not nx.is_connected(g):
+            return  # hypothesis will draw other seeds
+        topo = ExplicitTopology.from_networkx(g)
+        net = Network(topo)
+        esc = EscapeSubnetwork(net, root=int(rng.integers(n)))
+        # Every pair has climb-phase candidates: total escape routing.
+        for s in range(n):
+            for t in range(n):
+                if s != t:
+                    assert esc.candidates(s, t, PHASE_CLIMB)
+
+    def test_simulation_on_mesh(self, rng):
+        """PolSP simulates end-to-end on a NoC-style mesh."""
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        net = Network(mesh_topology(3, 3, servers_per_switch=2))
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.2, seed=0)
+        res = sim.run(warmup=100, measure=200)
+        assert not res.deadlocked
+        assert res.accepted == pytest.approx(0.2, abs=0.05)

@@ -1,0 +1,79 @@
+"""Dragonfly topology tests."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.dragonfly import Dragonfly, balanced_dragonfly
+
+
+class TestConstruction:
+    def test_balanced_sizing(self):
+        df = balanced_dragonfly(2)
+        assert (df.a, df.p, df.h) == (4, 2, 2)
+        assert df.n_groups == 9
+        assert df.n_switches == 36
+        assert df.n_servers == 72
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Dragonfly(1, 1, 1)
+        with pytest.raises(ValueError):
+            Dragonfly(4, 0, 2)
+
+    def test_degree_is_local_plus_global(self):
+        df = balanced_dragonfly(2)
+        for s in range(df.n_switches):
+            assert df.degree(s) == (df.a - 1) + df.h
+
+
+class TestGlobalArrangement:
+    def test_every_group_pair_shares_one_link(self):
+        df = balanced_dragonfly(2)
+        pair_links: dict[tuple[int, int], int] = {}
+        for a, b in df.links():
+            ga, gb = df.group_of(a), df.group_of(b)
+            if ga != gb:
+                key = (min(ga, gb), max(ga, gb))
+                pair_links[key] = pair_links.get(key, 0) + 1
+        g = df.n_groups
+        assert len(pair_links) == g * (g - 1) // 2
+        assert set(pair_links.values()) == {1}
+
+    def test_global_target_is_symmetric(self):
+        df = balanced_dragonfly(2)
+        for grp in range(df.n_groups):
+            for ch in range(df.a * df.h):
+                tg, tch = df.global_target(grp, ch)
+                assert df.global_target(tg, tch) == (grp, ch)
+
+    def test_channel_out_of_range(self):
+        df = balanced_dragonfly(2)
+        with pytest.raises(ValueError):
+            df.global_target(0, df.a * df.h)
+
+
+class TestGraphStructure:
+    def test_groups_are_cliques(self):
+        df = balanced_dragonfly(2)
+        for grp in range(df.n_groups):
+            members = [df.switch_id(grp, l) for l in range(df.a)]
+            for x in members:
+                for y in members:
+                    if x != y:
+                        assert y in df.neighbours(x)
+
+    def test_adjacency_symmetric(self):
+        df = balanced_dragonfly(2)
+        for s in range(df.n_switches):
+            for t in df.neighbours(s):
+                assert s in df.neighbours(t)
+
+    def test_diameter_is_three(self):
+        """Dragonfly minimal routes are local-global-local: diameter 3."""
+        net = Network(balanced_dragonfly(2))
+        assert net.diameter == 3
+
+    def test_ids_roundtrip(self):
+        df = balanced_dragonfly(2)
+        for s in range(df.n_switches):
+            assert df.switch_id(df.group_of(s), df.local_of(s)) == s

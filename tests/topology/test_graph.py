@@ -1,0 +1,108 @@
+"""Graph-algorithm tests, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.graph import (
+    UNREACHABLE,
+    all_pairs_distances,
+    average_distance,
+    bfs_distances,
+    connected_components,
+    diameter,
+    diameter_or_none,
+    eccentricity,
+    is_connected,
+)
+from repro.topology.hyperx import HyperX
+
+
+def to_networkx(net: Network) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(net.n_switches))
+    g.add_edges_from(net.live_links())
+    return g
+
+
+class TestDistances:
+    def test_matches_networkx_healthy(self, net2d):
+        g = to_networkx(net2d)
+        d = all_pairs_distances(net2d)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for s in range(net2d.n_switches):
+            for t in range(net2d.n_switches):
+                assert d[s, t] == lengths[s][t]
+
+    def test_matches_networkx_faulty(self, heavy_faulty2d):
+        g = to_networkx(heavy_faulty2d)
+        d = all_pairs_distances(heavy_faulty2d)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for s in range(heavy_faulty2d.n_switches):
+            for t in range(heavy_faulty2d.n_switches):
+                assert d[s, t] == lengths[s][t]
+
+    def test_bfs_row_matches_all_pairs(self, faulty2d):
+        d = all_pairs_distances(faulty2d)
+        for s in (0, 7, 15):
+            assert np.array_equal(bfs_distances(faulty2d, s), d[s])
+
+    def test_unreachable_marked(self, hx2d):
+        # Cut switch 0 off completely.
+        faults = [l for l in hx2d.links() if 0 in l]
+        net = Network(hx2d, faults)
+        d = all_pairs_distances(net)
+        assert d[0, 1] == UNREACHABLE
+        assert d[1, 0] == UNREACHABLE
+        assert d[0, 0] == 0
+
+
+class TestConnectivity:
+    def test_healthy_connected(self, net2d):
+        assert is_connected(net2d)
+
+    def test_isolated_switch_disconnects(self, hx2d):
+        faults = [l for l in hx2d.links() if 0 in l]
+        net = Network(hx2d, faults)
+        assert not is_connected(net)
+        labels = connected_components(net)
+        assert labels[0] != labels[1]
+
+    def test_component_labels_consistent(self, heavy_faulty2d):
+        labels = connected_components(heavy_faulty2d)
+        assert len(set(labels)) == 1
+
+
+class TestDiameter:
+    def test_healthy_hyperx_diameter_is_n_dims(self):
+        for sides in [(4, 4), (4, 4, 4), (3, 5)]:
+            assert diameter(Network(HyperX(sides, 1))) == len(sides)
+
+    def test_diameter_raises_when_disconnected(self, hx2d):
+        faults = [l for l in hx2d.links() if 0 in l]
+        net = Network(hx2d, faults)
+        with pytest.raises(ValueError):
+            diameter(net)
+        assert diameter_or_none(net) is None
+
+    def test_eccentricity_bounded_by_diameter(self, faulty2d):
+        diam = diameter(faulty2d)
+        eccs = [eccentricity(faulty2d, s) for s in range(faulty2d.n_switches)]
+        assert max(eccs) == diam
+
+
+class TestAverageDistance:
+    def test_matches_manual_computation(self, net2d):
+        d = all_pairs_distances(net2d)
+        n = net2d.n_switches
+        assert average_distance(net2d) == pytest.approx(d.sum() / (n * (n - 1)))
+
+    def test_paper_convention_3d(self):
+        net = Network(HyperX((8, 8, 8), 8))
+        assert average_distance(net, include_self=True) == pytest.approx(2.625)
+
+    def test_disconnected_raises(self, hx2d):
+        faults = [l for l in hx2d.links() if 0 in l]
+        with pytest.raises(ValueError):
+            average_distance(Network(hx2d, faults))

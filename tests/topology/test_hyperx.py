@@ -1,0 +1,165 @@
+"""Unit and property tests for the HyperX (Hamming graph) topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX, complete_graph, regular_hyperx
+
+sides_strategy = st.lists(st.integers(2, 5), min_size=1, max_size=3).map(tuple)
+
+
+class TestConstruction:
+    def test_switch_count_is_product_of_sides(self):
+        assert HyperX((4, 4), 4).n_switches == 16
+        assert HyperX((8, 8, 8), 8).n_switches == 512
+        assert HyperX((3, 5), 1).n_switches == 15
+
+    def test_default_servers_per_switch_is_max_side(self):
+        assert HyperX((4, 6)).servers_per_switch == 6
+
+    def test_rejects_empty_sides(self):
+        with pytest.raises(ValueError):
+            HyperX(())
+
+    def test_rejects_side_below_two(self):
+        with pytest.raises(ValueError):
+            HyperX((4, 1))
+
+    def test_rejects_nonpositive_servers(self):
+        with pytest.raises(ValueError):
+            HyperX((4, 4), 0)
+
+    def test_paper_2d_parameters(self):
+        hx = HyperX((16, 16), 16)
+        assert hx.n_switches == 256
+        assert hx.n_servers == 4096
+        assert hx.radix == 46  # 2*(16-1) network + 16 server ports
+        assert len(hx.links()) == 3840
+
+    def test_paper_3d_parameters(self):
+        hx = HyperX((8, 8, 8), 8)
+        assert hx.n_switches == 512
+        assert hx.n_servers == 4096
+        assert hx.radix == 29  # 3*(8-1) + 8
+        assert len(hx.links()) == 5376
+
+
+class TestCoordinates:
+    @given(sides=sides_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_coords_roundtrip(self, sides):
+        hx = HyperX(sides, 1)
+        for s in range(hx.n_switches):
+            assert hx.switch_id(hx.coords(s)) == s
+
+    def test_switch_id_validates_length(self, hx2d):
+        with pytest.raises(ValueError):
+            hx2d.switch_id((1, 2, 3))
+
+    def test_switch_id_validates_range(self, hx2d):
+        with pytest.raises(ValueError):
+            hx2d.switch_id((4, 0))
+
+    def test_coords_enumerate_all_vectors(self, hx_rect):
+        seen = {hx_rect.coords(s) for s in range(hx_rect.n_switches)}
+        assert len(seen) == hx_rect.n_switches
+
+
+class TestAdjacency:
+    def test_degree_is_sum_of_sides_minus_dims(self, hx3d):
+        # 3 dimensions of side 4 -> 3 * (4-1) = 9 neighbours.
+        for s in range(hx3d.n_switches):
+            assert hx3d.degree(s) == 9
+
+    @given(sides=sides_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_neighbours_are_at_hamming_distance_one(self, sides):
+        hx = HyperX(sides, 1)
+        for s in range(hx.n_switches):
+            for t in hx.neighbours(s):
+                assert hx.hamming_distance(s, t) == 1
+
+    @given(sides=sides_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_adjacency_is_symmetric(self, sides):
+        hx = HyperX(sides, 1)
+        for s in range(hx.n_switches):
+            for t in hx.neighbours(s):
+                assert s in hx.neighbours(t)
+
+    def test_graph_distance_equals_hamming_distance(self, hx3d):
+        net = Network(hx3d)
+        d = net.distances
+        for s in range(0, hx3d.n_switches, 7):
+            for t in range(0, hx3d.n_switches, 5):
+                assert d[s, t] == hx3d.hamming_distance(s, t)
+
+    def test_no_self_loops(self, hx_rect):
+        for s in range(hx_rect.n_switches):
+            assert s not in hx_rect.neighbours(s)
+
+    def test_rows_are_cliques(self, hx2d):
+        # All switches sharing all-but-one coordinate are pairwise adjacent.
+        row = [hx2d.switch_id((x, 2)) for x in range(4)]
+        for a in row:
+            for b in row:
+                if a != b:
+                    assert b in hx2d.neighbours(a)
+
+
+class TestPorts:
+    def test_port_roundtrip(self, hx_rect):
+        for s in range(hx_rect.n_switches):
+            for p in range(hx_rect.degree(s)):
+                dim, value = hx_rect.port_dim_value(s, p)
+                assert hx_rect.port(s, dim, value) == p
+
+    def test_port_points_to_expected_switch(self, hx2d):
+        s = hx2d.switch_id((1, 2))
+        p = hx2d.port(s, 0, 3)
+        assert hx2d.neighbours(s)[p] == hx2d.switch_id((3, 2))
+
+    def test_port_to_own_coordinate_rejected(self, hx2d):
+        s = hx2d.switch_id((1, 2))
+        with pytest.raises(ValueError):
+            hx2d.port(s, 0, 1)
+
+    def test_port_numbering_is_dimension_major(self, hx3d):
+        s = hx3d.switch_id((0, 0, 0))
+        nbrs = hx3d.neighbours(s)
+        # First k-1 ports vary dimension 0.
+        for p in range(3):
+            assert hx3d.coords(nbrs[p])[1:] == (0, 0)
+        # Next k-1 ports vary dimension 1.
+        for p in range(3, 6):
+            c = hx3d.coords(nbrs[p])
+            assert c[0] == 0 and c[2] == 0
+
+    def test_port_dim_value_out_of_range(self, hx2d):
+        with pytest.raises(ValueError):
+            hx2d.port_dim_value(0, 99)
+
+
+class TestHelpers:
+    def test_unaligned_dims(self, hx3d):
+        a = hx3d.switch_id((0, 1, 2))
+        b = hx3d.switch_id((0, 3, 2))
+        assert hx3d.unaligned_dims(a, b) == [1]
+
+    def test_complete_graph_is_1d_hyperx(self):
+        k = complete_graph(5)
+        assert k.n_dims == 1
+        assert k.n_switches == 5
+        assert all(k.degree(s) == 4 for s in range(5))
+
+    def test_regular_hyperx_defaults_servers_to_side(self):
+        hx = regular_hyperx(3, 8)
+        assert hx.sides == (8, 8, 8)
+        assert hx.servers_per_switch == 8
+
+    def test_server_switch_mapping(self, hx2d):
+        assert hx2d.server_switch(0) == 0
+        assert hx2d.server_switch(4) == 1
+        assert list(hx2d.switch_servers(1)) == [4, 5, 6, 7]

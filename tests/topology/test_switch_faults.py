@@ -1,0 +1,46 @@
+"""Switch-failure model tests."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.faults import random_switch_fault_sequence, switch_faults
+from repro.topology.graph import connected_components
+
+
+class TestSwitchFaults:
+    def test_all_incident_links_fail(self, hx2d):
+        faults = switch_faults(hx2d, [0])
+        assert len(faults) == hx2d.degree(0)
+        assert all(0 in l for l in faults)
+
+    def test_shared_links_not_duplicated(self, hx2d):
+        a, b = 0, hx2d.neighbours(0)[0]
+        faults = switch_faults(hx2d, [a, b])
+        assert len(faults) == len(set(faults))
+        assert len(faults) == hx2d.degree(a) + hx2d.degree(b) - 1
+
+    def test_dead_switch_is_isolated_rest_connected(self, hx2d):
+        net = Network(hx2d, switch_faults(hx2d, [5]))
+        labels = connected_components(net)
+        assert (labels == labels[5]).sum() == 1  # the corpse is alone
+        others = [s for s in range(hx2d.n_switches) if s != 5]
+        assert len({labels[s] for s in others}) == 1  # the rest hold
+
+    def test_out_of_range_rejected(self, hx2d):
+        with pytest.raises(ValueError):
+            switch_faults(hx2d, [99])
+
+
+class TestRandomSwitchSequence:
+    def test_distinct_and_in_range(self, hx2d):
+        seq = random_switch_fault_sequence(hx2d, 5, rng=1)
+        assert len(set(seq)) == 5
+        assert all(0 <= s < hx2d.n_switches for s in seq)
+
+    def test_too_many_rejected(self, hx2d):
+        with pytest.raises(ValueError):
+            random_switch_fault_sequence(hx2d, 17)
+
+    def test_deterministic(self, hx2d):
+        assert random_switch_fault_sequence(hx2d, 4, rng=9) == \
+            random_switch_fault_sequence(hx2d, 4, rng=9)

@@ -1,0 +1,47 @@
+"""Traffic interface and permutation-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.base import PermutationTraffic, validate_permutation
+from repro.traffic.patterns import UniformTraffic
+
+
+class TestValidatePermutation:
+    def test_accepts_derangement(self):
+        validate_permutation(np.array([1, 2, 3, 0]), 4)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            validate_permutation(np.array([1, 0]), 4)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            validate_permutation(np.array([1, 1, 2, 3]), 4)
+
+    def test_rejects_fixed_points(self):
+        with pytest.raises(ValueError):
+            validate_permutation(np.array([0, 2, 1, 3]), 4)
+
+
+class TestPermutationTraffic:
+    def test_destination_reads_map(self, net2d, rng):
+        perm = np.roll(np.arange(net2d.n_servers), 1)
+        t = PermutationTraffic(net2d, perm)
+        assert t.destination(0, rng) == perm[0]
+        assert t.is_deterministic
+        assert np.array_equal(t.as_permutation(), perm)
+
+    def test_as_permutation_returns_copy(self, net2d):
+        perm = np.roll(np.arange(net2d.n_servers), 1)
+        t = PermutationTraffic(net2d, perm)
+        t.as_permutation()[0] = 99
+        assert t.permutation[0] == perm[0]
+
+
+class TestUniformInterface:
+    def test_not_deterministic(self, net2d):
+        t = UniformTraffic(net2d)
+        assert not t.is_deterministic
+        with pytest.raises(TypeError):
+            t.as_permutation()

@@ -1,0 +1,36 @@
+"""Traffic factory tests."""
+
+import pytest
+
+from repro.traffic import (
+    TRAFFIC_DISPLAY,
+    TRAFFIC_PATTERNS,
+    make_traffic,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", TRAFFIC_PATTERNS)
+    def test_builds_every_pattern_3d(self, net3d, name):
+        t = make_traffic(name, net3d, rng=0)
+        assert t.n_servers == net3d.n_servers
+
+    def test_long_names_accepted(self, net3d):
+        assert make_traffic("Dimension Complement Reverse", net3d).name.startswith(
+            "Dimension"
+        )
+        assert make_traffic("Regular Permutation to Neighbour", net3d)
+
+    def test_unknown_rejected(self, net2d):
+        with pytest.raises(ValueError):
+            make_traffic("bitrev", net2d)
+
+    def test_display_names_cover_patterns(self):
+        assert set(TRAFFIC_DISPLAY) == set(TRAFFIC_PATTERNS)
+
+    def test_randperm_seed_forwarded(self, net2d):
+        import numpy as np
+
+        a = make_traffic("randperm", net2d, 3).as_permutation()
+        b = make_traffic("randperm", net2d, 3).as_permutation()
+        assert np.array_equal(a, b)

@@ -1,0 +1,143 @@
+"""Tests for Uniform, Random Server Permutation and DCR patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX
+from repro.traffic.patterns import (
+    DimensionComplementReverse,
+    RandomServerPermutation,
+    UniformTraffic,
+)
+
+
+class TestUniform:
+    def test_never_targets_self(self, net2d):
+        t = UniformTraffic(net2d)
+        rng = np.random.default_rng(0)
+        for src in range(net2d.n_servers):
+            for _ in range(20):
+                assert t.destination(src, rng) != src
+
+    def test_destinations_cover_all_servers(self, net2d):
+        t = UniformTraffic(net2d)
+        rng = np.random.default_rng(1)
+        seen = {t.destination(5, rng) for _ in range(4000)}
+        assert seen == set(range(net2d.n_servers)) - {5}
+
+    def test_distribution_is_uniform(self, net2d):
+        t = UniformTraffic(net2d)
+        rng = np.random.default_rng(2)
+        n = net2d.n_servers
+        counts = np.zeros(n)
+        draws = 20_000
+        for _ in range(draws):
+            counts[t.destination(0, rng)] += 1
+        expected = draws / (n - 1)
+        # Chi-square-ish sanity: all within 30% of uniform.
+        assert counts[0] == 0
+        assert (np.abs(counts[1:] - expected) < 0.3 * expected).all()
+
+
+class TestRandomServerPermutation:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_fixed_point_free_permutation(self, seed):
+        net = Network(HyperX((4, 4), 4))
+        t = RandomServerPermutation(net, seed)
+        perm = t.as_permutation()
+        assert np.array_equal(np.sort(perm), np.arange(net.n_servers))
+        assert not (perm == np.arange(net.n_servers)).any()
+
+    def test_deterministic_per_seed(self, net2d):
+        a = RandomServerPermutation(net2d, 5).as_permutation()
+        b = RandomServerPermutation(net2d, 5).as_permutation()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, net2d):
+        a = RandomServerPermutation(net2d, 1).as_permutation()
+        b = RandomServerPermutation(net2d, 2).as_permutation()
+        assert not np.array_equal(a, b)
+
+
+class TestDCR3D:
+    def test_switch_mapping_follows_paper(self, net3d):
+        """(x,y,z) -> (z̄, ȳ, x̄) with same server offset."""
+        hx = net3d.topology
+        t = DimensionComplementReverse(net3d)
+        perm = t.as_permutation()
+        k = hx.sides[0]
+        for s in range(hx.n_switches):
+            x, y, z = hx.coords(s)
+            expect_sw = hx.switch_id((k - 1 - z, k - 1 - y, k - 1 - x))
+            for w in range(hx.servers_per_switch):
+                assert perm[s * 4 + w] == expect_sw * 4 + w
+
+    def test_is_permutation(self, net3d):
+        perm = DimensionComplementReverse(net3d).as_permutation()
+        assert np.array_equal(np.sort(perm), np.arange(net3d.n_servers))
+
+    def test_is_involution_on_switches(self, net3d):
+        """Applying the switch map twice returns to the source switch."""
+        t = DimensionComplementReverse(net3d)
+        perm = t.as_permutation()
+        sps = net3d.servers_per_switch
+        for s in range(net3d.n_switches):
+            d = int(perm[s * sps]) // sps
+            d2 = int(perm[d * sps]) // sps
+            assert d2 == s
+
+
+class TestDCR2D:
+    def test_server_coordinate_used_as_third_dimension(self, net2d):
+        """(w, x, y) -> (ȳ, x̄, w̄) per the paper's 2D adaptation."""
+        hx = net2d.topology
+        t = DimensionComplementReverse(net2d)
+        perm = t.as_permutation()
+        k = hx.sides[0]
+        for s in range(hx.n_switches):
+            x, y = hx.coords(s)
+            for w in range(k):
+                dst = int(perm[s * k + w])
+                dst_sw, dst_w = dst // k, dst % k
+                assert hx.coords(dst_sw) == (k - 1 - x, k - 1 - w)
+                assert dst_w == k - 1 - y
+
+    def test_requires_matching_servers(self):
+        net = Network(HyperX((4, 4), 2))
+        with pytest.raises(ValueError):
+            DimensionComplementReverse(net)
+
+    def test_requires_regular_sides(self):
+        net = Network(HyperX((4, 6), 4))
+        with pytest.raises(ValueError):
+            DimensionComplementReverse(net)
+
+    def test_requires_hyperx(self, net2d):
+        from repro.topology.base import Topology
+
+        class Ring(Topology):
+            n_switches = 4
+            servers_per_switch = 1
+
+            def neighbours(self, s):
+                return [(s - 1) % 4, (s + 1) % 4]
+
+        with pytest.raises(TypeError):
+            DimensionComplementReverse(Network(Ring()))
+
+    def test_adversarial_distance(self, net2d):
+        """DCR pairs are mostly at maximal switch distance (the point of
+        the pattern: every dimension must be corrected)."""
+        hx = net2d.topology
+        t = DimensionComplementReverse(net2d)
+        perm = t.as_permutation()
+        sps = hx.servers_per_switch
+        d = net2d.distances
+        dists = [
+            int(d[s, int(perm[s * sps]) // sps]) for s in range(hx.n_switches)
+        ]
+        assert np.mean(dists) > 1.5

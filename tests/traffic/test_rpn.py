@@ -1,0 +1,108 @@
+"""Regular Permutation to Neighbour tests (the paper's new pattern)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX
+from repro.traffic.rpn import (
+    RegularPermutationToNeighbour,
+    gray_cycle,
+    next_in_gray_cycle,
+)
+
+
+class TestGrayCycle:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_is_hamiltonian_cycle(self, n):
+        cyc = gray_cycle(n)
+        assert sorted(cyc) == list(range(1 << n))
+        for i in range(len(cyc)):
+            diff = cyc[i] ^ cyc[(i + 1) % len(cyc)]
+            assert bin(diff).count("1") == 1  # one bit flips, cyclically
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_next_matches_cycle_order(self, n):
+        cyc = gray_cycle(n)
+        for i, word in enumerate(cyc):
+            assert next_in_gray_cycle(word, n) == cyc[(i + 1) % len(cyc)]
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            gray_cycle(0)
+
+
+class TestConstruction:
+    def test_requires_hyperx_and_even_sides(self):
+        with pytest.raises(ValueError):
+            RegularPermutationToNeighbour(Network(HyperX((3, 4), 2)))
+
+    def test_is_fixed_point_free_permutation(self, net3d):
+        t = RegularPermutationToNeighbour(net3d)
+        perm = t.as_permutation()
+        n = net3d.n_servers
+        assert np.array_equal(np.sort(perm), np.arange(n))
+        assert not (perm == np.arange(n)).any()
+
+    def test_destination_is_a_neighbour_switch(self, net3d):
+        """Every Gray step flips one coordinate inside a pair: neighbours."""
+        hx = net3d.topology
+        t = RegularPermutationToNeighbour(net3d)
+        for s in range(hx.n_switches):
+            d = t.switch_destination(s)
+            assert hx.hamming_distance(s, d) == 1
+            # ... and within the same coordinate pair {2b, 2b+1}.
+            cs, cd = hx.coords(s), hx.coords(d)
+            for a, b in zip(cs, cd):
+                if a != b:
+                    assert a // 2 == b // 2
+
+    def test_server_offset_preserved(self, net3d):
+        hx = net3d.topology
+        t = RegularPermutationToNeighbour(net3d)
+        perm = t.as_permutation()
+        sps = hx.servers_per_switch
+        for srv in range(0, net3d.n_servers, 7):
+            assert int(perm[srv]) % sps == srv % sps
+
+    def test_switch_cycles_have_length_2_to_n(self, net3d):
+        """Following destinations walks the embedded hypercube's 8-cycle."""
+        hx = net3d.topology
+        t = RegularPermutationToNeighbour(net3d)
+        for start in range(0, hx.n_switches, 11):
+            s, length = start, 0
+            while True:
+                s = t.switch_destination(s)
+                length += 1
+                if s == start:
+                    break
+                assert length <= 8
+            assert length == 2**hx.n_dims
+
+
+class TestConfinedPairs:
+    @pytest.mark.parametrize("sides", [(4, 4), (4, 4, 4), (6, 6)])
+    def test_rows_have_zero_or_half_k_pairs(self, sides):
+        """The paper's key property (Figure 3): each K_k row confines
+        exactly 0 or k/2 source/destination pairs."""
+        hx = HyperX(sides, 2)
+        t = RegularPermutationToNeighbour(Network(hx))
+        counts = t.confined_pairs_per_row()
+        k = sides[0]
+        assert set(counts.values()) <= {k // 2}
+        # Total confined pairs = all switches (each has exactly one).
+        assert sum(counts.values()) == hx.n_switches
+
+    def test_aligned_bound(self):
+        assert RegularPermutationToNeighbour.aligned_route_bound() == 0.5
+
+    def test_2d_every_dim0_row_loaded(self):
+        """In 2D the dim-0 rows always carry k/2 confined pairs."""
+        hx = HyperX((4, 4), 2)
+        t = RegularPermutationToNeighbour(Network(hx))
+        counts = t.confined_pairs_per_row()
+        dim0_rows = {key: v for key, v in counts.items() if key[0] == 0}
+        assert len(dim0_rows) == 4
+        assert all(v == 2 for v in dim0_rows.values())

@@ -1,0 +1,52 @@
+"""Figure 3 illustration renderer tests."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX
+from repro.traffic.rpn import RegularPermutationToNeighbour
+
+
+class TestPlaneAscii:
+    def test_2d_plane_renders_all_switches(self):
+        hx = HyperX((4, 4), 2)
+        t = RegularPermutationToNeighbour(Network(hx))
+        art = t.plane_ascii({})
+        rows = art.splitlines()
+        assert len(rows) == 4
+        assert all(len(r.split()) == 4 for r in rows)
+        # In 2D every destination stays in the plane: no '.' markers.
+        assert "." not in art
+
+    def test_3d_plane_has_out_of_plane_arrows(self):
+        hx = HyperX((4, 4, 4), 2)
+        t = RegularPermutationToNeighbour(Network(hx))
+        art = t.plane_ascii()
+        # Some switches' Gray step flips dimension 2: rendered as '.'.
+        assert "." in art
+        assert any(c in art for c in "><^v")
+
+    def test_needs_two_free_dimensions(self):
+        hx = HyperX((4, 4, 4), 2)
+        t = RegularPermutationToNeighbour(Network(hx))
+        with pytest.raises(ValueError):
+            t.plane_ascii({0: 0, 1: 0, 2: 0})
+
+    def test_arrows_match_permutation(self):
+        hx = HyperX((4, 4), 2)
+        t = RegularPermutationToNeighbour(Network(hx))
+        art = t.plane_ascii({})
+        grid = [r.split() for r in art.splitlines()]
+        for y, row in enumerate(grid):
+            for x, mark in enumerate(row):
+                s = hx.switch_id((x, y))
+                d = t.switch_destination(s)
+                cx, cy = hx.coords(d)
+                if mark == ">":
+                    assert cx > x and cy == y
+                elif mark == "<":
+                    assert cx < x and cy == y
+                elif mark == "v":
+                    assert cy > y and cx == x
+                elif mark == "^":
+                    assert cy < y and cx == x

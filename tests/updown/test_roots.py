@@ -1,0 +1,60 @@
+"""Escape-root selection tests."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.faults import shape_root, star_faults
+from repro.topology.hyperx import HyperX
+from repro.updown.escape import EscapeSubnetwork
+from repro.updown.roots import ROOT_STRATEGIES, choose_root
+
+
+class TestStrategies:
+    def test_first_is_zero(self, net2d):
+        assert choose_root(net2d, "first") == 0
+
+    def test_unknown_rejected(self, net2d):
+        with pytest.raises(ValueError):
+            choose_root(net2d, "random")
+
+    @pytest.mark.parametrize("strategy", ROOT_STRATEGIES)
+    def test_all_strategies_return_valid_roots(self, heavy_faulty2d, strategy):
+        root = choose_root(heavy_faulty2d, strategy)
+        assert 0 <= root < heavy_faulty2d.n_switches
+        # And the escape actually builds there.
+        EscapeSubnetwork(heavy_faulty2d, root)
+
+    def test_max_live_degree_avoids_star_center(self):
+        """The §6 recommendation: never root at the Star's gutted center."""
+        hx = HyperX((4, 4, 4), 4)
+        net = Network(hx, star_faults(hx, arm=3))
+        center = shape_root(hx, "star")
+        assert net.live_degree(center) == 3
+        root = choose_root(net, "max_live_degree")
+        assert root != center
+        assert net.live_degree(root) > net.live_degree(center)
+
+    def test_min_eccentricity_is_central_on_healthy(self, net2d):
+        """Every switch of a healthy Hamming graph has equal eccentricity;
+        the strategy then returns a valid (first) one."""
+        root = choose_root(net2d, "min_eccentricity")
+        d = net2d.distances
+        assert d[root].max() == min(d[s].max() for s in range(16))
+
+    def test_central_ties_broken_by_degree(self, heavy_faulty2d):
+        root = choose_root(heavy_faulty2d, "central")
+        d = heavy_faulty2d.distances
+        best_ecc = min(d[s].max() for s in range(16))
+        assert d[root].max() == best_ecc
+
+
+class TestRootQualityMatters:
+    def test_better_root_shortens_escape_routes(self):
+        """Rooting at the Star center versus the recommended root: the
+        recommended one yields strictly shorter worst-case escapes."""
+        hx = HyperX((4, 4, 4), 4)
+        net = Network(hx, star_faults(hx, arm=3))
+        bad = EscapeSubnetwork(net, shape_root(hx, "star"))
+        good = EscapeSubnetwork(net, choose_root(net, "max_live_degree"))
+        assert good.route_length_bound() <= bad.route_length_bound()
+        assert good.dist_a.mean() < bad.dist_a.mean()
