@@ -1,0 +1,99 @@
+"""Time a canonical sweep on the serial and parallel executors.
+
+Writes ``BENCH_<label>.json`` with points/second for both strategies —
+the perf trajectory future changes are compared against, and the CI
+benchmark artifact.
+
+Usage::
+
+    python benchmarks/run_bench.py --label pr --jobs 4
+    python benchmarks/run_bench.py --label local --preset full
+
+The default preset is a Figure-4-style load sweep (all six mechanisms,
+2D HyperX) sized to finish in a couple of minutes on one CI core; the
+``full`` preset runs the tiny-scale Figure 4 sweep exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.executor import ParallelExecutor, SerialExecutor  # noqa: E402
+from repro.experiments.sweeps import load_sweep_jobs  # noqa: E402
+from repro.routing.catalog import MECHANISMS  # noqa: E402
+from repro.topology.base import Network  # noqa: E402
+from repro.topology.hyperx import HyperX  # noqa: E402
+
+#: Benchmark presets: (loads, warmup, measure).  Both sweep all six
+#: mechanisms over uniform + randperm traffic on the tiny 2D HyperX.
+PRESETS = {
+    "quick": ((0.3, 0.6, 0.9), 100, 200),
+    "full": ((0.2, 0.4, 0.6, 0.8, 1.0), 150, 300),
+}
+
+
+def build_jobs(preset: str, seed: int):
+    loads, warmup, measure = PRESETS[preset]
+    network = Network(HyperX((4, 4), 4))
+    return load_sweep_jobs(
+        network, MECHANISMS, ("uniform", "randperm"), loads,
+        warmup=warmup, measure=measure, seed=seed,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="local",
+                        help="suffix of the BENCH_<label>.json output file")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel executor")
+    parser.add_argument("--preset", default="quick", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for the output file")
+    args = parser.parse_args(argv)
+
+    jobs = build_jobs(args.preset, args.seed)
+    print(f"benchmark: {len(jobs)} points, preset={args.preset}, "
+          f"parallel workers={args.jobs}")
+
+    t0 = time.perf_counter()
+    serial_records = SerialExecutor().run(jobs)
+    serial_s = time.perf_counter() - t0
+    print(f"serial:   {serial_s:.2f}s ({len(jobs) / serial_s:.2f} points/s)")
+
+    t0 = time.perf_counter()
+    parallel_records = ParallelExecutor(jobs=args.jobs).run(jobs)
+    parallel_s = time.perf_counter() - t0
+    print(f"parallel: {parallel_s:.2f}s ({len(jobs) / parallel_s:.2f} points/s)")
+
+    identical = parallel_records == serial_records
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"speedup: {speedup:.2f}x, records identical: {identical}")
+
+    result = {
+        "label": args.label,
+        "preset": args.preset,
+        "points": len(jobs),
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "points_per_sec_serial": round(len(jobs) / serial_s, 3),
+        "points_per_sec_parallel": round(len(jobs) / parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "records_identical": identical,
+    }
+    out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,6 @@ prose:
 * Table 4's cost claim — PolSP at 2, 4 and 6 VCs.
 """
 
-import pytest
-
 from conftest import BENCH, once
 from repro.experiments.reporting import ascii_table
 from repro.routing.catalog import make_mechanism

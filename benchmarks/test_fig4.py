@@ -17,7 +17,8 @@ def test_fig4_2d_loadsweep(benchmark):
     print("\nFigure 4 — 2D saturation throughput (max accepted over loads)")
     print(throughput_matrix(recs))
 
-    sat = lambda m, t: saturation_throughput(recs, m, t)
+    def sat(m, t):
+        return saturation_throughput(recs, m, t)
 
     # Uniform: Valiant capped near 0.5, everyone else clearly above.
     assert abs(sat("Valiant", "uniform") - 0.5) < 0.12

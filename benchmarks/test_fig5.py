@@ -17,7 +17,8 @@ def test_fig5_3d_loadsweep(benchmark):
     print("\nFigure 5 — 3D saturation throughput (max accepted over loads)")
     print(throughput_matrix(recs))
 
-    sat = lambda m, t: saturation_throughput(recs, m, t)
+    def sat(m, t):
+        return saturation_throughput(recs, m, t)
 
     # The 2D orderings carry over.
     assert abs(sat("Valiant", "uniform") - 0.5) < 0.12

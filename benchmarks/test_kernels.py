@@ -6,7 +6,6 @@ paper's "cost in the order of using Minimal routing" claim — and the
 simulator's slot rate, which sets the wall-clock budget of every figure.
 """
 
-import numpy as np
 
 from repro.routing.catalog import make_mechanism
 from repro.simulator.engine import Simulator

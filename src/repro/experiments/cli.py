@@ -4,12 +4,16 @@ Examples::
 
     surepath-sim table3 --scale paper
     surepath-sim fig4 --scale tiny
+    surepath-sim fig4 --scale small --jobs 4 --cache-dir ~/.cache/surepath
     surepath-sim fig6 --scale small --dims 3
     surepath-sim fig10 --scale tiny --csv out.csv
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
-the exact paper topologies (slow in pure Python — see DESIGN.md).
+the exact paper topologies (slow in pure Python — see DESIGN.md).  The
+sweep-based figures (4, 5, 6, 8, 9) accept ``--jobs N`` to simulate
+points on a process pool and ``--cache-dir DIR`` to reuse previously
+simulated points across runs.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import sys
 from ..routing.catalog import MECHANISMS
 from ..topology.base import Network
 from . import figures
+from .executor import make_executor
 from .reporting import ascii_table, curve_sparkline, records_to_csv, throughput_matrix
 from .runner import ExperimentRunner
 from .scales import SCALES, get_scale
@@ -31,12 +36,25 @@ SWEEP_COLUMNS = (
 )
 
 
+#: Subcommands whose points run through an executor (--jobs/--cache-dir).
+SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "fig9"})
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", default="tiny", choices=sorted(SCALES),
                    help="experiment scale preset (default: tiny)")
     p.add_argument("--seed", type=int, default=0, help="simulation seed")
     p.add_argument("--csv", metavar="FILE", help="also write records as CSV")
     p.add_argument("--json", metavar="FILE", help="also write records as JSON")
+
+
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="simulate sweep points on N worker processes "
+                        "(default: serial)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="content-addressed result cache; repeated runs "
+                        "reuse already-simulated points")
 
 
 def _emit(records, args, columns=None, title=None) -> None:
@@ -79,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_)
         _add_common(p)
+        if name in SWEEP_COMMANDS:
+            _add_executor_args(p)
         if name == "fig1":
             p.add_argument("--sequences", type=int, default=4)
             p.add_argument("--step", type=int, default=64)
@@ -97,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     cmd = args.command
+    executor = make_executor(
+        getattr(args, "jobs", None), getattr(args, "cache_dir", None)
+    )
 
     if cmd == "table2":
         rows = [{"parameter": k, "value": v} for k, v in figures.table2()]
@@ -130,26 +153,27 @@ def main(argv: list[str] | None = None) -> int:
               f"(aligned-route bound {info['aligned_bound']})")
         print(info["plane"])
     elif cmd == "fig4":
-        recs = figures.fig4_2d_loadsweep(args.scale, seed=args.seed)
+        recs = figures.fig4_2d_loadsweep(args.scale, seed=args.seed, executor=executor)
         print(throughput_matrix(recs))
         _emit(recs, args, SWEEP_COLUMNS, "Figure 4 — 2D load sweep")
     elif cmd == "fig5":
-        recs = figures.fig5_3d_loadsweep(args.scale, seed=args.seed)
+        recs = figures.fig5_3d_loadsweep(args.scale, seed=args.seed, executor=executor)
         print(throughput_matrix(recs))
         _emit(recs, args, SWEEP_COLUMNS, "Figure 5 — 3D load sweep")
     elif cmd == "fig6":
-        recs = figures.fig6_random_faults(args.scale, dims=args.dims, seed=args.seed)
+        recs = figures.fig6_random_faults(args.scale, dims=args.dims, seed=args.seed,
+                                          executor=executor)
         _emit(recs, args, ("mechanism", "traffic", "faults", "accepted"),
               f"Figure 6 — {args.dims}D random-fault sweep")
     elif cmd == "fig7":
         _emit(figures.fig7_fault_shapes(args.scale), args,
               title="Figure 7 — 2D fault shapes")
     elif cmd == "fig8":
-        recs = figures.fig8_2d_shape_faults(args.scale, seed=args.seed)
+        recs = figures.fig8_2d_shape_faults(args.scale, seed=args.seed, executor=executor)
         _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
               "Figure 8 — 2D structured faults")
     elif cmd == "fig9":
-        recs = figures.fig9_3d_shape_faults(args.scale, seed=args.seed)
+        recs = figures.fig9_3d_shape_faults(args.scale, seed=args.seed, executor=executor)
         _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
               "Figure 9 — 3D structured faults")
     elif cmd == "fig10":

@@ -1,0 +1,328 @@
+"""Parallel point-execution subsystem for experiment sweeps.
+
+Every figure of the paper is a sweep over *independent* simulation points
+— (network, mechanism, traffic, load, seed) tuples.  This module turns a
+sweep into data plus a strategy:
+
+* :class:`PointJob` — a fully-specified, picklable description of one
+  point: topology, fault set, :class:`~repro.experiments.runner.PointSpec`
+  and the run window.  Sweeps *generate* lists of jobs instead of
+  simulating inline.
+* :func:`run_job` — simulates one job to a flat record dict.  A
+  per-process runner cache reuses routing tables / escape subnetworks
+  across jobs on the same network, so workers pay table construction once
+  per (topology, faults, root) — exactly like the serial runner did.
+* :class:`SerialExecutor` — runs jobs in-process, in order; its output is
+  record-for-record identical to the historical nested-loop sweeps.
+* :class:`ParallelExecutor` — fans jobs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Results keep job
+  order, and because every job carries its own seed the records are
+  deterministic and identical to the serial ones regardless of worker
+  count or scheduling.
+* Content-addressed result cache — any executor can be given a
+  ``cache_dir``; records are stored under a SHA-256 of the job's full
+  content (topology signature, faults, point spec, window, simulator
+  config), so repeated figure runs are free and stale entries are
+  impossible by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..simulator.config import PAPER_CONFIG, SimConfig
+from ..simulator.metrics import SimResult
+from ..topology.base import Link, Network, Topology
+from ..topology.hyperx import HyperX
+from .runner import ExperimentRunner, PointSpec
+
+#: Salt of the on-disk cache key.  Bump whenever a simulator/routing
+#: change alters what a point produces, so stale records from earlier
+#: package versions can never satisfy a new run.
+CACHE_VERSION = 1
+
+#: Keys every sweep record carries (historically defined in ``sweeps``;
+#: re-exported there for compatibility).
+RECORD_KEYS = (
+    "mechanism",
+    "traffic",
+    "offered",
+    "accepted",
+    "latency_cycles",
+    "jain",
+    "faults",
+    "deadlocked",
+    "stalled",
+    "escape_fraction",
+    "avg_hops",
+)
+
+
+@dataclass(frozen=True)
+class PointJob:
+    """One fully-specified simulation point, ready to run anywhere.
+
+    Jobs are plain data: they pickle across process boundaries and
+    serialise to a canonical JSON payload for content-addressed caching.
+    The seed travels inside ``spec`` — parallel scheduling can never
+    change which seed a point gets.
+    """
+
+    topology: Topology
+    faults: tuple[Link, ...]
+    spec: PointSpec
+    warmup: int
+    measure: int
+    config: SimConfig = PAPER_CONFIG
+
+    def network(self) -> Network:
+        return Network(self.topology, self.faults)
+
+
+#: Per-object memo of topology signatures: sweeps reuse one topology
+#: across hundreds of jobs, and the generic (non-HyperX) signature walks
+#: every neighbour list — worth computing once per object, not per job.
+_SIGNATURE_MEMO: "weakref.WeakKeyDictionary[Topology, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def topology_signature(topo: Topology) -> str:
+    """A content-complete signature of a topology (canonical JSON).
+
+    HyperX gets a compact form; any other topology falls back to its full
+    neighbour lists (which define a :class:`Topology` entirely).
+    """
+    sig = _SIGNATURE_MEMO.get(topo)
+    if sig is None:
+        if isinstance(topo, HyperX):
+            payload = ["HyperX", list(topo.sides), topo.servers_per_switch]
+        else:
+            payload = [
+                type(topo).__name__,
+                topo.servers_per_switch,
+                [list(topo.neighbours(s)) for s in range(topo.n_switches)],
+            ]
+        sig = json.dumps(payload, separators=(",", ":"))
+        _SIGNATURE_MEMO[topo] = sig
+    return sig
+
+
+def job_key(job: PointJob) -> str:
+    """SHA-256 over the job's canonical content — the cache address."""
+    spec = job.spec
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "topology": topology_signature(job.topology),
+        "faults": sorted([a, b] for a, b in job.faults),
+        "mechanism": spec.mechanism,
+        "traffic": spec.traffic,
+        "offered": spec.offered,
+        "seed": spec.seed,
+        "n_vcs": spec.n_vcs,
+        "root": spec.root,
+        "warmup": job.warmup,
+        "measure": job.measure,
+        "config": asdict(job.config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def make_record(job: PointJob, result: SimResult) -> dict:
+    """Flatten one job's :class:`SimResult` into a sweep record."""
+    return {
+        "mechanism": job.spec.mechanism,
+        "traffic": job.spec.traffic,
+        "offered": result.offered,
+        "accepted": result.accepted,
+        "latency_cycles": result.avg_latency_cycles,
+        "jain": result.jain,
+        "faults": len(job.faults),
+        "deadlocked": result.deadlocked,
+        "stalled": result.stalled_packets,
+        "escape_fraction": result.escape_hop_fraction,
+        "avg_hops": result.avg_hops,
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-process runner cache
+# ----------------------------------------------------------------------
+#: Runners keyed by network content, so consecutive jobs on the same
+#: (topology, faults, root, config) share routing tables and the escape
+#: subnetwork — in the serial executor and inside every pool worker alike.
+_RUNNER_CACHE: dict[tuple, ExperimentRunner] = {}
+_RUNNER_CACHE_MAX = 4
+
+
+def _runner_key(job: PointJob) -> tuple:
+    return (
+        topology_signature(job.topology),
+        frozenset(job.faults),
+        job.config,
+        job.spec.root,
+    )
+
+
+def _get_runner(job: PointJob) -> ExperimentRunner:
+    key = _runner_key(job)
+    runner = _RUNNER_CACHE.get(key)
+    if runner is None:
+        if len(_RUNNER_CACHE) >= _RUNNER_CACHE_MAX:
+            # Sweeps emit jobs grouped by network; dropping the oldest
+            # entry keeps memory bounded without hurting that pattern.
+            _RUNNER_CACHE.pop(next(iter(_RUNNER_CACHE)))
+        runner = ExperimentRunner(
+            job.network(), config=job.config, root=job.spec.root
+        )
+        _RUNNER_CACHE[key] = runner
+    return runner
+
+
+def run_job(job: PointJob) -> dict:
+    """Simulate one job and return its sweep record."""
+    runner = _get_runner(job)
+    spec = job.spec
+    result = runner.run_point(
+        spec.mechanism,
+        spec.traffic,
+        spec.offered,
+        warmup=job.warmup,
+        measure=job.measure,
+        seed=spec.seed,
+        n_vcs=spec.n_vcs,
+    )
+    return make_record(job, result)
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class Executor:
+    """Runs job lists to record lists, with optional on-disk caching.
+
+    Subclasses implement :meth:`_execute`; the base class handles the
+    content-addressed cache so every strategy gets it for free.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists() \
+                and not self.cache_dir.is_dir():
+            raise ValueError(
+                f"cache dir {str(self.cache_dir)!r} exists and is not a directory"
+            )
+
+    # -- cache ---------------------------------------------------------
+    def _cache_path(self, job: PointJob) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{job_key(job)}.json"
+
+    def _cache_load(self, job: PointJob) -> dict | None:
+        path = self._cache_path(job)
+        try:
+            with open(path) as f:
+                return json.load(f)["record"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _cache_store(self, job: PointJob, record: dict) -> None:
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(job)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as f:
+            json.dump({"key": path.stem, "record": record}, f)
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see halves
+
+    # -- driving -------------------------------------------------------
+    def run(self, jobs: Iterable[PointJob]) -> list[dict]:
+        """Run ``jobs``; the result list matches the job order."""
+        jobs = list(jobs)
+        records: list[dict | None] = [None] * len(jobs)
+        misses = []
+        for i, job in enumerate(jobs):
+            hit = self._cache_load(job) if self.cache_dir else None
+            if hit is not None:
+                records[i] = hit
+            else:
+                misses.append(i)
+        if misses:
+            fresh = self._execute([jobs[i] for i in misses])
+            for i, rec in zip(misses, fresh):
+                records[i] = rec
+                if self.cache_dir:
+                    self._cache_store(jobs[i], rec)
+        return records  # type: ignore[return-value]
+
+    def _execute(self, jobs: Sequence[PointJob]) -> list[dict]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the historical sweep behaviour."""
+
+    def _execute(self, jobs: Sequence[PointJob]) -> list[dict]:
+        return [run_job(job) for job in jobs]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution of independent points.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; defaults to the machine's CPU count.  Results are
+        identical to :class:`SerialExecutor` for any value — every point
+        carries its own seed and the pool preserves job order.
+    cache_dir:
+        Optional content-addressed result cache shared with every other
+        executor.
+    chunksize:
+        Jobs handed to a worker per dispatch.  Sweeps emit jobs grouped
+        by network, so chunks keep a worker on one network long enough to
+        amortise its routing-table construction (jobs inside one chunk
+        also share their pickled topology).  Defaults to splitting the
+        work list about four ways per worker — big enough to amortise,
+        small enough to load-balance.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        chunksize: int | None = None,
+    ):
+        super().__init__(cache_dir)
+        self.n_workers = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.chunksize = None if chunksize is None else max(1, int(chunksize))
+
+    def _execute(self, jobs: Sequence[PointJob]) -> list[dict]:
+        if self.n_workers == 1 or len(jobs) <= 1:
+            return [run_job(job) for job in jobs]
+        workers = min(self.n_workers, len(jobs))
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_job, jobs, chunksize=chunksize))
+
+
+def make_executor(
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> Executor:
+    """The executor the CLI flags describe: serial unless ``jobs > 1``."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor(cache_dir=cache_dir)
+    return ParallelExecutor(jobs=jobs, cache_dir=cache_dir)

@@ -200,6 +200,7 @@ def fig4_2d_loadsweep(
     scale: str | Scale = "tiny",
     mechanisms: tuple[str, ...] = MECHANISMS,
     seed: int = 0,
+    executor=None,
 ) -> list[dict]:
     """2D HyperX: throughput/latency/Jain vs offered load (Figure 4).
 
@@ -211,7 +212,7 @@ def fig4_2d_loadsweep(
     net = Network(sc.hyperx_2d())
     return load_sweep(
         net, mechanisms, TRAFFICS_2D, sc.loads,
-        warmup=sc.warmup, measure=sc.measure, seed=seed,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
     )
 
 
@@ -219,6 +220,7 @@ def fig5_3d_loadsweep(
     scale: str | Scale = "tiny",
     mechanisms: tuple[str, ...] = MECHANISMS,
     seed: int = 0,
+    executor=None,
 ) -> list[dict]:
     """3D HyperX: Figure 4's sweep plus the RPN pattern (Figure 5).
 
@@ -229,7 +231,7 @@ def fig5_3d_loadsweep(
     net = Network(sc.hyperx_3d())
     return load_sweep(
         net, mechanisms, TRAFFICS_3D, sc.loads,
-        warmup=sc.warmup, measure=sc.measure, seed=seed,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
     )
 
 
@@ -241,6 +243,7 @@ def fig6_random_faults(
     dims: int = 2,
     seed: int = 0,
     fault_seed: int = 12345,
+    executor=None,
 ) -> list[dict]:
     """Saturation throughput of OmniSP/PolSP vs random fault count.
 
@@ -259,7 +262,7 @@ def fig6_random_faults(
     return fault_sweep(
         hx, ("OmniSP", "PolSP"), traffics, counts,
         offered=1.0, warmup=sc.warmup, measure=sc.measure,
-        seed=seed, fault_seed=fault_seed,
+        seed=seed, fault_seed=fault_seed, executor=executor,
     )
 
 
@@ -323,6 +326,7 @@ def _shape_bars(
     traffics: tuple[str, ...],
     sc: Scale,
     seed: int,
+    executor=None,
 ) -> list[dict]:
     params = shape_parameters(hx)
     records: list[dict] = []
@@ -333,7 +337,7 @@ def _shape_bars(
         recs = shape_fault_run(
             net, ("OmniSP", "PolSP"), traffics,
             offered=1.0, warmup=sc.warmup, measure=sc.measure,
-            seed=seed, root=root,
+            seed=seed, root=root, executor=executor,
         )
         for r in recs:
             r["shape"] = shape
@@ -342,7 +346,7 @@ def _shape_bars(
         healthy = shape_fault_run(
             Network(hx), ("OmniSP", "PolSP"), traffics,
             offered=1.0, warmup=sc.warmup, measure=sc.measure,
-            seed=seed, root=root,
+            seed=seed, root=root, executor=executor,
         )
         for r in healthy:
             r["shape"] = f"{shape}-healthy-ref"
@@ -350,17 +354,21 @@ def _shape_bars(
     return records
 
 
-def fig8_2d_shape_faults(scale: str | Scale = "tiny", seed: int = 0) -> list[dict]:
+def fig8_2d_shape_faults(
+    scale: str | Scale = "tiny", seed: int = 0, executor=None
+) -> list[dict]:
     """2D throughput bars under Row/Subplane/Cross faults (Figure 8).
 
     Expected shape: Row and Subplane cost ~11%; Cross is the stressor
     (~37% drop under Uniform, paper scale); OmniSP ~ PolSP throughout.
     """
     sc = _scale(scale)
-    return _shape_bars(sc.hyperx_2d(), SHAPES_2D, TRAFFICS_2D, sc, seed)
+    return _shape_bars(sc.hyperx_2d(), SHAPES_2D, TRAFFICS_2D, sc, seed, executor)
 
 
-def fig9_3d_shape_faults(scale: str | Scale = "tiny", seed: int = 0) -> list[dict]:
+def fig9_3d_shape_faults(
+    scale: str | Scale = "tiny", seed: int = 0, executor=None
+) -> list[dict]:
     """3D throughput bars under Row/Subcube/Star faults + RPN (Figure 9).
 
     Expected shape: Row/Subcube analogous to 2D; PolSP keeps its RPN edge
@@ -368,7 +376,7 @@ def fig9_3d_shape_faults(scale: str | Scale = "tiny", seed: int = 0) -> list[dic
     analysis of Figure 10).
     """
     sc = _scale(scale)
-    return _shape_bars(sc.hyperx_3d(), SHAPES_3D, TRAFFICS_3D, sc, seed)
+    return _shape_bars(sc.hyperx_3d(), SHAPES_3D, TRAFFICS_3D, sc, seed, executor)
 
 
 # ----------------------------------------------------------------------

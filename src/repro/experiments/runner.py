@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..routing.catalog import HYPERX_ONLY, make_mechanism
+from ..routing.catalog import make_mechanism
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..simulator.engine import Simulator
 from ..simulator.injection import BatchInjection
@@ -24,7 +24,7 @@ from ..traffic.base import TrafficPattern
 from ..updown.escape import EscapeSubnetwork
 
 
-@dataclass
+@dataclass(frozen=True)
 class PointSpec:
     """Everything identifying one simulated point."""
 
@@ -143,8 +143,6 @@ class ExperimentRunner:
 
     def supported_mechanisms(self, names: Iterable[str]) -> list[str]:
         """Filter mechanism names to those the network's topology supports."""
-        from ..topology.hyperx import HyperX
+        from ..routing.catalog import supported_mechanisms
 
-        if isinstance(self.network.topology, HyperX):
-            return list(names)
-        return [n for n in names if n not in HYPERX_ONLY]
+        return supported_mechanisms(self.network.topology, names)

@@ -1,49 +1,77 @@
 """Parameter sweeps: load sweeps (Figures 4/5) and fault sweeps (Figure 6).
 
-Sweep outputs are flat lists of records (plain dicts) so the reporting
-module, the benchmark suite and external analysis can consume them without
-custom types.
+Sweeps are *declarative*: each driver first generates a flat work list of
+fully-specified :class:`~repro.experiments.executor.PointJob` objects
+(``*_jobs`` functions), then hands it to an
+:class:`~repro.experiments.executor.Executor` — serial by default,
+process-parallel and/or disk-cached when the caller provides one.  Sweep
+outputs are flat lists of records (plain dicts) so the reporting module,
+the benchmark suite and external analysis can consume them without custom
+types.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..routing.catalog import supported_mechanisms
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..topology.base import Network, Topology
 from ..topology.faults import random_connected_fault_sequence
-from .runner import ExperimentRunner
+from .executor import RECORD_KEYS, Executor, PointJob, SerialExecutor
+from .runner import PointSpec
 
-#: Keys every sweep record carries.
-RECORD_KEYS = (
-    "mechanism",
-    "traffic",
-    "offered",
-    "accepted",
-    "latency_cycles",
-    "jain",
-    "faults",
-    "deadlocked",
-    "stalled",
-    "escape_fraction",
-    "avg_hops",
-)
+__all__ = [
+    "RECORD_KEYS",
+    "fault_sweep",
+    "fault_sweep_jobs",
+    "filter_records",
+    "load_sweep",
+    "load_sweep_jobs",
+    "saturation_throughput",
+    "shape_fault_run",
+    "shape_fault_run_jobs",
+    "supported_mechanisms",
+]
 
 
-def _record(mechanism: str, traffic: str, result, faults: int = 0) -> dict:
-    return {
-        "mechanism": mechanism,
-        "traffic": traffic,
-        "offered": result.offered,
-        "accepted": result.accepted,
-        "latency_cycles": result.avg_latency_cycles,
-        "jain": result.jain,
-        "faults": faults,
-        "deadlocked": result.deadlocked,
-        "stalled": result.stalled_packets,
-        "escape_fraction": result.escape_hop_fraction,
-        "avg_hops": result.avg_hops,
-    }
+def _run(jobs: list[PointJob], executor: Executor | None) -> list[dict]:
+    return (executor if executor is not None else SerialExecutor()).run(jobs)
+
+
+# ----------------------------------------------------------------------
+# Load sweeps (Figures 4 and 5)
+# ----------------------------------------------------------------------
+def load_sweep_jobs(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+) -> list[PointJob]:
+    """The work list behind :func:`load_sweep`: one job per point."""
+    faults = tuple(sorted(network.faults))
+    return [
+        PointJob(
+            topology=network.topology,
+            faults=faults,
+            spec=PointSpec(
+                mechanism, traffic, offered, seed=seed, n_vcs=n_vcs, root=root
+            ),
+            warmup=warmup,
+            measure=measure,
+            config=config,
+        )
+        for traffic in traffics
+        for mechanism in supported_mechanisms(network.topology, mechanisms)
+        for offered in loads
+    ]
 
 
 def load_sweep(
@@ -58,22 +86,71 @@ def load_sweep(
     config: SimConfig = PAPER_CONFIG,
     root: int = 0,
     n_vcs: int | None = None,
+    executor: Executor | None = None,
 ) -> list[dict]:
     """Throughput/latency/Jain versus offered load (Figures 4 and 5).
 
-    Returns one record per (mechanism, traffic, load).
+    Returns one record per (mechanism, traffic, load), in nested-loop
+    order regardless of the executor's scheduling.
     """
-    runner = ExperimentRunner(network, config=config, root=root)
-    out: list[dict] = []
-    for traffic in traffics:
-        for mechanism in runner.supported_mechanisms(mechanisms):
-            for offered in loads:
-                res = runner.run_point(
-                    mechanism, traffic, offered,
-                    warmup=warmup, measure=measure, seed=seed, n_vcs=n_vcs,
+    jobs = load_sweep_jobs(
+        network, mechanisms, traffics, loads,
+        warmup=warmup, measure=measure, seed=seed, config=config,
+        root=root, n_vcs=n_vcs,
+    )
+    return _run(jobs, executor)
+
+
+# ----------------------------------------------------------------------
+# Fault sweeps (Figure 6)
+# ----------------------------------------------------------------------
+def fault_sweep_jobs(
+    topology: Topology,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    fault_counts: Sequence[int],
+    *,
+    offered: float = 1.0,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    fault_seed: int = 12345,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+) -> list[PointJob]:
+    """The work list behind :func:`fault_sweep`: one job per point.
+
+    One random connected fault sequence is drawn; each requested count is
+    a prefix of it, so fault sets are nested exactly as in the paper's
+    "sequence of random faults" scenario.
+    """
+    counts = sorted(set(int(c) for c in fault_counts))
+    if counts and counts[-1] > 0:
+        sequence = random_connected_fault_sequence(
+            topology, counts[-1], rng=fault_seed
+        )
+    else:
+        sequence = []
+    jobs: list[PointJob] = []
+    for count in counts:
+        faults = tuple(sequence[:count])
+        for traffic in traffics:
+            for mechanism in supported_mechanisms(topology, mechanisms):
+                jobs.append(
+                    PointJob(
+                        topology=topology,
+                        faults=faults,
+                        spec=PointSpec(
+                            mechanism, traffic, offered, seed=seed,
+                            n_vcs=4 if n_vcs is None else n_vcs, root=root,
+                        ),
+                        warmup=warmup,
+                        measure=measure,
+                        config=config,
+                    )
                 )
-                out.append(_record(mechanism, traffic, res, len(network.faults)))
-    return out
+    return jobs
 
 
 def fault_sweep(
@@ -90,34 +167,53 @@ def fault_sweep(
     config: SimConfig = PAPER_CONFIG,
     root: int = 0,
     n_vcs: int | None = None,
+    executor: Executor | None = None,
 ) -> list[dict]:
     """Saturation throughput versus cumulative random faults (Figure 6).
 
-    One random connected fault sequence is drawn; each requested count is
-    a prefix of it, so fault sets are nested exactly as in the paper's
-    "sequence of random faults" scenario.  SurePath mechanisms use 4 VCs
-    by default here, matching §6 (pass ``n_vcs`` to override).
+    SurePath mechanisms use 4 VCs by default here, matching §6 (pass
+    ``n_vcs`` to override).
     """
-    counts = sorted(set(int(c) for c in fault_counts))
-    if counts and counts[-1] > 0:
-        sequence = random_connected_fault_sequence(
-            topology, counts[-1], rng=fault_seed
+    jobs = fault_sweep_jobs(
+        topology, mechanisms, traffics, fault_counts,
+        offered=offered, warmup=warmup, measure=measure, seed=seed,
+        fault_seed=fault_seed, config=config, root=root, n_vcs=n_vcs,
+    )
+    return _run(jobs, executor)
+
+
+# ----------------------------------------------------------------------
+# Structured-fault runs (Figures 8 and 9)
+# ----------------------------------------------------------------------
+def shape_fault_run_jobs(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    *,
+    offered: float = 1.0,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = 4,
+) -> list[PointJob]:
+    """The work list behind :func:`shape_fault_run`."""
+    faults = tuple(sorted(network.faults))
+    return [
+        PointJob(
+            topology=network.topology,
+            faults=faults,
+            spec=PointSpec(
+                mechanism, traffic, offered, seed=seed, n_vcs=n_vcs, root=root
+            ),
+            warmup=warmup,
+            measure=measure,
+            config=config,
         )
-    else:
-        sequence = []
-    out: list[dict] = []
-    for count in counts:
-        network = Network(topology, sequence[:count])
-        runner = ExperimentRunner(network, config=config, root=root)
-        for traffic in traffics:
-            for mechanism in runner.supported_mechanisms(mechanisms):
-                res = runner.run_point(
-                    mechanism, traffic, offered,
-                    warmup=warmup, measure=measure, seed=seed,
-                    n_vcs=4 if n_vcs is None else n_vcs,
-                )
-                out.append(_record(mechanism, traffic, res, count))
-    return out
+        for traffic in traffics
+        for mechanism in supported_mechanisms(network.topology, mechanisms)
+    ]
 
 
 def shape_fault_run(
@@ -132,20 +228,20 @@ def shape_fault_run(
     config: SimConfig = PAPER_CONFIG,
     root: int = 0,
     n_vcs: int | None = 4,
+    executor: Executor | None = None,
 ) -> list[dict]:
     """Saturation throughput on one structured-fault network (Figures 8/9)."""
-    runner = ExperimentRunner(network, config=config, root=root)
-    out: list[dict] = []
-    for traffic in traffics:
-        for mechanism in runner.supported_mechanisms(mechanisms):
-            res = runner.run_point(
-                mechanism, traffic, offered,
-                warmup=warmup, measure=measure, seed=seed, n_vcs=n_vcs,
-            )
-            out.append(_record(mechanism, traffic, res, len(network.faults)))
-    return out
+    jobs = shape_fault_run_jobs(
+        network, mechanisms, traffics,
+        offered=offered, warmup=warmup, measure=measure, seed=seed,
+        config=config, root=root, n_vcs=n_vcs,
+    )
+    return _run(jobs, executor)
 
 
+# ----------------------------------------------------------------------
+# Record helpers
+# ----------------------------------------------------------------------
 def filter_records(
     records: Iterable[dict], **criteria
 ) -> list[dict]:

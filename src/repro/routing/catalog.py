@@ -43,6 +43,13 @@ SUREPATH_MECHANISMS: tuple[str, ...] = ("OmniSP", "PolSP")
 HYPERX_ONLY: tuple[str, ...] = ("OmniWAR", "OmniSP")
 
 
+def supported_mechanisms(topology, names) -> list[str]:
+    """Filter mechanism names to those the topology supports."""
+    if isinstance(topology, HyperX):
+        return list(names)
+    return [n for n in names if n not in HYPERX_ONLY]
+
+
 def default_n_vcs(network: Network) -> int:
     """The paper's fair-comparison VC budget: ``2n`` for an nD HyperX.
 

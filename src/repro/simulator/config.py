@@ -9,7 +9,7 @@ penalty constants apply unchanged (see DESIGN.md, "Key substitutions").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

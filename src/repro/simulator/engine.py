@@ -183,33 +183,60 @@ class Simulator:
         self.switches[upstream].return_credit(self.rev_port[sw.sid][port], vc)
 
     def _allocate(self) -> int:
-        """Phase 2: Q+P requests, per-output-port grants."""
+        """Phase 2: Q+P requests, per-output-port grants.
+
+        Two hot-path shortcuts keep this loop cheap without changing any
+        outcome:
+
+        * ``mech.candidates`` is memoised on the packet (``cand_switch`` /
+          ``cand_list``): candidates depend only on per-packet routing
+          state, which changes in ``on_hop`` — a head-of-line packet
+          blocked by flow control re-requests the same candidate set every
+          slot, so recomputing it was pure waste.
+        * Flow control (``can_accept``) and the ``Q`` term are inlined on
+          the switch's raw credit/occupancy arrays instead of going
+          through per-candidate method calls.
+        """
         granted = 0
         mech = self.mechanism
         phits = self._phits
         speedup = self.cfg.crossbar_speedup
+        out_cap = self.cfg.output_buffer_packets
         rng = self.rng
         metrics = self.metrics
+        n_vcs = self._n_vcs
+        port_neighbour = self.network.port_neighbour
         for sw in self.switches:
             if not sw.active_inputs:
                 continue
             sid = sw.sid
+            in_q = sw.in_q
+            credits = sw.credits
+            out_q = sw.out_q
+            load = sw.load
+            port_load = sw.port_load
             # ---- requests -------------------------------------------------
             requests: dict[int, list[tuple[int, float, int, int, Packet]]] = {}
             for idx in sw.active_inputs:
-                pkt = sw.in_q[idx][0]
+                pkt = in_q[idx][0]
                 if pkt.dst_switch == sid:
                     continue  # waiting for ejection
-                cands = mech.candidates(pkt, sid)
+                if pkt.cand_switch == sid:
+                    cands = pkt.cand_list
+                else:
+                    cands = mech.candidates(pkt, sid)
+                    pkt.cand_switch = sid
+                    pkt.cand_list = cands
                 if not cands:
                     metrics.on_stalled(pkt)
                     continue
                 best_score = None
                 best: list[tuple[int, int]] = []
                 for port, vc, pen in cands:
-                    if not sw.can_accept(port, vc):
+                    pv = port * n_vcs + vc
+                    if credits[pv] <= 0 or len(out_q[pv]) >= out_cap:
                         continue
-                    score = sw.q_value(port, vc) * phits + pen
+                    score = (port_load[port] + load[pv]) * phits + pen
                     if best_score is None or score < best_score:
                         best_score = score
                         best = [(port, vc)]
@@ -226,6 +253,7 @@ class Simulator:
             if not requests:
                 continue
             # ---- grants ---------------------------------------------------
+            npv = sw.n_ports * n_vcs
             input_wins: dict[int, int] = {}
             for port, reqs in requests.items():
                 reqs.sort()
@@ -233,18 +261,20 @@ class Simulator:
                 for score, _tie, idx, vc, pkt in reqs:
                     if grants_here >= speedup:
                         break
-                    in_port = sw.input_port(idx)
+                    in_port = idx // n_vcs if idx < npv else sw.n_ports + (idx - npv)
                     if input_wins.get(in_port, 0) >= speedup:
                         continue
-                    if not sw.can_accept(port, vc):
+                    pv = port * n_vcs + vc
+                    if credits[pv] <= 0 or len(out_q[pv]) >= out_cap:
                         continue  # an earlier grant consumed the last slot
-                    sw.in_q[idx].popleft()
-                    if not sw.in_q[idx]:
+                    in_q[idx].popleft()
+                    if not in_q[idx]:
                         sw.active_inputs.discard(idx)
                     self._return_input_credit(sw, idx)
-                    sw.grant(sw.pv(port, vc), pkt)
-                    new_switch = self.network.port_neighbour[sid][port]
+                    sw.grant(pv, pkt)
+                    new_switch = port_neighbour[sid][port]
                     mech.on_hop(pkt, sid, new_switch, port, vc)
+                    pkt.cand_switch = -1
                     input_wins[in_port] = input_wins.get(in_port, 0) + 1
                     grants_here += 1
                     granted += 1

@@ -33,6 +33,9 @@ class Packet:
         "escape_phase",
         "escape_hops",
         "forced_hops",
+        # --- engine-managed candidate cache ---
+        "cand_switch",
+        "cand_list",
     )
 
     def __init__(
@@ -61,6 +64,11 @@ class Packet:
         self.escape_phase = 0
         self.escape_hops = 0
         self.forced_hops = 0
+        # Routing candidates computed at switch ``cand_switch`` — valid
+        # until the packet hops (candidates depend only on per-packet
+        # routing state, which changes in on_hop, never between slots).
+        self.cand_switch = -1
+        self.cand_list: list | None = None
 
     @property
     def delivered(self) -> bool:

@@ -150,7 +150,7 @@ class Network:
 
     def live_links(self) -> list[Link]:
         """Normalised list of live (non-faulty) links."""
-        return [l for l in self.topology.links() if l not in self.faults]
+        return [link for link in self.topology.links() if link not in self.faults]
 
     def neighbour_on_port(self, s: int, p: int) -> int:
         """Neighbour reached through port ``p`` of switch ``s`` (-1 if dead)."""

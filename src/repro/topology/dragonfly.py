@@ -96,9 +96,9 @@ class Dragonfly(Topology):
         grp, loc = self.group_of(s), self.local_of(s)
         out: list[int] = []
         # Local ports first: the rest of the group's complete graph.
-        for l in range(self.a):
-            if l != loc:
-                out.append(self.switch_id(grp, l))
+        for other in range(self.a):
+            if other != loc:
+                out.append(self.switch_id(grp, other))
         # Then the h global ports of this switch.
         for k in range(self.h):
             channel = loc * self.h + k

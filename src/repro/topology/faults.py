@@ -95,9 +95,9 @@ def _clique_links(switches: Sequence[int], topology: Topology) -> list[Link]:
     have = set(topology.links())
     out = []
     for a, b in combinations(sorted(set(switches)), 2):
-        l = normalize_link(a, b)
-        if l in have:
-            out.append(l)
+        link = normalize_link(a, b)
+        if link in have:
+            out.append(link)
     return sorted(out)
 
 
@@ -262,7 +262,7 @@ def switch_faults(topology: Topology, switches: Sequence[int]) -> list[Link]:
     for s in dead:
         if not 0 <= s < topology.n_switches:
             raise ValueError(f"switch {s} out of range")
-    return sorted(l for l in topology.links() if l[0] in dead or l[1] in dead)
+    return sorted(link for link in topology.links() if link[0] in dead or link[1] in dead)
 
 
 def random_switch_fault_sequence(

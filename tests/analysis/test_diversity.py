@@ -38,7 +38,7 @@ class TestMinimalPathCounts:
         assert minimal_path_count(faulty, s, t) == 1
 
     def test_disconnected_pair_counts_zero(self, hx2d):
-        faults = [l for l in hx2d.links() if 0 in l]
+        faults = [link for link in hx2d.links() if 0 in link]
         net = Network(hx2d, faults)
         assert minimal_path_count(net, 0, 5) == 0
 

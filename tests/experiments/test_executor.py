@@ -1,0 +1,188 @@
+"""Executor subsystem tests: jobs, serial/parallel equivalence, caching."""
+
+import pytest
+
+from repro.experiments import executor as executor_mod
+from repro.experiments.executor import (
+    ParallelExecutor,
+    PointJob,
+    SerialExecutor,
+    job_key,
+    make_executor,
+    run_job,
+)
+from repro.experiments.runner import ExperimentRunner, PointSpec
+from repro.experiments.sweeps import (
+    fault_sweep,
+    fault_sweep_jobs,
+    load_sweep,
+    load_sweep_jobs,
+)
+from repro.topology.base import Network
+
+SWEEP_KW = dict(warmup=30, measure=60)
+
+
+def _fig4_style(net2d, executor=None):
+    """A miniature Figure-4 sweep: 2 mechanisms x 1 traffic x 2 loads."""
+    return load_sweep(
+        net2d, ["Minimal", "PolSP"], ["uniform"], [0.2, 0.6],
+        executor=executor, **SWEEP_KW,
+    )
+
+
+class TestPointJobs:
+    def test_one_job_per_point_in_nested_loop_order(self, net2d):
+        jobs = load_sweep_jobs(
+            net2d, ["Minimal", "PolSP"], ["uniform"], [0.2, 0.6], **SWEEP_KW
+        )
+        assert [(j.spec.mechanism, j.spec.offered) for j in jobs] == [
+            ("Minimal", 0.2), ("Minimal", 0.6), ("PolSP", 0.2), ("PolSP", 0.6),
+        ]
+
+    def test_fault_jobs_carry_nested_prefixes(self, hx2d):
+        jobs = fault_sweep_jobs(
+            hx2d, ["PolSP"], ["uniform"], [0, 4, 8], fault_seed=3, **SWEEP_KW
+        )
+        by_count = {len(j.faults): set(j.faults) for j in jobs}
+        assert sorted(by_count) == [0, 4, 8]
+        assert by_count[0] <= by_count[4] <= by_count[8]
+
+    def test_job_key_is_content_addressed(self, net2d):
+        jobs = load_sweep_jobs(net2d, ["Minimal"], ["uniform"], [0.2, 0.6], **SWEEP_KW)
+        same = load_sweep_jobs(net2d, ["Minimal"], ["uniform"], [0.2, 0.6], **SWEEP_KW)
+        assert job_key(jobs[0]) == job_key(same[0])
+        assert job_key(jobs[0]) != job_key(jobs[1])
+        reseeded = load_sweep_jobs(
+            net2d, ["Minimal"], ["uniform"], [0.2], seed=7, **SWEEP_KW
+        )
+        assert job_key(jobs[0]) != job_key(reseeded[0])
+
+    def test_run_job_matches_direct_runner(self, net2d):
+        job = PointJob(
+            topology=net2d.topology, faults=(),
+            spec=PointSpec("PolSP", "uniform", 0.3), warmup=30, measure=60,
+        )
+        rec = run_job(job)
+        res = ExperimentRunner(net2d).run_point(
+            "PolSP", "uniform", 0.3, warmup=30, measure=60
+        )
+        assert rec["accepted"] == res.accepted
+        assert rec["latency_cycles"] == pytest.approx(res.avg_latency_cycles)
+        assert rec["jain"] == res.jain
+
+
+class TestSerialExecutor:
+    def test_matches_historic_nested_loop(self, net2d):
+        """SerialExecutor output is record-for-record the old inline sweep."""
+        recs = _fig4_style(net2d)
+        runner = ExperimentRunner(net2d)
+        expected = []
+        for traffic in ["uniform"]:
+            for mechanism in ["Minimal", "PolSP"]:
+                for offered in [0.2, 0.6]:
+                    res = runner.run_point(
+                        mechanism, traffic, offered, **SWEEP_KW
+                    )
+                    expected.append(
+                        {
+                            "mechanism": mechanism,
+                            "traffic": traffic,
+                            "offered": res.offered,
+                            "accepted": res.accepted,
+                            "latency_cycles": res.avg_latency_cycles,
+                            "jain": res.jain,
+                            "faults": 0,
+                            "deadlocked": res.deadlocked,
+                            "stalled": res.stalled_packets,
+                            "escape_fraction": res.escape_hop_fraction,
+                            "avg_hops": res.avg_hops,
+                        }
+                    )
+        assert recs == expected
+
+
+class TestParallelExecutor:
+    def test_load_sweep_identical_to_serial(self, net2d):
+        serial = _fig4_style(net2d)
+        parallel = _fig4_style(net2d, executor=ParallelExecutor(jobs=4))
+        assert parallel == serial
+
+    def test_fault_sweep_identical_to_serial(self, hx2d):
+        kw = dict(fault_seed=3, **SWEEP_KW)
+        serial = fault_sweep(hx2d, ["PolSP"], ["uniform"], [0, 4], **kw)
+        parallel = fault_sweep(
+            hx2d, ["PolSP"], ["uniform"], [0, 4],
+            executor=ParallelExecutor(jobs=4), **kw,
+        )
+        assert parallel == serial
+
+    def test_deterministic_across_worker_counts(self, net2d):
+        one = _fig4_style(net2d, executor=ParallelExecutor(jobs=1))
+        four = _fig4_style(net2d, executor=ParallelExecutor(jobs=4))
+        assert one == four
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=-1)
+
+
+class TestResultCache:
+    def test_cache_hit_skips_simulation(self, net2d, tmp_path, monkeypatch):
+        first = _fig4_style(net2d, executor=SerialExecutor(cache_dir=tmp_path))
+        assert len(list(tmp_path.glob("*.json"))) == len(first)
+
+        def boom(job):
+            raise AssertionError("cache miss: job was re-simulated")
+
+        monkeypatch.setattr(executor_mod, "run_job", boom)
+        second = _fig4_style(net2d, executor=SerialExecutor(cache_dir=tmp_path))
+        assert second == first
+
+    def test_partial_hits_fill_only_misses(self, net2d, tmp_path):
+        ex = SerialExecutor(cache_dir=tmp_path)
+        jobs = load_sweep_jobs(net2d, ["Minimal"], ["uniform"], [0.2], **SWEEP_KW)
+        first = ex.run(jobs)
+        more = load_sweep_jobs(
+            net2d, ["Minimal"], ["uniform"], [0.2, 0.6], **SWEEP_KW
+        )
+        combined = ex.run(more)
+        assert combined[0] == first[0]
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_corrupt_cache_entry_is_recomputed(self, net2d, tmp_path):
+        ex = SerialExecutor(cache_dir=tmp_path)
+        jobs = load_sweep_jobs(net2d, ["Minimal"], ["uniform"], [0.2], **SWEEP_KW)
+        first = ex.run(jobs)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        again = ex.run(jobs)
+        assert again == first
+
+    def test_cache_dir_must_not_be_a_file(self, tmp_path):
+        path = tmp_path / "occupied"
+        path.write_text("")
+        with pytest.raises(ValueError, match="not a directory"):
+            SerialExecutor(cache_dir=path)
+
+    def test_parallel_and_serial_share_the_cache(self, net2d, tmp_path):
+        serial = _fig4_style(net2d, executor=SerialExecutor(cache_dir=tmp_path))
+        parallel = _fig4_style(
+            net2d, executor=ParallelExecutor(jobs=2, cache_dir=tmp_path)
+        )
+        assert parallel == serial
+
+
+class TestMakeExecutor:
+    def test_serial_by_default(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_parallel_when_asked(self):
+        ex = make_executor(4)
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.n_workers == 4
+
+    def test_cache_dir_is_threaded_through(self, tmp_path):
+        assert make_executor(None, tmp_path).cache_dir == tmp_path
+        assert make_executor(4, tmp_path).cache_dir == tmp_path

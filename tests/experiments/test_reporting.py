@@ -1,7 +1,5 @@
 """Reporting helpers tests."""
 
-import pytest
-
 from repro.experiments.reporting import (
     ascii_table,
     curve_sparkline,

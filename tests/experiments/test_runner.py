@@ -1,7 +1,5 @@
 """ExperimentRunner tests (caching, point runs, batch runs)."""
 
-import pytest
-
 from repro.experiments.runner import ExperimentRunner
 from repro.routing.catalog import MECHANISMS
 

@@ -24,7 +24,7 @@ class TestScales:
 
     def test_loads_in_unit_interval(self):
         for sc in SCALES.values():
-            assert all(0 < l <= 1.0 for l in sc.loads)
+            assert all(0 < load <= 1.0 for load in sc.loads)
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):

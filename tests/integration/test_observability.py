@@ -5,8 +5,6 @@ root"*, and shortcuts exist so the escape spreads load away from it.  The
 engine's per-link counters let us watch that actually happen.
 """
 
-import pytest
-
 from repro.routing.catalog import make_mechanism
 from repro.routing.escape_only import EscapeOnlyRouting
 from repro.simulator.engine import Simulator

@@ -1,7 +1,5 @@
 """Minimal adaptive routing tests."""
 
-import numpy as np
-import pytest
 
 from _helpers import make_packet, walk_route
 from repro.routing.minimal import MinimalRouting

@@ -1,7 +1,5 @@
 """Polarized routing tests: Table 1 semantics and the weight function."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

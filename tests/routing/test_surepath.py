@@ -9,12 +9,10 @@ from _helpers import make_packet, walk_route
 from repro.routing.surepath import (
     OmniSPRouting,
     PolSPRouting,
-    SurePathRouting,
     omni_surepath,
     polarized_surepath,
 )
 from repro.topology.base import Network
-from repro.topology.hyperx import HyperX
 from repro.updown.escape import EscapeSubnetwork
 
 

@@ -1,6 +1,5 @@
 """Valiant randomized routing tests."""
 
-import numpy as np
 
 from _helpers import make_packet, walk_route
 from repro.routing.valiant import ValiantRouting

@@ -1,10 +1,9 @@
 """Engine tests: conservation, latency floors, determinism, flow control."""
 
-import numpy as np
 import pytest
 
 from repro.routing.catalog import make_mechanism
-from repro.simulator.config import PAPER_CONFIG, SimConfig
+from repro.simulator.config import PAPER_CONFIG
 from repro.simulator.engine import DeadlockError, Simulator
 from repro.simulator.injection import BatchInjection
 from repro.traffic import make_traffic

@@ -1,7 +1,5 @@
 """Property-based engine tests: invariants over random configurations."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Switch buffer/credit bookkeeping tests."""
 
-import pytest
-
 from repro.simulator.config import SimConfig
 from repro.simulator.packet import Packet
 from repro.simulator.switch import Switch

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.topology.base import Network, normalize_link
-from repro.topology.hyperx import HyperX
 
 
 class TestNormalizeLink:
@@ -39,9 +38,9 @@ class TestHealthyNetwork:
 
 class TestFaultyNetwork:
     def test_faults_normalised(self, hx2d):
-        l = hx2d.links()[0]
-        net = Network(hx2d, [(l[1], l[0])])
-        assert l in net.faults
+        link = hx2d.links()[0]
+        net = Network(hx2d, [(link[1], link[0])])
+        assert link in net.faults
 
     def test_unknown_fault_rejected(self, hx2d):
         with pytest.raises(ValueError):

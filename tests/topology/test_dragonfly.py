@@ -56,7 +56,7 @@ class TestGraphStructure:
     def test_groups_are_cliques(self):
         df = balanced_dragonfly(2)
         for grp in range(df.n_groups):
-            members = [df.switch_id(grp, l) for l in range(df.a)]
+            members = [df.switch_id(grp, link) for link in range(df.a)]
             for x in members:
                 for y in members:
                     if x != y:

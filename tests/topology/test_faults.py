@@ -1,6 +1,5 @@
 """Fault-model tests: random sequences and the paper's structured shapes."""
 
-import numpy as np
 import pytest
 
 from repro.topology.base import Network
@@ -29,8 +28,8 @@ class TestRandomSequences:
 
     def test_links_belong_to_topology(self, hx2d):
         links = set(hx2d.links())
-        for l in random_fault_sequence(hx2d, 30, rng=2):
-            assert l in links
+        for link in random_fault_sequence(hx2d, 30, rng=2):
+            assert link in links
 
     def test_too_many_faults_rejected(self, hx2d):
         with pytest.raises(ValueError):
@@ -174,5 +173,5 @@ class TestShapeDispatch:
         ):
             root = shape_root(hx2d, shape, **kwargs)
             faults = shape_faults(hx2d, shape, **kwargs)
-            touched = {s for l in faults for s in l}
+            touched = {s for link in faults for s in link}
             assert root in touched

@@ -50,7 +50,7 @@ class TestDistances:
 
     def test_unreachable_marked(self, hx2d):
         # Cut switch 0 off completely.
-        faults = [l for l in hx2d.links() if 0 in l]
+        faults = [link for link in hx2d.links() if 0 in link]
         net = Network(hx2d, faults)
         d = all_pairs_distances(net)
         assert d[0, 1] == UNREACHABLE
@@ -63,7 +63,7 @@ class TestConnectivity:
         assert is_connected(net2d)
 
     def test_isolated_switch_disconnects(self, hx2d):
-        faults = [l for l in hx2d.links() if 0 in l]
+        faults = [link for link in hx2d.links() if 0 in link]
         net = Network(hx2d, faults)
         assert not is_connected(net)
         labels = connected_components(net)
@@ -80,7 +80,7 @@ class TestDiameter:
             assert diameter(Network(HyperX(sides, 1))) == len(sides)
 
     def test_diameter_raises_when_disconnected(self, hx2d):
-        faults = [l for l in hx2d.links() if 0 in l]
+        faults = [link for link in hx2d.links() if 0 in link]
         net = Network(hx2d, faults)
         with pytest.raises(ValueError):
             diameter(net)
@@ -103,6 +103,6 @@ class TestAverageDistance:
         assert average_distance(net, include_self=True) == pytest.approx(2.625)
 
     def test_disconnected_raises(self, hx2d):
-        faults = [l for l in hx2d.links() if 0 in l]
+        faults = [link for link in hx2d.links() if 0 in link]
         with pytest.raises(ValueError):
             average_distance(Network(hx2d, faults))

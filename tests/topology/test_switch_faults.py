@@ -11,7 +11,7 @@ class TestSwitchFaults:
     def test_all_incident_links_fail(self, hx2d):
         faults = switch_faults(hx2d, [0])
         assert len(faults) == hx2d.degree(0)
-        assert all(0 in l for l in faults)
+        assert all(0 in link for link in faults)
 
     def test_shared_links_not_duplicated(self, hx2d):
         a, b = 0, hx2d.neighbours(0)[0]

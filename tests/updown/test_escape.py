@@ -39,7 +39,7 @@ class TestConstruction:
             EscapeSubnetwork(net2d, root=999)
 
     def test_rejects_disconnected_network(self, hx2d):
-        faults = [l for l in hx2d.links() if 0 in l]
+        faults = [link for link in hx2d.links() if 0 in link]
         with pytest.raises(ValueError):
             EscapeSubnetwork(Network(hx2d, faults), root=1)
 
