@@ -36,6 +36,8 @@ from .simulator import (
     BatchInjection,
     BernoulliInjection,
     DeadlockError,
+    FaultEvent,
+    FaultSchedule,
     SimConfig,
     SimResult,
     Simulator,
@@ -68,6 +70,8 @@ __all__ = [
     "DeadlockError",
     "DimensionComplementReverse",
     "EscapeSubnetwork",
+    "FaultEvent",
+    "FaultSchedule",
     "HyperX",
     "MECHANISMS",
     "MinimalRouting",

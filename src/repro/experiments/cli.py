@@ -7,13 +7,16 @@ Examples::
     surepath-sim fig4 --scale small --jobs 4 --cache-dir ~/.cache/surepath
     surepath-sim fig6 --scale small --dims 3
     surepath-sim fig10 --scale tiny --csv out.csv
+    surepath-sim fig-transient --scale tiny --repair
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
 the exact paper topologies (slow in pure Python — see DESIGN.md).  The
-sweep-based figures (4, 5, 6, 8, 9) accept ``--jobs N`` to simulate
-points on a process pool and ``--cache-dir DIR`` to reuse previously
-simulated points across runs.
+sweep-based experiments (figures 4, 5, 6, 8, 9 and fig-transient) accept
+``--jobs N`` to simulate points on a process pool and ``--cache-dir DIR``
+to reuse previously simulated points across runs.  ``fig-transient`` goes
+beyond the paper's static snapshots: links fail (and optionally come
+back) *mid-run* and the per-interval recovery series is reported.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import sys
 from ..routing.catalog import MECHANISMS
 from ..topology.base import Network
 from . import figures
-from .executor import make_executor
+from .executor import encode_json_safe, make_executor
 from .reporting import ascii_table, curve_sparkline, records_to_csv, throughput_matrix
 from .runner import ExperimentRunner
 from .scales import SCALES, get_scale
@@ -35,9 +38,14 @@ SWEEP_COLUMNS = (
     "jain", "faults",
 )
 
+TRANSIENT_COLUMNS = (
+    "mechanism", "traffic", "offered", "accepted", "latency_cycles",
+    "stalled", "dropped", "schedule_events",
+)
+
 
 #: Subcommands whose points run through an executor (--jobs/--cache-dir).
-SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "fig9"})
+SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "fig9", "fig-transient"})
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -68,7 +76,12 @@ def _emit(records, args, columns=None, title=None) -> None:
         print(f"wrote {args.csv}", file=sys.stderr)
     if getattr(args, "json", None):
         with open(args.json, "w") as f:
-            json.dump(records, f, indent=2, default=str)
+            # encode_json_safe: NaN latencies become null so the file is
+            # strict JSON (json.dumps would emit the invalid literal NaN).
+            json.dump(
+                encode_json_safe(records), f, indent=2, default=str,
+                allow_nan=False,
+            )
         print(f"wrote {args.json}", file=sys.stderr)
 
 
@@ -93,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig8", "2D throughput under structured faults"),
         ("fig9", "3D throughput under structured faults"),
         ("fig10", "completion time under Star faults + RPN"),
+        ("fig-transient", "mid-run link failure/repair recovery series"),
         ("point", "one simulation point"),
     ):
         p = sub.add_parser(name, help=help_)
@@ -104,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--step", type=int, default=64)
         if name == "fig6":
             p.add_argument("--dims", type=int, default=2, choices=(2, 3))
+        if name == "fig-transient":
+            p.add_argument("--dims", type=int, default=2, choices=(2, 3))
+            p.add_argument("--offered", type=float, default=0.6)
+            p.add_argument("--links", type=int, default=2, metavar="N",
+                           help="links failing at the event (default: 2)")
+            p.add_argument("--repair", action="store_true",
+                           help="schedule the failed links to come back up")
+            p.add_argument("--mechanisms", nargs="+",
+                           default=["OmniSP", "PolSP"], choices=MECHANISMS)
         if name == "point":
             p.add_argument("--mechanism", default="PolSP", choices=MECHANISMS)
             p.add_argument("--traffic", default="uniform")
@@ -176,6 +199,20 @@ def main(argv: list[str] | None = None) -> int:
         recs = figures.fig9_3d_shape_faults(args.scale, seed=args.seed, executor=executor)
         _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
               "Figure 9 — 3D structured faults")
+    elif cmd == "fig-transient":
+        recs = figures.fig_transient(
+            args.scale, dims=args.dims, mechanisms=tuple(args.mechanisms),
+            offered=args.offered, n_links=args.links,
+            repair_at=0.66 if args.repair else None,
+            seed=args.seed, executor=executor,
+        )
+        for r in recs:
+            pts = [(s["slot"], s["accepted"]) for s in r["series"]]
+            print(f"{r['mechanism']}/{r['traffic']}: recovery "
+                  + curve_sparkline(pts))
+        _emit(recs, args, TRANSIENT_COLUMNS,
+              f"Transient — {args.links} link(s) fail mid-run"
+              + (" then recover" if args.repair else ""))
     elif cmd == "fig10":
         recs = figures.fig10_completion_time(args.scale, seed=args.seed)
         for r in recs:

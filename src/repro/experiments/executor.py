@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -39,6 +40,7 @@ from typing import Iterable, Sequence
 
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..simulator.metrics import SimResult
+from ..simulator.schedule import FaultSchedule
 from ..topology.base import Link, Network, Topology
 from ..topology.hyperx import HyperX
 from .runner import ExperimentRunner, PointSpec
@@ -46,7 +48,7 @@ from .runner import ExperimentRunner, PointSpec
 #: Salt of the on-disk cache key.  Bump whenever a simulator/routing
 #: change alters what a point produces, so stale records from earlier
 #: package versions can never satisfy a new run.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).
@@ -81,6 +83,10 @@ class PointJob:
     warmup: int
     measure: int
     config: SimConfig = PAPER_CONFIG
+    #: Mid-run link failure/repair schedule; ``None`` for static points.
+    schedule: FaultSchedule | None = None
+    #: Slots per transient-series bin (only meaningful with a schedule).
+    series_interval: int | None = None
 
     def network(self) -> Network:
         return Network(self.topology, self.faults)
@@ -131,6 +137,8 @@ def job_key(job: PointJob) -> str:
         "warmup": job.warmup,
         "measure": job.measure,
         "config": asdict(job.config),
+        "schedule": None if job.schedule is None else job.schedule.canonical(),
+        "series_interval": job.series_interval,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -189,6 +197,8 @@ def _get_runner(job: PointJob) -> ExperimentRunner:
 
 def run_job(job: PointJob) -> dict:
     """Simulate one job and return its sweep record."""
+    if job.schedule is not None:
+        return _run_transient_job(job)
     runner = _get_runner(job)
     spec = job.spec
     result = runner.run_point(
@@ -201,6 +211,76 @@ def run_job(job: PointJob) -> dict:
         n_vcs=spec.n_vcs,
     )
     return make_record(job, result)
+
+
+def _run_transient_job(job: PointJob) -> dict:
+    """Simulate one scheduled-fault point to a transient record.
+
+    Transient runs mutate their network in place (that is the point), so
+    they deliberately bypass the shared runner cache: every job gets a
+    fresh :class:`Network` and routing tables, making records independent
+    of job order and of which worker picked the job up — the executor
+    identity guarantee extends to scheduled-fault points.
+    """
+    runner = ExperimentRunner(job.network(), config=job.config, root=job.spec.root)
+    spec = job.spec
+    sim = runner.build_simulator(
+        spec.mechanism,
+        spec.traffic,
+        spec.offered,
+        seed=spec.seed,
+        n_vcs=spec.n_vcs,
+        series_interval=job.series_interval,
+        fault_schedule=job.schedule,
+    )
+    result = sim.run(warmup=job.warmup, measure=job.measure)
+    record = make_record(job, result)
+    record["dropped"] = result.dropped_packets
+    record["schedule_events"] = len(job.schedule)
+    record["series"] = result.transient_series
+    return record
+
+
+# ----------------------------------------------------------------------
+# Strict-JSON record encoding
+# ----------------------------------------------------------------------
+#: Record keys whose ``null`` means "not a number" (a deadlocked or
+#: zero-delivery point has no latency).  Used to restore ``NaN`` on load.
+NAN_KEYS = frozenset({"latency_cycles"})
+
+
+def encode_json_safe(obj):
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dumps`` emits the literal ``NaN`` for ``float("nan")``, which is
+    not valid strict JSON (``json.loads`` with a rejecting
+    ``parse_constant`` fails, as do most non-Python consumers).  Cache
+    files and CLI ``--json`` outputs are encoded through this helper so
+    every stored byte is strict JSON.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: encode_json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode_json_safe(v) for v in obj]
+    return obj
+
+
+def decode_json_safe(obj):
+    """Undo :func:`encode_json_safe`: ``null`` under a NaN-able key -> NaN."""
+    if isinstance(obj, dict):
+        return {
+            k: (
+                float("nan")
+                if v is None and k in NAN_KEYS
+                else decode_json_safe(v)
+            )
+            for k, v in obj.items()
+        }
+    if isinstance(obj, list):
+        return [decode_json_safe(v) for v in obj]
+    return obj
 
 
 # ----------------------------------------------------------------------
@@ -230,7 +310,7 @@ class Executor:
         path = self._cache_path(job)
         try:
             with open(path) as f:
-                return json.load(f)["record"]
+                return decode_json_safe(json.load(f)["record"])
         except (OSError, ValueError, KeyError):
             return None
 
@@ -240,7 +320,13 @@ class Executor:
         path = self._cache_path(job)
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w") as f:
-            json.dump({"key": path.stem, "record": record}, f)
+            # allow_nan=False: a non-finite float slipping past the encoder
+            # fails loudly here instead of writing invalid strict JSON.
+            json.dump(
+                {"key": path.stem, "record": encode_json_safe(record)},
+                f,
+                allow_nan=False,
+            )
         os.replace(tmp, path)  # atomic: concurrent sweeps never see halves
 
     # -- driving -------------------------------------------------------
@@ -302,9 +388,17 @@ class ParallelExecutor(Executor):
         chunksize: int | None = None,
     ):
         super().__init__(cache_dir)
-        self.n_workers = int(jobs) if jobs else (os.cpu_count() or 1)
-        if self.n_workers < 1:
-            raise ValueError("need at least one worker")
+        # Explicit validation: a truthiness check here used to turn
+        # ``jobs=0`` into "use every CPU" while make_executor(jobs=0)
+        # went serial.  Only ``None`` means "default to the CPU count";
+        # any explicit worker count must be >= 1.
+        if jobs is None:
+            self.n_workers = os.cpu_count() or 1
+        else:
+            jobs = int(jobs)
+            if jobs < 1:
+                raise ValueError(f"jobs must be >= 1, got {jobs}")
+            self.n_workers = jobs
         self.chunksize = None if chunksize is None else max(1, int(chunksize))
 
     def _execute(self, jobs: Sequence[PointJob]) -> list[dict]:
@@ -322,7 +416,14 @@ def make_executor(
     jobs: int | None = None,
     cache_dir: str | os.PathLike | None = None,
 ) -> Executor:
-    """The executor the CLI flags describe: serial unless ``jobs > 1``."""
-    if jobs is None or jobs <= 1:
+    """The executor the CLI flags describe: serial unless ``jobs > 1``.
+
+    ``jobs`` must be ``None`` (serial) or >= 1 — matching
+    :class:`ParallelExecutor`'s own validation, so ``jobs=0`` is an error
+    everywhere instead of meaning "serial" here and "all CPUs" there.
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs is None or jobs == 1:
         return SerialExecutor(cache_dir=cache_dir)
     return ParallelExecutor(jobs=jobs, cache_dir=cache_dir)

@@ -14,13 +14,18 @@ import numpy as np
 
 from ..routing.catalog import MECHANISMS
 from ..simulator.config import PAPER_CONFIG, table2_rows
+from ..simulator.schedule import FaultSchedule
 from ..topology.base import Network
-from ..topology.faults import shape_faults, shape_root
+from ..topology.faults import (
+    random_connected_fault_sequence,
+    shape_faults,
+    shape_root,
+)
 from ..topology.graph import diameter_or_none
 from ..topology.hyperx import HyperX
 from .runner import ExperimentRunner
 from .scales import Scale, get_scale
-from .sweeps import fault_sweep, load_sweep, shape_fault_run
+from .sweeps import fault_sweep, load_sweep, shape_fault_run, transient_run
 
 #: Traffic patterns per topology dimensionality, in the paper's order.
 TRAFFICS_2D = ("uniform", "randperm", "dcr")
@@ -377,6 +382,62 @@ def fig9_3d_shape_faults(
     """
     sc = _scale(scale)
     return _shape_bars(sc.hyperx_3d(), SHAPES_3D, TRAFFICS_3D, sc, seed, executor)
+
+
+# ----------------------------------------------------------------------
+# Transient recovery — mid-run link failures (beyond the paper's figures)
+# ----------------------------------------------------------------------
+def fig_transient(
+    scale: str | Scale = "tiny",
+    dims: int = 2,
+    mechanisms: tuple[str, ...] = ("OmniSP", "PolSP"),
+    traffics: tuple[str, ...] = ("uniform",),
+    offered: float = 0.6,
+    n_links: int = 2,
+    fail_at: float = 0.33,
+    repair_at: float | None = 0.66,
+    series_interval: int | None = None,
+    seed: int = 0,
+    fault_seed: int = 12345,
+    executor=None,
+) -> list[dict]:
+    """Transient recovery from a mid-run link failure (and optional repair).
+
+    The paper evaluates fault *snapshots*; this driver plays the dynamics:
+    ``n_links`` random links (whose loss keeps the network connected) fail
+    at ``fail_at`` of the measurement window and — when ``repair_at`` is
+    given — come back later.  Routing tables and the Up/Down escape tree
+    rebuild online at each event; the per-interval ``series`` in every
+    record shows the throughput dip, the latency spike and the
+    re-convergence.
+
+    Expected shape: SurePath mechanisms drop only the packets buffered on
+    the dying links and re-converge within a few intervals; ladder
+    mechanisms accumulate stalled packets when the failure stretches
+    routes past their VC budget.
+    """
+    sc = _scale(scale)
+    hx = sc.hyperx_2d() if dims == 2 else sc.hyperx_3d()
+    links = random_connected_fault_sequence(hx, n_links, rng=fault_seed)
+    fail_slot = sc.warmup + int(sc.measure * fail_at)
+    if repair_at is not None:
+        # Strictly < 1.0: a repair at exactly warmup+measure would fall one
+        # slot past the run's end and the engine would (rightly) reject it.
+        if not fail_at < repair_at < 1.0:
+            raise ValueError("repair_at must lie after fail_at, within the run")
+        schedule = FaultSchedule.down_then_up(
+            fail_slot, sc.warmup + int(sc.measure * repair_at), links
+        )
+    else:
+        schedule = FaultSchedule.link_down(fail_slot, links)
+    if series_interval is None:
+        series_interval = max(10, sc.measure // 24)
+    traffics = tuple(t for t in traffics if dims == 3 or t != "rpn")
+    return transient_run(
+        Network(hx), mechanisms, traffics, schedule,
+        offered=offered, warmup=sc.warmup, measure=sc.measure,
+        series_interval=series_interval, seed=seed, executor=executor,
+    )
 
 
 # ----------------------------------------------------------------------

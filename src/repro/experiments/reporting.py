@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from typing import Iterable, Sequence
 
 
@@ -46,7 +47,12 @@ def ascii_table(
 
 
 def records_to_csv(records: Sequence[dict], columns: Sequence[str] | None = None) -> str:
-    """Render records as CSV text."""
+    """Render records as CSV text.
+
+    Non-finite floats (the NaN latency of a deadlocked point) become empty
+    cells instead of the literal ``nan``, which most CSV consumers cannot
+    parse as a number.
+    """
     if not records:
         return ""
     if columns is None:
@@ -55,7 +61,12 @@ def records_to_csv(records: Sequence[dict], columns: Sequence[str] | None = None
     writer = csv.DictWriter(buf, fieldnames=columns, extrasaction="ignore")
     writer.writeheader()
     for rec in records:
-        writer.writerow(rec)
+        writer.writerow(
+            {
+                k: "" if isinstance(v, float) and not math.isfinite(v) else v
+                for k, v in rec.items()
+            }
+        )
     return buf.getvalue()
 
 

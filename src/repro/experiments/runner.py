@@ -85,8 +85,14 @@ class ExperimentRunner:
         n_vcs: int | None = None,
         injection=None,
         series_interval: int | None = None,
+        fault_schedule=None,
     ) -> Simulator:
-        """Assemble a simulator for one point (exposed for batch runs)."""
+        """Assemble a simulator for one point (exposed for batch runs).
+
+        With a ``fault_schedule`` the simulation mutates ``self.network``
+        in place as events fire — share the runner across such runs only
+        when the schedule restores every link it fails.
+        """
         escape = (
             self.escape if mechanism.lower() in ("omnisp", "polsp") else None
         )
@@ -103,6 +109,7 @@ class ExperimentRunner:
             config=self.config,
             seed=seed,
             series_interval=series_interval,
+            fault_schedule=fault_schedule,
         )
 
     def run_point(

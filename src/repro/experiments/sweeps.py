@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 
 from ..routing.catalog import supported_mechanisms
 from ..simulator.config import PAPER_CONFIG, SimConfig
+from ..simulator.schedule import FaultSchedule
 from ..topology.base import Network, Topology
 from ..topology.faults import random_connected_fault_sequence
 from .executor import RECORD_KEYS, Executor, PointJob, SerialExecutor
@@ -32,6 +33,8 @@ __all__ = [
     "shape_fault_run",
     "shape_fault_run_jobs",
     "supported_mechanisms",
+    "transient_run",
+    "transient_run_jobs",
 ]
 
 
@@ -235,6 +238,82 @@ def shape_fault_run(
         network, mechanisms, traffics,
         offered=offered, warmup=warmup, measure=measure, seed=seed,
         config=config, root=root, n_vcs=n_vcs,
+    )
+    return _run(jobs, executor)
+
+
+# ----------------------------------------------------------------------
+# Transient runs (scheduled mid-run fault events)
+# ----------------------------------------------------------------------
+def transient_run_jobs(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    schedule: FaultSchedule,
+    *,
+    offered: float = 0.6,
+    warmup: int = 300,
+    measure: int = 600,
+    series_interval: int = 25,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = 4,
+) -> list[PointJob]:
+    """The work list behind :func:`transient_run`: one job per point.
+
+    The schedule content enters every job's cache key, so transient points
+    parallelise and cache exactly like static ones.
+    """
+    schedule.validate(network.topology, network.faults)
+    faults = tuple(sorted(network.faults))
+    return [
+        PointJob(
+            topology=network.topology,
+            faults=faults,
+            spec=PointSpec(
+                mechanism, traffic, offered, seed=seed, n_vcs=n_vcs, root=root
+            ),
+            warmup=warmup,
+            measure=measure,
+            config=config,
+            schedule=schedule,
+            series_interval=series_interval,
+        )
+        for traffic in traffics
+        for mechanism in supported_mechanisms(network.topology, mechanisms)
+    ]
+
+
+def transient_run(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    schedule: FaultSchedule,
+    *,
+    offered: float = 0.6,
+    warmup: int = 300,
+    measure: int = 600,
+    series_interval: int = 25,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = 4,
+    executor: Executor | None = None,
+) -> list[dict]:
+    """Simulate mid-run link failures/repairs and the traffic's recovery.
+
+    Each record is a static sweep record plus ``dropped`` (packets lost on
+    failed links), ``schedule_events`` and ``series`` — the per-interval
+    transient recovery series (accepted load, latency, stalls, drops
+    around each event).  SurePath mechanisms reconfigure and keep
+    delivering; ladder mechanisms show the stall the paper predicts.
+    """
+    jobs = transient_run_jobs(
+        network, mechanisms, traffics, schedule,
+        offered=offered, warmup=warmup, measure=measure,
+        series_interval=series_interval, seed=seed, config=config,
+        root=root, n_vcs=n_vcs,
     )
     return _run(jobs, executor)
 

@@ -68,6 +68,29 @@ class RoutingMechanism(ABC):
         through ``port`` on virtual channel ``vc``."""
 
     # ------------------------------------------------------------------
+    # Online reconfiguration (dynamic fault injection / repair)
+    # ------------------------------------------------------------------
+    def on_topology_change(self) -> None:
+        """Rebuild any topology-derived state after an online link event.
+
+        Called by the engine after it mutates the network mid-run (a
+        scheduled link failure or repair).  Mechanisms holding compiled
+        tables or cached distance matrices must refresh them here —
+        exactly the BFS-recomputation the paper assumes happens "when the
+        topology changes".  The default is a no-op for mechanisms that
+        read the network's live adjacency directly.
+        """
+
+    def refresh_packet(self, pkt: "Packet", current: int) -> None:
+        """Repair per-packet routing state after a topology change.
+
+        ``current`` is the switch whose buffers hold the packet (the switch
+        where its next candidate request happens).  The default is a no-op;
+        mechanisms whose per-packet state references the old tables (e.g.
+        SurePath's escape phase) override it.
+        """
+
+    # ------------------------------------------------------------------
     def max_route_length(self) -> int | None:
         """Upper bound on switch-to-switch hops, when one is known."""
         return None

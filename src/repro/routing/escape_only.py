@@ -64,5 +64,11 @@ class EscapeOnlyRouting(RoutingMechanism):
         pkt.hops += 1
         pkt.escape_hops += 1
 
+    def on_topology_change(self) -> None:
+        self.escape.rebuild()
+
+    def refresh_packet(self, pkt, current: int) -> None:
+        pkt.escape_phase = PHASE_CLIMB  # restart the climb on the new tree
+
     def max_route_length(self) -> int | None:
         return self.escape.route_length_bound()

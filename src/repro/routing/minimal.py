@@ -47,5 +47,8 @@ class MinimalRouting(RoutingMechanism):
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         pkt.hops += 1
 
+    def on_topology_change(self) -> None:
+        self.dist = self.network.distances  # recomputed lazily by Network
+
     def max_route_length(self) -> int | None:
         return self.n_vcs // self.vcs_per_step

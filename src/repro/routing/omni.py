@@ -88,6 +88,17 @@ class OmnidimensionalRoutes:
             pkt.deroutes += 1
         pkt.aligned_dims = aligned_now
 
+    def on_topology_change(self) -> None:
+        """No compiled state: candidates read ``port_neighbour`` live."""
+
+    def refresh_packet(self, pkt, current: int) -> None:
+        # Alignment is a function of (current, destination) coordinates
+        # only, so it survives topology changes; recompute defensively in
+        # case the packet was re-homed by a buffer purge.
+        hx = self.hx
+        cc, dc = hx.coords(current), hx.coords(pkt.dst_switch)
+        pkt.aligned_dims = sum(1 for a, b in zip(cc, dc) if a == b)
+
     def max_route_length(self) -> int:
         return self.hx.n_dims + self.max_deroutes
 
@@ -113,6 +124,12 @@ class OmniWARRouting(RoutingMechanism):
 
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         self.routes.on_hop(pkt, new_switch)
+
+    def on_topology_change(self) -> None:
+        self.routes.on_topology_change()
+
+    def refresh_packet(self, pkt, current: int) -> None:
+        self.routes.refresh_packet(pkt, current)
 
     def max_route_length(self) -> int | None:
         return min(self.routes.max_route_length(), self.n_vcs)

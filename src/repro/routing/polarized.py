@@ -97,6 +97,16 @@ class PolarizedRoutes:
             self.dist[new_switch, pkt.src_switch] < self.dist[new_switch, pkt.dst_switch]
         )
 
+    def on_topology_change(self) -> None:
+        self.dist = self.network.distances
+
+    def refresh_packet(self, pkt, current: int) -> None:
+        # The header bit was computed against the old distances; recompute
+        # it at the packet's current switch so the Δµ=0 gating stays sound.
+        pkt.closer = bool(
+            self.dist[current, pkt.src_switch] < self.dist[current, pkt.dst_switch]
+        )
+
     def max_route_length(self) -> int:
         # Polarized routes never exceed twice the diameter (µ increases at
         # least every other hop and spans [-diam, diam]).
@@ -124,6 +134,12 @@ class PolarizedRouting(RoutingMechanism):
 
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         self.routes.on_hop(pkt, new_switch)
+
+    def on_topology_change(self) -> None:
+        self.routes.on_topology_change()
+
+    def refresh_packet(self, pkt, current: int) -> None:
+        self.routes.refresh_packet(pkt, current)
 
     def max_route_length(self) -> int | None:
         return min(self.routes.max_route_length(), self.n_vcs)

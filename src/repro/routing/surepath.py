@@ -51,6 +51,10 @@ class RouteSet(Protocol):
 
     def on_hop(self, pkt, new_switch: int) -> None: ...
 
+    def on_topology_change(self) -> None: ...
+
+    def refresh_packet(self, pkt, current: int) -> None: ...
+
     def max_route_length(self) -> int: ...
 
 
@@ -138,6 +142,29 @@ class SurePathRouting(RoutingMechanism):
             pkt.hops += 1
         else:
             self.routes.on_hop(pkt, new_switch)
+
+    def on_topology_change(self) -> None:
+        """Rebuild the escape subnetwork (same root) and the base routes.
+
+        This is the mechanism-level half of the paper's reconfiguration:
+        after a link event the Up/Down layering and both escape distance
+        matrices are recomputed by BFS, and the base route set refreshes
+        whatever distance tables it compiled.  Packets already in flight
+        are repaired separately via :meth:`refresh_packet`.
+        """
+        self.escape.rebuild()
+        self.routes.on_topology_change()
+
+    def refresh_packet(self, pkt, current: int) -> None:
+        if pkt.in_escape:
+            # The old descend phase may be meaningless on the new layering
+            # (the packet's apex was relative to the old tree): restart the
+            # climb.  Climb candidates always exist while connected, and
+            # every hop still strictly decreases the new phase-aware
+            # distance, so termination/deadlock-freedom are preserved.
+            pkt.escape_phase = PHASE_CLIMB
+        else:
+            self.routes.refresh_packet(pkt, current)
 
     def max_route_length(self) -> int | None:
         # A packet may ride routing hops up to the base bound and then the

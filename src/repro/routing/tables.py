@@ -115,6 +115,15 @@ class TableMinimalRouting(RoutingMechanism):
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         pkt.hops += 1
 
+    def on_topology_change(self) -> None:
+        """Recompile the bitmask table — the paper's per-topology-event BFS.
+
+        The dead port must leave every bitmask it appeared in, and a
+        repaired port must re-enter the rows whose shortest paths it
+        serves, so the whole table is rebuilt from the fresh distances.
+        """
+        self.table = compile_minimal_table(self.network)
+
     def max_route_length(self) -> int | None:
         return self.n_vcs // self.vcs_per_step
 

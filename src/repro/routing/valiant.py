@@ -65,5 +65,8 @@ class ValiantRouting(RoutingMechanism):
         if pkt.phase == 0 and new_switch == pkt.mid:
             pkt.phase = 1
 
+    def on_topology_change(self) -> None:
+        self.dist = self.network.distances
+
     def max_route_length(self) -> int | None:
         return self.n_vcs

@@ -5,13 +5,18 @@ from .engine import DeadlockError, Simulator
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
 from .metrics import MetricsCollector, SimResult, jain_index
 from .packet import Packet
+from .schedule import LINK_DOWN, LINK_UP, FaultEvent, FaultSchedule
 from .switch import Switch
 
 __all__ = [
     "BatchInjection",
     "BernoulliInjection",
     "DeadlockError",
+    "FaultEvent",
+    "FaultSchedule",
     "InjectionProcess",
+    "LINK_DOWN",
+    "LINK_UP",
     "MetricsCollector",
     "PAPER_CONFIG",
     "Packet",

@@ -43,6 +43,7 @@ from .config import PAPER_CONFIG, SimConfig
 from .injection import BernoulliInjection, InjectionProcess
 from .metrics import MetricsCollector, SimResult
 from .packet import Packet
+from .schedule import LINK_DOWN, FaultSchedule
 from .switch import Switch
 
 
@@ -76,6 +77,13 @@ class Simulator:
     strict_deadlock:
         Raise :class:`DeadlockError` when the watchdog fires instead of
         just flagging the run.
+    fault_schedule:
+        Optional :class:`~repro.simulator.schedule.FaultSchedule` of
+        mid-run link failures/repairs.  Events at slot ``s`` apply at the
+        start of that slot's :meth:`step`: the network mutates in place,
+        packets buffered on a failed link are dropped (and counted),
+        per-packet candidate memos are invalidated and the mechanism
+        reconfigures via ``on_topology_change``.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class Simulator:
         seed: int | None = 0,
         series_interval: int | None = None,
         strict_deadlock: bool = False,
+        fault_schedule: FaultSchedule | None = None,
     ):
         self.network = network
         self.mechanism = mechanism
@@ -112,11 +121,13 @@ class Simulator:
             for s in range(network.n_switches)
         ]
         # rev_port[s][p]: the port index on the neighbour reached through
-        # port p of s that leads back to s (None for dead/self bookkeeping
-        # is unnecessary: dead ports never carry packets).
+        # port p of s that leads back to s.  Computed from the healthy
+        # topology (port numbering is stable across failures) so that a
+        # scheduled repair of an initially-failed link finds valid reverse
+        # ports; dead ports simply never carry packets meanwhile.
         topo = network.topology
         self.rev_port: list[list[int]] = [
-            [topo.port_of(t, s) if t >= 0 else -1 for t in network.port_neighbour[s]]
+            [topo.port_of(t, s) for t in topo.neighbours(s)]
             for s in range(network.n_switches)
         ]
 
@@ -133,6 +144,13 @@ class Simulator:
             [0] * network.topology.degree(s) for s in range(network.n_switches)
         ]
         self._escape_vc = getattr(mechanism, "escape_vc", None)
+        self.fault_schedule = fault_schedule
+        if fault_schedule is not None:
+            fault_schedule.validate(network.topology, network.faults)
+            self._schedule_events = fault_schedule.events
+        else:
+            self._schedule_events = ()
+        self._schedule_pos = 0
         self.slot = 0
         self.in_flight = 0
         self.next_pid = 0
@@ -180,6 +198,11 @@ class Simulator:
         port = idx // self._n_vcs
         vc = idx - port * self._n_vcs
         upstream = self.network.port_neighbour[sw.sid][port]
+        if upstream < 0:
+            # The link died mid-run: there is no upstream to credit.  The
+            # upstream side's accounting is reconciled wholesale if the
+            # link ever comes back (see _reconcile_restored_link).
+            return
         self.switches[upstream].return_credit(self.rev_port[sw.sid][port], vc)
 
     def _allocate(self) -> int:
@@ -228,7 +251,7 @@ class Simulator:
                     pkt.cand_switch = sid
                     pkt.cand_list = cands
                 if not cands:
-                    metrics.on_stalled(pkt)
+                    metrics.on_stalled(pkt, self.slot)
                     continue
                 best_score = None
                 best: list[tuple[int, int]] = []
@@ -334,10 +357,112 @@ class Simulator:
         return injected
 
     # ------------------------------------------------------------------
+    # Online reconfiguration (scheduled link failures / repairs)
+    # ------------------------------------------------------------------
+    def _purge_dead_link(self, link: tuple[int, int]) -> None:
+        """Drop the packets buffered *on* a freshly-failed link.
+
+        The 1-slot link model keeps no packets in flight between slots, so
+        "on the link" means the output FIFOs of the dead port on both
+        endpoints.  Each dropped packet frees its output slot and returns
+        the downstream credit it had reserved, keeping the switch's Q-rule
+        accounting exact.  Packets that already crossed the link sit in the
+        far side's input FIFOs and continue normally from there.
+        """
+        a, b = link
+        for s, t in ((a, b), (b, a)):
+            sw = self.switches[s]
+            p = self.network.port_of(s, t)
+            for vc in range(self._n_vcs):
+                pv = p * self._n_vcs + vc
+                q = sw.out_q[pv]
+                while q:
+                    pkt = q.popleft()
+                    self.metrics.on_dropped(pkt, self.slot)
+                    self.in_flight -= 1
+                    sw.credits[pv] += 1
+                    sw.load[pv] -= 2
+                    sw.port_load[p] -= 2
+
+    def _reconcile_restored_link(self, link: tuple[int, int]) -> None:
+        """Reset credit/load accounting of a repaired link from ground truth.
+
+        While the link was down, departures from the far side's input FIFOs
+        could not return credits (there was no upstream), so the dead port's
+        ``credits``/``load`` went stale.  On repair both directions are
+        recomputed from the actual buffer occupancies, restoring the
+        virtual-cut-through invariant ``credits = capacity - downstream
+        occupancy - pending output occupancy``.
+        """
+        a, b = link
+        cap = self.cfg.input_buffer_packets
+        for s, t in ((a, b), (b, a)):
+            sw = self.switches[s]
+            tsw = self.switches[t]
+            p = self.network.port_of(s, t)
+            rev = self.network.port_of(t, s)
+            for vc in range(self._n_vcs):
+                pv = p * self._n_vcs + vc
+                in_down = len(tsw.in_q[rev * self._n_vcs + vc])
+                out_here = len(sw.out_q[pv])  # empty: dead ports get no grants
+                new_load = 2 * out_here + in_down
+                sw.port_load[p] += new_load - sw.load[pv]
+                sw.load[pv] = new_load
+                sw.credits[pv] = cap - in_down - out_here
+
+    def _refresh_inflight_packets(self) -> None:
+        """Invalidate candidate memos and repair per-packet routing state.
+
+        Memoised candidate lists may reference dead ports (or miss repaired
+        ones), and mechanism state like SurePath's escape phase is relative
+        to the old tables — every buffered packet is refreshed at the switch
+        where its next allocation happens.
+        """
+        mech = self.mechanism
+        n_vcs = self._n_vcs
+        for sw in self.switches:
+            sid = sw.sid
+            for q in sw.in_q:
+                for pkt in q:
+                    pkt.cand_switch = -1
+                    mech.refresh_packet(pkt, sid)
+            for pv, q in enumerate(sw.out_q):
+                if not q:
+                    continue
+                nxt = self.network.port_neighbour[sid][pv // n_vcs]
+                for pkt in q:
+                    pkt.cand_switch = -1
+                    if nxt >= 0:  # next allocation happens downstream
+                        mech.refresh_packet(pkt, nxt)
+
+    def _apply_scheduled_events(self) -> None:
+        """Apply every schedule event due at the current slot."""
+        events = self._schedule_events
+        pos = self._schedule_pos
+        changed = False
+        while pos < len(events) and events[pos].slot <= self.slot:
+            ev = events[pos]
+            pos += 1
+            if ev.action == LINK_DOWN:
+                self.network.apply_fault(ev.link)
+                self._purge_dead_link(ev.link)
+            else:
+                self.network.restore_link(ev.link)
+                self._reconcile_restored_link(ev.link)
+            changed = True
+        self._schedule_pos = pos
+        if changed:
+            self.mechanism.on_topology_change()
+            self._refresh_inflight_packets()
+            self.idle_slots = 0  # reconfiguration restarts the watchdog
+
+    # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance one slot (all four phases + watchdog)."""
+        if self._schedule_pos < len(self._schedule_events):
+            self._apply_scheduled_events()
         ejected = self._eject()
         granted = self._allocate()
         self._transmit()
@@ -355,10 +480,26 @@ class Simulator:
             self.idle_slots = 0
         self.slot += 1
 
+    def _check_schedule_fits(self, end_slot: int) -> None:
+        """Reject schedule events the run window can never reach.
+
+        Without this, an event at ``slot >= end_slot`` would be silently
+        dropped and the record would still claim the full schedule ran —
+        e.g. a "failed then repaired" point whose repair never happened.
+        """
+        events = self._schedule_events
+        if self._schedule_pos < len(events) and events[-1].slot >= end_slot:
+            raise ValueError(
+                f"fault schedule has an event at slot {events[-1].slot}, but "
+                f"this run ends after slot {end_slot - 1}; the event would "
+                "silently never apply"
+            )
+
     def run(self, warmup: int = 300, measure: int = 700) -> SimResult:
         """Steady-state run: ``warmup`` slots, then ``measure`` slots."""
         if warmup < 0 or measure <= 0:
             raise ValueError("warmup must be >= 0 and measure > 0")
+        self._check_schedule_fits(self.slot + warmup + measure)
         for _ in range(warmup):
             self.step()
             if self.deadlocked:
@@ -378,6 +519,7 @@ class Simulator:
 
         Measurement starts immediately (there is no steady state to skip).
         """
+        self._check_schedule_fits(max_slots)
         self.metrics.start_measurement(self.slot)
         completion: int | None = None
         while self.slot < max_slots:

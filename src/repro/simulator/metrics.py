@@ -56,6 +56,11 @@ class SimResult:
     deadlocked: bool
     completion_slot: int | None = None
     time_series: list[tuple[int, float]] = field(default_factory=list)
+    #: Packets destroyed by a scheduled link failure (buffered on the link).
+    dropped_packets: int = 0
+    #: Per-interval transient records (accepted load, latency, stalls,
+    #: drops) around scheduled fault events; empty without a series.
+    transient_series: list[dict] = field(default_factory=list)
 
     @property
     def completion_cycles(self) -> int | None:
@@ -74,6 +79,8 @@ class SimResult:
         ]
         if self.stalled_packets:
             bits.append(f"stalled={self.stalled_packets}")
+        if self.dropped_packets:
+            bits.append(f"dropped={self.dropped_packets}")
         if self.deadlocked:
             bits.append("DEADLOCK")
         if self.completion_slot is not None:
@@ -100,11 +107,17 @@ class MetricsCollector:
         self.escape_hops_sum = 0
         self.forced_hops_sum = 0
         self.stalled_pids: set[int] = set()
+        self.dropped_total = 0
         self.measuring = False
         self.measure_start = 0
         #: Optional accepted-load time series: (slot, packets in interval).
         self.series_interval = series_interval
         self._series_bins: dict[int, int] = {}
+        #: Transient per-bin tallies (latency, stall events, drops).
+        self._series_lat_slots: dict[int, int] = {}
+        self._series_lat_count: dict[int, int] = {}
+        self._series_stalls: dict[int, int] = {}
+        self._series_drops: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Event hooks (called by the engine)
@@ -123,17 +136,36 @@ class MetricsCollector:
         self.hops_sum += pkt.hops
         self.escape_hops_sum += pkt.escape_hops
         self.forced_hops_sum += pkt.forced_hops
-        if self.measuring:
-            self.delivered_measured += 1
-            if pkt.birth_slot >= self.measure_start:
-                self.latency_slots_sum += slot - pkt.birth_slot
-                self.latency_count += 1
+        if not self.measuring:
+            # Warmup traffic: excluded from the series as well — binning
+            # pre-measurement ejections polluted steady-state series with
+            # warmup transients (regression-tested).
+            return
+        self.delivered_measured += 1
+        if pkt.birth_slot >= self.measure_start:
+            self.latency_slots_sum += slot - pkt.birth_slot
+            self.latency_count += 1
         if self.series_interval:
-            self._series_bins.setdefault(slot // self.series_interval, 0)
-            self._series_bins[slot // self.series_interval] += 1
+            b = slot // self.series_interval
+            self._series_bins[b] = self._series_bins.get(b, 0) + 1
+            if pkt.birth_slot >= self.measure_start:
+                self._series_lat_slots[b] = (
+                    self._series_lat_slots.get(b, 0) + slot - pkt.birth_slot
+                )
+                self._series_lat_count[b] = self._series_lat_count.get(b, 0) + 1
 
-    def on_stalled(self, pkt) -> None:
+    def on_stalled(self, pkt, slot: int | None = None) -> None:
         self.stalled_pids.add(pkt.pid)
+        if self.series_interval and self.measuring and slot is not None:
+            b = slot // self.series_interval
+            self._series_stalls[b] = self._series_stalls.get(b, 0) + 1
+
+    def on_dropped(self, pkt, slot: int) -> None:
+        """A scheduled link failure destroyed a packet buffered on it."""
+        self.dropped_total += 1
+        if self.series_interval and self.measuring:
+            b = slot // self.series_interval
+            self._series_drops[b] = self._series_drops.get(b, 0) + 1
 
     # ------------------------------------------------------------------
     def time_series(self) -> list[tuple[int, float]]:
@@ -145,6 +177,46 @@ class MetricsCollector:
             count = self._series_bins[bin_idx]
             load = count / (self.n_servers * self.series_interval)
             out.append((bin_idx * self.series_interval, load))
+        return out
+
+    def transient_series(self) -> list[dict]:
+        """Per-interval transient records around fault events.
+
+        Each record covers one ``series_interval``-slot bin of the
+        measurement window: ``slot`` (bin start), ``accepted`` (packets per
+        server per slot), ``latency_cycles`` (mean over packets delivered in
+        the bin, ``NaN`` when none), ``stalls`` (candidate-less allocation
+        rounds) and ``dropped`` (packets destroyed by link failures).  Bins
+        with no activity at all between the first and last active bin are
+        emitted as zero-accepted records, so a recovery dip is visible
+        instead of silently skipped.
+        """
+        if not self.series_interval:
+            return []
+        bins = (
+            set(self._series_bins)
+            | set(self._series_stalls)
+            | set(self._series_drops)
+        )
+        if not bins:
+            return []
+        norm = self.n_servers * self.series_interval
+        out = []
+        for b in range(min(bins), max(bins) + 1):
+            n_lat = self._series_lat_count.get(b, 0)
+            out.append(
+                {
+                    "slot": b * self.series_interval,
+                    "accepted": self._series_bins.get(b, 0) / norm,
+                    "latency_cycles": (
+                        self._series_lat_slots[b] / n_lat * self.cycles_per_slot
+                        if n_lat
+                        else float("nan")
+                    ),
+                    "stalls": self._series_stalls.get(b, 0),
+                    "dropped": self._series_drops.get(b, 0),
+                }
+            )
         return out
 
     def result(
@@ -186,4 +258,6 @@ class MetricsCollector:
             deadlocked=deadlocked,
             completion_slot=completion_slot,
             time_series=self.time_series(),
+            dropped_packets=self.dropped_total,
+            transient_series=self.transient_series(),
         )

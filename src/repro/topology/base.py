@@ -168,6 +168,59 @@ class Network:
         return Network(self.topology, set(self.faults) | {normalize_link(a, b) for a, b in extra})
 
     # ------------------------------------------------------------------
+    # Online reconfiguration (dynamic fault injection / repair)
+    # ------------------------------------------------------------------
+    def _set_port_state(self, link: Link, alive: bool) -> None:
+        """Rewrite ``port_neighbour`` / ``live_ports`` for one link."""
+        a, b = link
+        for s, t in ((a, b), (b, a)):
+            p = self.topology.port_of(s, t)
+            self.port_neighbour[s][p] = t if alive else -1
+            self.live_ports[s] = [
+                (q, u) for q, u in enumerate(self.port_neighbour[s]) if u >= 0
+            ]
+
+    def _invalidate_caches(self) -> None:
+        """Drop cached graph metrics after a topology change.
+
+        No incremental distance patching is attempted: a failed or repaired
+        link always changes the distance between its own endpoints (1 hop
+        versus a detour), so the matrix is genuinely stale after every
+        event.  The matrix stays lazy — it is only recomputed when a
+        consumer (a BFS-table mechanism's ``on_topology_change``) actually
+        reads it, which is the cheap path when none does.
+        """
+        for name in ("distances", "diameter", "is_connected", "average_distance"):
+            self.__dict__.pop(name, None)
+
+    def apply_fault(self, link: Link) -> None:
+        """Fail one currently-live link *in place* (online reconfiguration).
+
+        Updates the live adjacency and invalidates cached graph metrics
+        (recomputed lazily on next access).  Simulation state (buffers,
+        credits, routing tables) is the caller's concern — the engine and
+        the routing mechanisms react through
+        :meth:`~repro.routing.base.RoutingMechanism.on_topology_change`.
+        """
+        link = normalize_link(*link)
+        if link not in set(self.topology.links()):
+            raise ValueError(f"link {link} not present in topology")
+        if link in self.faults:
+            raise ValueError(f"link {link} is already failed")
+        self.faults = self.faults | {link}
+        self._set_port_state(link, alive=False)
+        self._invalidate_caches()
+
+    def restore_link(self, link: Link) -> None:
+        """Repair one currently-failed link *in place* (see :meth:`apply_fault`)."""
+        link = normalize_link(*link)
+        if link not in self.faults:
+            raise ValueError(f"link {link} is not failed")
+        self.faults = self.faults - {link}
+        self._set_port_state(link, alive=True)
+        self._invalidate_caches()
+
+    # ------------------------------------------------------------------
     # Graph metrics (delegated to repro.topology.graph, cached here)
     # ------------------------------------------------------------------
     @cached_property

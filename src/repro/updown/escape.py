@@ -106,7 +106,11 @@ class EscapeSubnetwork:
         self.network = network
         self.root = int(root)
         self.shortcuts = bool(shortcuts)
+        self._build()
 
+    def _build(self) -> None:
+        """(Re)compute every table from the network's current live links."""
+        network = self.network
         from ..topology.graph import bfs_distances
 
         #: BFS level of every switch (distance to the root).
@@ -131,6 +135,21 @@ class EscapeSubnetwork:
         self.dist_a, self.dist_b = self._compute_escape_distances()
         #: Classic Up/Down distance over black links only (analysis/tests).
         self.udist: np.ndarray = self._compute_updown_distances()
+
+    def rebuild(self) -> None:
+        """Recompute the escape tables after an online topology change.
+
+        This is the paper's reconfiguration story: the Up/Down layering and
+        both phase-distance matrices come from BFS over the network's *live*
+        links, so a link failure or repair only needs this one rebuild (same
+        root).  The network must still be connected — SurePath's guarantee
+        covers every fault set short of disconnection.
+        """
+        if not self.network.is_connected:
+            raise ValueError(
+                "escape subnetwork cannot be rebuilt on a disconnected network"
+            )
+        self._build()
 
     # ------------------------------------------------------------------
     # Distance tables over layered (switch, phase) digraphs

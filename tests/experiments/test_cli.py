@@ -13,9 +13,14 @@ class TestParser:
         sub = [a for a in parser._actions if a.dest == "command"][0]
         expected = {
             "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "point",
+            "fig7", "fig8", "fig9", "fig10", "fig-transient", "point",
         }
         assert expected <= set(sub.choices)
+
+    def test_docstring_lists_transient_subcommand(self):
+        from repro.experiments import cli
+
+        assert "fig-transient" in cli.__doc__
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -61,6 +66,20 @@ class TestFastCommands:
             "--offered", "0.1", "--warmup", "30", "--measure", "60",
         ]) == 0
         assert "accepted=" in capsys.readouterr().out
+
+    def test_fig_transient_runs(self, tmp_path, capsys):
+        json_path = tmp_path / "transient.json"
+        assert main([
+            "fig-transient", "--scale", "tiny", "--repair",
+            "--mechanisms", "PolSP", "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out and "dropped" in out
+        # --json output must be strict JSON even with NaN latencies.
+        def reject(token):
+            raise AssertionError(f"non-strict JSON token {token!r}")
+        records = json.loads(json_path.read_text(), parse_constant=reject)
+        assert records[0]["schedule_events"] == 4  # 2 links down + up
 
     def test_csv_and_json_output(self, tmp_path, capsys):
         csv_path = tmp_path / "t3.csv"

@@ -1,0 +1,142 @@
+"""Transient subsystem through the executor: identity, caching, strict JSON."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    decode_json_safe,
+    encode_json_safe,
+    job_key,
+    make_executor,
+)
+from repro.experiments.sweeps import load_sweep, transient_run, transient_run_jobs
+from repro.simulator.schedule import FaultSchedule
+from repro.topology.faults import random_connected_fault_sequence
+
+KW = dict(offered=0.6, warmup=40, measure=200, series_interval=25)
+
+
+@pytest.fixture(scope="module")
+def schedule(hx2d):
+    links = random_connected_fault_sequence(hx2d, 2, rng=9)
+    return FaultSchedule.down_then_up(80, 160, links)
+
+
+def _norm(records):
+    """NaN-robust structural comparison key."""
+    return json.dumps(encode_json_safe(records), sort_keys=True)
+
+
+class TestTransientThroughExecutor:
+    def test_records_carry_transient_payload(self, net2d, schedule):
+        recs = transient_run(net2d, ["PolSP"], ["uniform"], schedule, **KW)
+        (rec,) = recs
+        assert rec["schedule_events"] == len(schedule)
+        assert isinstance(rec["series"], list) and rec["series"]
+        assert {"slot", "accepted", "latency_cycles", "stalls", "dropped"} <= set(
+            rec["series"][0]
+        )
+        assert rec["accepted"] > 0.3  # recovered, not deadlocked
+
+    def test_serial_parallel_identity(self, net2d, schedule):
+        serial = transient_run(net2d, ["OmniSP", "PolSP"], ["uniform"], schedule, **KW)
+        for jobs in (1, 4):
+            par = transient_run(
+                net2d, ["OmniSP", "PolSP"], ["uniform"], schedule,
+                executor=ParallelExecutor(jobs=jobs), **KW,
+            )
+            assert _norm(par) == _norm(serial)
+
+    def test_identity_through_the_cache(self, net2d, schedule, tmp_path):
+        fresh = transient_run(
+            net2d, ["PolSP"], ["uniform"], schedule,
+            executor=SerialExecutor(cache_dir=tmp_path), **KW,
+        )
+        cached = transient_run(
+            net2d, ["PolSP"], ["uniform"], schedule,
+            executor=ParallelExecutor(jobs=2, cache_dir=tmp_path), **KW,
+        )
+        assert _norm(cached) == _norm(fresh)
+
+    def test_schedule_content_enters_job_key(self, net2d, schedule):
+        j1 = transient_run_jobs(net2d, ["PolSP"], ["uniform"], schedule, **KW)[0]
+        j2 = transient_run_jobs(
+            net2d, ["PolSP"], ["uniform"],
+            FaultSchedule.link_down(80, sorted(schedule.links())), **KW,
+        )[0]
+        static = transient_run_jobs(net2d, ["PolSP"], ["uniform"], schedule, **KW)[0]
+        assert job_key(j1) == job_key(static)  # deterministic
+        assert job_key(j1) != job_key(j2)  # repair half matters
+
+    def test_jobs_are_order_independent(self, net2d, schedule):
+        """Transient jobs bypass the shared runner cache, so a mutated
+        network from one job can never leak into the next."""
+        once = transient_run(net2d, ["PolSP"], ["uniform"], schedule, **KW)
+        ex = SerialExecutor()
+        jobs = transient_run_jobs(net2d, ["PolSP"], ["uniform"], schedule, **KW)
+        assert _norm(ex.run(jobs + jobs)) == _norm(once + once)
+
+
+class TestStrictJsonCache:
+    def _deadlocked_sweep(self, net2d, tmp_path):
+        """A zero-delivery point: offered 0.0 yields NaN latency."""
+        ex = SerialExecutor(cache_dir=tmp_path)
+        return load_sweep(
+            net2d, ["Minimal"], ["uniform"], [0.0],
+            warmup=5, measure=10, executor=ex,
+        )
+
+    def test_nan_record_round_trips_via_null(self, net2d, tmp_path):
+        first = self._deadlocked_sweep(net2d, tmp_path)
+        assert math.isnan(first[0]["latency_cycles"])
+
+        def reject(token):
+            raise AssertionError(f"non-strict JSON token {token!r} in cache")
+
+        files = list(tmp_path.glob("*.json"))
+        assert files
+        for path in files:
+            payload = json.loads(path.read_text(), parse_constant=reject)
+            assert payload["record"]["latency_cycles"] is None
+
+        cached = self._deadlocked_sweep(net2d, tmp_path)
+        assert math.isnan(cached[0]["latency_cycles"])
+        assert _norm(cached) == _norm(first)
+
+    def test_encode_decode_helpers(self):
+        rec = {
+            "latency_cycles": float("nan"),
+            "series": [{"latency_cycles": float("inf"), "accepted": 0.5}],
+            "accepted": 1.0,
+        }
+        enc = encode_json_safe(rec)
+        assert enc["latency_cycles"] is None
+        assert enc["series"][0]["latency_cycles"] is None
+        assert enc["accepted"] == 1.0
+        dec = decode_json_safe(enc)
+        assert math.isnan(dec["latency_cycles"])
+        assert math.isnan(dec["series"][0]["latency_cycles"])
+        assert dec["accepted"] == 1.0
+
+
+class TestJobsValidationAgreement:
+    """ParallelExecutor and make_executor agree: jobs <= 0 is an error."""
+
+    @pytest.mark.parametrize("jobs", [0, -1])
+    def test_parallel_executor_rejects(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            ParallelExecutor(jobs=jobs)
+
+    @pytest.mark.parametrize("jobs", [0, -1])
+    def test_make_executor_rejects(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            make_executor(jobs)
+
+    def test_none_still_defaults(self):
+        assert ParallelExecutor(jobs=None).n_workers >= 1
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(4), ParallelExecutor)

@@ -108,6 +108,40 @@ class TestCollector:
         series = m.time_series()
         assert series == [(0, 2 / 20), (10, 1 / 20)]
 
+    def test_series_excludes_warmup_ejections(self):
+        """Regression: pre-measurement ejections used to be binned into
+        the accepted-load series, polluting it with warmup traffic."""
+        m = MetricsCollector(n_servers=2, cycles_per_slot=16, series_interval=10)
+        eject(m, 0, 3)  # warmup: must not appear anywhere in the series
+        m.start_measurement(10)
+        eject(m, 10, 12, pid=1)
+        assert m.time_series() == [(10, 1 / 20)]
+
+    def test_transient_series_bins_latency_stalls_drops(self):
+        m = MetricsCollector(n_servers=2, cycles_per_slot=16, series_interval=10)
+        m.start_measurement(0)
+        eject(m, 2, 6)  # 4 slots = 64 cycles, bin 0
+        p = Packet(9, 0, 4, 0, 1, 0)
+        m.on_stalled(p, 14)
+        m.on_dropped(p, 23)
+        series = m.transient_series()
+        assert [rec["slot"] for rec in series] == [0, 10, 20]
+        assert series[0]["accepted"] == pytest.approx(1 / 20)
+        assert series[0]["latency_cycles"] == pytest.approx(64.0)
+        assert series[1] == {
+            "slot": 10, "accepted": 0.0, "latency_cycles": pytest.approx(float("nan"), nan_ok=True),
+            "stalls": 1, "dropped": 0,
+        }
+        assert series[2]["dropped"] == 1
+
+    def test_dropped_counted_outside_series(self):
+        m = MetricsCollector(2, 16)
+        m.start_measurement(0)
+        m.on_dropped(Packet(0, 0, 4, 0, 1, 0), 5)
+        res = m.result(0.5, 10, 0, False)
+        assert res.dropped_packets == 1
+        assert "dropped=1" in res.summary()
+
     def test_result_summary_mentions_deadlock(self):
         m = MetricsCollector(2, 16)
         m.start_measurement(0)

@@ -1,0 +1,198 @@
+"""Fault-schedule subsystem: schedule data type and engine reconfiguration."""
+
+import pytest
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.engine import Simulator
+from repro.simulator.schedule import LINK_DOWN, LINK_UP, FaultEvent, FaultSchedule
+from repro.topology.base import Network
+from repro.topology.faults import random_connected_fault_sequence
+from repro.traffic import make_traffic
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_slot(self):
+        s = FaultSchedule([(50, LINK_UP, (0, 1)), (10, LINK_DOWN, (0, 1))])
+        assert [ev.slot for ev in s] == [10, 50]
+        assert s.max_slot == 50
+        assert len(s) == 2
+
+    def test_link_normalised(self):
+        ev = FaultEvent(5, LINK_DOWN, (3, 1))
+        assert ev.link == (1, 3)
+
+    def test_rejects_bad_events(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1, LINK_DOWN, (0, 1))
+        with pytest.raises(ValueError):
+            FaultEvent(0, "explode", (0, 1))
+        with pytest.raises(ValueError):
+            FaultSchedule.down_then_up(10, 10, [(0, 1)])
+
+    def test_helpers_accept_single_link(self):
+        assert FaultSchedule.link_down(3, (0, 1)).links() == {(0, 1)}
+        s = FaultSchedule.down_then_up(3, 9, (0, 1))
+        assert [ev.action for ev in s] == [LINK_DOWN, LINK_UP]
+
+    def test_validate_replays_state(self, hx2d):
+        link = hx2d.links()[0]
+        FaultSchedule.down_then_up(1, 5, [link]).validate(hx2d)
+        with pytest.raises(ValueError, match="already failed"):
+            FaultSchedule(
+                [(1, LINK_DOWN, link), (2, LINK_DOWN, link)]
+            ).validate(hx2d)
+        with pytest.raises(ValueError, match="is not failed"):
+            FaultSchedule([(1, LINK_UP, link)]).validate(hx2d)
+        with pytest.raises(ValueError, match="not present"):
+            FaultSchedule([(1, LINK_DOWN, (0, 15))]).validate(hx2d)
+
+    def test_canonical_is_hashable_content(self):
+        a = FaultSchedule.down_then_up(5, 9, [(0, 1)])
+        b = FaultSchedule.down_then_up(5, 9, [(1, 0)])
+        assert a == b and hash(a) == hash(b)
+        assert a.canonical() == [[5, "down", [0, 1]], [9, "up", [0, 1]]]
+
+
+def _transient_sim(net, mech_name, schedule, *, offered=0.5, seed=0,
+                   series_interval=None, n_vcs=4):
+    mech = make_mechanism(mech_name, net, n_vcs=n_vcs, rng=1)
+    return Simulator(
+        net, mech, make_traffic("uniform", net, 0), offered=offered,
+        seed=seed, series_interval=series_interval, fault_schedule=schedule,
+    )
+
+
+def _conservation_ok(sim, res):
+    generated = res.generated
+    accounted = res.delivered + res.dropped_packets + sim.in_flight
+    return generated == accounted and sim.in_flight == sim.buffered_packets()
+
+
+class TestEngineReconfiguration:
+    @pytest.mark.parametrize("mech_name", ["PolSP", "OmniSP"])
+    def test_surepath_survives_mid_run_failure(self, hx2d, mech_name):
+        net = Network(hx2d)
+        links = random_connected_fault_sequence(hx2d, 3, rng=5)
+        sim = _transient_sim(
+            net, mech_name, FaultSchedule.link_down(60, links),
+            series_interval=20,
+        )
+        res = sim.run(warmup=40, measure=260)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0  # SurePath never strands a packet
+        assert res.accepted > 0.3  # traffic re-converged after the event
+        assert res.transient_series, "recovery series must be produced"
+        assert _conservation_ok(sim, res)
+        # The network object really mutated.
+        assert set(links) <= net.faults
+
+    def test_in_flight_conserved_across_link_down(self, hx2d):
+        """Every generated packet is delivered, dropped or still buffered."""
+        net = Network(hx2d)
+        links = random_connected_fault_sequence(hx2d, 2, rng=11)
+        sched = FaultSchedule.link_down(50, links)
+        sim = _transient_sim(net, "PolSP", sched, offered=0.8)
+        for _ in range(49):
+            sim.step()
+        before = sim.in_flight
+        assert before == sim.buffered_packets()
+        sim.step()  # slot 49 -> 50 applies the event at the start of 50
+        sim.step()
+        dropped = sim.metrics.dropped_total
+        assert sim.in_flight == sim.buffered_packets()
+        res = sim.run(warmup=0, measure=100)
+        assert _conservation_ok(sim, res)
+        assert res.dropped_packets == dropped  # drops only at the event
+
+    def test_link_up_restores_credit_accounting(self, hx2d):
+        net = Network(hx2d)
+        links = random_connected_fault_sequence(hx2d, 2, rng=3)
+        sched = FaultSchedule.down_then_up(40, 120, links)
+        sim = _transient_sim(net, "PolSP", sched, offered=0.9)
+        res = sim.run(warmup=20, measure=280)
+        assert not res.deadlocked
+        assert net.faults == frozenset()  # repaired
+        assert _conservation_ok(sim, res)
+        # Repaired links carry packets again: drain and check credit
+        # invariants indirectly via a healthy follow-up window.
+        cap = PAPER_CONFIG.input_buffer_packets
+        for sw in sim.switches:
+            for pv in range(sw.n_ports * sw.n_vcs):
+                assert 0 <= sw.credits[pv] <= cap
+
+    def test_ladder_mechanism_stalls_after_failure(self, hx2d):
+        """Minimal's 2-per-step ladder strands packets when a mid-run
+        failure stretches shortest paths past its VC budget."""
+        net = Network(hx2d)
+        # Fail many links at once so routes lengthen noticeably.
+        links = random_connected_fault_sequence(hx2d, 20, rng=7)
+        sim = _transient_sim(
+            net, "Minimal", FaultSchedule.link_down(30, links), offered=0.7,
+            n_vcs=4,
+        )
+        res = sim.run(warmup=20, measure=200)
+        assert res.stalled_packets > 0
+
+    def test_repair_of_initially_failed_link(self, hx2d):
+        """A link that was dead *before slot 0* can be repaired mid-run."""
+        link = hx2d.links()[0]
+        net = Network(hx2d, [link])
+        sched = FaultSchedule([(60, LINK_UP, link)])
+        sim = _transient_sim(net, "PolSP", sched, offered=0.7)
+        res = sim.run(warmup=30, measure=200)
+        assert not res.deadlocked
+        assert net.faults == frozenset()
+        a, b = link
+        pa = net.port_of(a, b)
+        assert sim.link_packets[a][pa] > 0  # the repaired link carries load
+        assert _conservation_ok(sim, res)
+
+    def test_schedule_validated_against_network(self, hx2d):
+        link = hx2d.links()[0]
+        net = Network(hx2d, [link])  # already failed before slot 0
+        with pytest.raises(ValueError, match="already failed"):
+            _transient_sim(net, "PolSP", FaultSchedule.link_down(10, [link]))
+
+    def test_events_beyond_run_window_rejected(self, hx2d):
+        """An event the run can never reach must fail loudly, not be
+        silently dropped (the record would claim the event happened)."""
+        link = hx2d.links()[0]
+        sim = _transient_sim(
+            Network(hx2d), "PolSP", FaultSchedule.down_then_up(10, 300, [link])
+        )
+        with pytest.raises(ValueError, match="never apply"):
+            sim.run(warmup=20, measure=280)  # ends after slot 299
+        sim2 = _transient_sim(
+            Network(hx2d), "PolSP", FaultSchedule.down_then_up(10, 300, [link])
+        )
+        with pytest.raises(ValueError, match="never apply"):
+            sim2.run_until_drained(max_slots=300)
+        # The same schedule fits a one-slot-longer window.
+        sim3 = _transient_sim(
+            Network(hx2d), "PolSP", FaultSchedule.down_then_up(10, 300, [link])
+        )
+        res = sim3.run(warmup=20, measure=281)
+        assert not res.deadlocked
+
+    def test_static_run_unaffected_by_empty_schedule(self, net2d):
+        base = _transient_sim(Network(net2d.topology), "PolSP", None)
+        res_a = base.run(warmup=30, measure=120)
+        res_b = _transient_sim(
+            Network(net2d.topology), "PolSP", FaultSchedule([])
+        ).run(warmup=30, measure=120)
+        assert res_a.accepted == res_b.accepted
+        assert res_a.generated == res_b.generated
+        assert res_a.delivered == res_b.delivered
+
+    def test_transient_series_shows_drop_bin(self, hx2d):
+        net = Network(hx2d)
+        links = random_connected_fault_sequence(hx2d, 2, rng=13)
+        sim = _transient_sim(
+            net, "OmniSP", FaultSchedule.link_down(100, links),
+            offered=0.9, series_interval=20,
+        )
+        res = sim.run(warmup=20, measure=280)
+        assert res.dropped_packets > 0
+        by_slot = {rec["slot"]: rec for rec in res.transient_series}
+        assert by_slot[100]["dropped"] == res.dropped_packets

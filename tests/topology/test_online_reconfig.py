@@ -1,0 +1,73 @@
+"""Online reconfiguration: in-place link failure/repair on Network."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX
+
+
+@pytest.fixture()
+def net():
+    return Network(HyperX((4, 4), 4))
+
+
+class TestApplyFault:
+    def test_updates_live_adjacency(self, net):
+        a, b = link = net.live_links()[0]
+        pa, pb = net.port_of(a, b), net.port_of(b, a)
+        net.apply_fault(link)
+        assert link in net.faults
+        assert net.port_neighbour[a][pa] == -1
+        assert net.port_neighbour[b][pb] == -1
+        assert link not in net.live_links()
+        assert all(p != pa for p, _ in net.live_ports[a])
+
+    def test_matches_fresh_network(self, net):
+        links = net.live_links()[:3]
+        for link in links:
+            net.apply_fault(link)
+        fresh = Network(net.topology, links)
+        assert net.faults == fresh.faults
+        assert net.port_neighbour == fresh.port_neighbour
+        assert net.live_ports == fresh.live_ports
+        assert (net.distances == fresh.distances).all()
+
+    def test_restore_round_trip(self, net):
+        baseline_dist = net.distances.copy()
+        link = net.live_links()[5]
+        net.apply_fault(link)
+        net.restore_link(link)
+        fresh = Network(net.topology)
+        assert net.faults == frozenset()
+        assert net.port_neighbour == fresh.port_neighbour
+        assert (net.distances == baseline_dist).all()
+
+    def test_rejects_inconsistent_events(self, net):
+        link = net.live_links()[0]
+        with pytest.raises(ValueError, match="not failed"):
+            net.restore_link(link)
+        net.apply_fault(link)
+        with pytest.raises(ValueError, match="already failed"):
+            net.apply_fault(link)
+        with pytest.raises(ValueError, match="not present"):
+            net.apply_fault((0, 15))  # not adjacent in a 4x4 HyperX
+
+    def test_cached_metrics_invalidated(self):
+        # The 2x2 HyperX is the 4-cycle 0-1-3-2-0; failing one edge leaves
+        # a path graph, so cached distances/diameter must be recomputed.
+        n = Network(HyperX((2, 2), 1))
+        assert n.diameter == 2
+        assert n.distances[0, 1] == 1
+        n.apply_fault((0, 1))
+        assert n.distances[0, 1] == 3
+        assert n.diameter == 3
+        assert n.is_connected
+
+    def test_distances_track_fail_and_repair(self, net):
+        d0 = net.distances.copy()
+        link = net.live_links()[0]
+        net.apply_fault(link)
+        a, b = link
+        assert net.distances[a, b] == 2  # direct hop gone, row detour
+        net.restore_link(link)
+        assert (net.distances == d0).all()
