@@ -1,17 +1,20 @@
-"""Time a canonical sweep on the serial and parallel executors.
+"""Time a canonical sweep plus the engine's per-phase hot-path kernels.
 
-Writes ``BENCH_<label>.json`` with points/second for both strategies —
-the perf trajectory future changes are compared against, and the CI
-benchmark artifact.
+Writes ``BENCH_<label>.json`` — the perf trajectory future changes are
+compared against, and the CI benchmark artifact (labelled with the
+commit SHA there, so regressions are attributable to a commit):
+
+* serial vs parallel executor points/second on a Figure-4-style sweep;
+* a per-phase breakdown (eject / allocate / transmit / inject seconds)
+  of the slot loop, so a regression names the phase that caused it;
+* one kernel per registered arbiter, timing the pluggable allocation
+  phase across policies (the Q+P default is the 5%-regression guard for
+  the component refactor).
 
 Usage::
 
     python benchmarks/run_bench.py --label pr --jobs 4
-    python benchmarks/run_bench.py --label local --preset full
-
-The default preset is a Figure-4-style load sweep (all six mechanisms,
-2D HyperX) sized to finish in a couple of minutes on one CI core; the
-``full`` preset runs the tiny-scale Figure 4 sweep exactly.
+    python benchmarks/run_bench.py --label $(git rev-parse HEAD) --preset full
 """
 
 from __future__ import annotations
@@ -25,8 +28,11 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.executor import ParallelExecutor, SerialExecutor  # noqa: E402
+from repro.experiments.runner import ExperimentRunner  # noqa: E402
 from repro.experiments.sweeps import load_sweep_jobs  # noqa: E402
 from repro.routing.catalog import MECHANISMS  # noqa: E402
+from repro.simulator.arbiters import ARBITERS  # noqa: E402
+from repro.simulator.config import PAPER_CONFIG  # noqa: E402
 from repro.topology.base import Network  # noqa: E402
 from repro.topology.hyperx import HyperX  # noqa: E402
 
@@ -36,6 +42,8 @@ PRESETS = {
     "quick": ((0.3, 0.6, 0.9), 100, 200),
     "full": ((0.2, 0.4, 0.6, 0.8, 1.0), 150, 300),
 }
+
+PHASES = ("eject", "allocate", "transmit", "inject")
 
 
 def build_jobs(preset: str, seed: int):
@@ -47,10 +55,67 @@ def build_jobs(preset: str, seed: int):
     )
 
 
+def phase_breakdown(slots: int = 400, warmup: int = 100, seed: int = 0) -> dict:
+    """Time each slot-loop phase separately on a mid-load point.
+
+    Drives the four phases by hand (no schedule, no watchdog — pure
+    hot path), so a perf regression is attributable to eject, allocate,
+    transmit or inject rather than to "the engine".
+    """
+    runner = ExperimentRunner(Network(HyperX((4, 4), 4)))
+    sim = runner.build_simulator("PolSP", "uniform", 0.6, seed=seed)
+    for _ in range(warmup):
+        sim.step()
+    times = dict.fromkeys(PHASES, 0.0)
+    t_all = time.perf_counter()
+    for _ in range(slots):
+        t0 = time.perf_counter()
+        sim._eject()
+        t1 = time.perf_counter()
+        sim._allocate()
+        t2 = time.perf_counter()
+        sim._transmit()
+        t3 = time.perf_counter()
+        sim._inject()
+        t4 = time.perf_counter()
+        sim.slot += 1
+        times["eject"] += t1 - t0
+        times["allocate"] += t2 - t1
+        times["transmit"] += t3 - t2
+        times["inject"] += t4 - t3
+    total = time.perf_counter() - t_all
+    return {
+        "slots": slots,
+        "seconds": round(total, 4),
+        "slots_per_sec": round(slots / total, 1),
+        "phase_seconds": {k: round(v, 4) for k, v in times.items()},
+        "phase_share": {k: round(v / total, 3) for k, v in times.items()},
+    }
+
+
+def arbiter_kernels(seed: int = 0) -> dict:
+    """One timed point per registered arbiter (same network/traffic/load)."""
+    out = {}
+    for name in sorted(ARBITERS):
+        runner = ExperimentRunner(
+            Network(HyperX((4, 4), 4)), config=PAPER_CONFIG.with_(arbiter=name)
+        )
+        t0 = time.perf_counter()
+        res = runner.run_point(
+            "PolSP", "uniform", 0.6, warmup=100, measure=200, seed=seed
+        )
+        out[name] = {
+            "seconds": round(time.perf_counter() - t0, 3),
+            "accepted": round(res.accepted, 4),
+        }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local",
-                        help="suffix of the BENCH_<label>.json output file")
+                        help="suffix of the BENCH_<label>.json output file "
+                             "(CI passes the commit SHA)")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker count for the parallel executor")
     parser.add_argument("--preset", default="quick", choices=sorted(PRESETS))
@@ -77,6 +142,16 @@ def main(argv=None) -> int:
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     print(f"speedup: {speedup:.2f}x, records identical: {identical}")
 
+    phases = phase_breakdown(seed=args.seed)
+    shares = ", ".join(
+        f"{k}={phases['phase_share'][k]:.0%}" for k in PHASES
+    )
+    print(f"phases:   {phases['slots_per_sec']:.0f} slots/s ({shares})")
+
+    arbiters = arbiter_kernels(seed=args.seed)
+    for name, k in arbiters.items():
+        print(f"arbiter {name:>10}: {k['seconds']:.2f}s accepted={k['accepted']}")
+
     result = {
         "label": args.label,
         "preset": args.preset,
@@ -88,6 +163,8 @@ def main(argv=None) -> int:
         "points_per_sec_parallel": round(len(jobs) / parallel_s, 3),
         "speedup": round(speedup, 3),
         "records_identical": identical,
+        "phases": phases,
+        "arbiter_kernels": arbiters,
     }
     out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(result, indent=2) + "\n")

@@ -8,15 +8,20 @@ Examples::
     surepath-sim fig6 --scale small --dims 3
     surepath-sim fig10 --scale tiny --csv out.csv
     surepath-sim fig-transient --scale tiny --repair
+    surepath-sim fig-ablation-arbiter --scale tiny --link-latencies 1 2
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
 the exact paper topologies (slow in pure Python — see DESIGN.md).  The
-sweep-based experiments (figures 4, 5, 6, 8, 9 and fig-transient) accept
-``--jobs N`` to simulate points on a process pool and ``--cache-dir DIR``
-to reuse previously simulated points across runs.  ``fig-transient`` goes
-beyond the paper's static snapshots: links fail (and optionally come
-back) *mid-run* and the per-interval recovery series is reported.
+sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient and
+fig-ablation-arbiter) accept ``--jobs N`` to simulate points on a process
+pool and ``--cache-dir DIR`` to reuse previously simulated points across
+runs.  ``fig-transient`` goes beyond the paper's static snapshots: links
+fail (and optionally come back) *mid-run* and the per-interval recovery
+series is reported.  ``fig-ablation-arbiter`` sweeps the router
+microarchitecture itself — arbiter (Q+P / round-robin / age / random),
+flow control (virtual cut-through / store-and-forward) and link latency
+— which the paper hardwires.
 """
 
 from __future__ import annotations
@@ -26,10 +31,18 @@ import json
 import sys
 
 from ..routing.catalog import MECHANISMS
+from ..simulator.arbiters import ARBITERS
+from ..simulator.flowcontrol import FLOW_CONTROLS
 from ..topology.base import Network
 from . import figures
 from .executor import encode_json_safe, make_executor
-from .reporting import ascii_table, curve_sparkline, records_to_csv, throughput_matrix
+from .reporting import (
+    ascii_table,
+    curve_sparkline,
+    microarch_matrix,
+    records_to_csv,
+    throughput_matrix,
+)
 from .runner import ExperimentRunner
 from .scales import SCALES, get_scale
 
@@ -43,9 +56,16 @@ TRANSIENT_COLUMNS = (
     "stalled", "dropped", "schedule_events",
 )
 
+ABLATION_COLUMNS = (
+    "arbiter", "flow_control", "link_latency", "mechanism", "traffic",
+    "offered", "accepted", "latency_cycles",
+)
+
 
 #: Subcommands whose points run through an executor (--jobs/--cache-dir).
-SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "fig9", "fig-transient"})
+SWEEP_COMMANDS = frozenset(
+    {"fig4", "fig5", "fig6", "fig8", "fig9", "fig-transient", "fig-ablation-arbiter"}
+)
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -54,6 +74,14 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="simulation seed")
     p.add_argument("--csv", metavar="FILE", help="also write records as CSV")
     p.add_argument("--json", metavar="FILE", help="also write records as JSON")
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: an integer >= 1 (clean usage error otherwise)."""
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return n
 
 
 def _add_executor_args(p: argparse.ArgumentParser) -> None:
@@ -107,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig9", "3D throughput under structured faults"),
         ("fig10", "completion time under Star faults + RPN"),
         ("fig-transient", "mid-run link failure/repair recovery series"),
+        ("fig-ablation-arbiter", "router-microarchitecture ablation sweep"),
         ("point", "one simulation point"),
     ):
         p = sub.add_parser(name, help=help_)
@@ -127,6 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="schedule the failed links to come back up")
             p.add_argument("--mechanisms", nargs="+",
                            default=["OmniSP", "PolSP"], choices=MECHANISMS)
+        if name == "fig-ablation-arbiter":
+            p.add_argument("--dims", type=int, default=2, choices=(2, 3))
+            p.add_argument("--mechanisms", nargs="+",
+                           default=["OmniSP", "PolSP"], choices=MECHANISMS)
+            p.add_argument("--arbiters", nargs="+",
+                           default=sorted(ARBITERS), choices=sorted(ARBITERS))
+            p.add_argument("--flow-controls", nargs="+", default=["vct"],
+                           choices=sorted(FLOW_CONTROLS))
+            p.add_argument("--link-latencies", nargs="+", type=_positive_int,
+                           default=[1], metavar="SLOTS",
+                           help="link latencies in slots (default: 1)")
+            p.add_argument("--loads", nargs="+", type=float, default=None,
+                           help="offered loads (default: scale mid + max)")
         if name == "point":
             p.add_argument("--mechanism", default="PolSP", choices=MECHANISMS)
             p.add_argument("--traffic", default="uniform")
@@ -213,6 +255,19 @@ def main(argv: list[str] | None = None) -> int:
         _emit(recs, args, TRANSIENT_COLUMNS,
               f"Transient — {args.links} link(s) fail mid-run"
               + (" then recover" if args.repair else ""))
+    elif cmd == "fig-ablation-arbiter":
+        recs = figures.fig_ablation_arbiter(
+            args.scale, dims=args.dims, mechanisms=tuple(args.mechanisms),
+            arbiters=tuple(args.arbiters),
+            flow_controls=tuple(args.flow_controls),
+            link_latencies=tuple(args.link_latencies),
+            loads=None if args.loads is None else tuple(args.loads),
+            seed=args.seed, executor=executor,
+        )
+        print(microarch_matrix(recs))
+        _emit(recs, args, ABLATION_COLUMNS,
+              "Ablation — router microarchitecture (arbiter / flow control / "
+              "link latency)")
     elif cmd == "fig10":
         recs = figures.fig10_completion_time(args.scale, seed=args.seed)
         for r in recs:

@@ -48,7 +48,10 @@ from .runner import ExperimentRunner, PointSpec
 #: Salt of the on-disk cache key.  Bump whenever a simulator/routing
 #: change alters what a point produces, so stale records from earlier
 #: package versions can never satisfy a new run.
-CACHE_VERSION = 2
+#: v3: SimConfig grew the router-microarchitecture fields (arbiter,
+#: flow_control, link_latency_slots) and early-stopped runs now report
+#: actually-measured slot counts.
+CACHE_VERSION = 3
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).

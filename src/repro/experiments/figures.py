@@ -25,7 +25,14 @@ from ..topology.graph import diameter_or_none
 from ..topology.hyperx import HyperX
 from .runner import ExperimentRunner
 from .scales import Scale, get_scale
-from .sweeps import fault_sweep, load_sweep, shape_fault_run, transient_run
+from .sweeps import (
+    DEFAULT_ARBITERS,
+    ablation_arbiter,
+    fault_sweep,
+    load_sweep,
+    shape_fault_run,
+    transient_run,
+)
 
 #: Traffic patterns per topology dimensionality, in the paper's order.
 TRAFFICS_2D = ("uniform", "randperm", "dcr")
@@ -437,6 +444,49 @@ def fig_transient(
         Network(hx), mechanisms, traffics, schedule,
         offered=offered, warmup=sc.warmup, measure=sc.measure,
         series_interval=series_interval, seed=seed, executor=executor,
+    )
+
+
+# ----------------------------------------------------------------------
+# Router-microarchitecture ablation (beyond the paper's figures)
+# ----------------------------------------------------------------------
+def fig_ablation_arbiter(
+    scale: str | Scale = "tiny",
+    dims: int = 2,
+    mechanisms: tuple[str, ...] = ("OmniSP", "PolSP"),
+    traffics: tuple[str, ...] = ("uniform",),
+    arbiters: tuple[str, ...] = DEFAULT_ARBITERS,
+    flow_controls: tuple[str, ...] = ("vct",),
+    link_latencies: tuple[int, ...] = (1,),
+    loads: tuple[float, ...] | None = None,
+    seed: int = 0,
+    executor=None,
+) -> list[dict]:
+    """Throughput/latency across router microarchitectures.
+
+    The paper's results assume one specific router — Q+P output
+    selection, virtual cut-through, 1-slot links.  This driver re-runs a
+    load sweep with that microarchitecture swapped out piece by piece:
+    alternative arbiters (round-robin, age-based, random), store-and-
+    forward flow control and pipelined multi-slot links.
+
+    Expected shape: Q+P saturates highest (its load awareness is doing
+    real work); random/round-robin cost throughput at saturation but tie
+    below it; store-and-forward serialises output stages and caps
+    accepted load; pipelined links add latency per hop while throughput
+    holds until buffering binds.
+    """
+    sc = _scale(scale)
+    hx = sc.hyperx_2d() if dims == 2 else sc.hyperx_3d()
+    if loads is None:
+        # Mid-load (latency regime) plus saturation (throughput regime).
+        loads = (sc.loads[len(sc.loads) // 2 - 1], sc.loads[-1])
+    traffics = tuple(t for t in traffics if dims == 3 or t != "rpn")
+    return ablation_arbiter(
+        Network(hx), mechanisms, traffics, loads,
+        arbiters=arbiters, flow_controls=flow_controls,
+        link_latencies=link_latencies,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
     )
 
 

@@ -103,6 +103,26 @@ def throughput_matrix(
     return ascii_table(out_records, [row_key] + cols)
 
 
+def microarch_matrix(records: Iterable[dict], value_key: str = "accepted") -> str:
+    """Pivot ablation records into a (mechanism, microarchitecture) x
+    traffic matrix.
+
+    Rows combine the routing mechanism with the ``microarch`` label
+    (``arbiter/flow_control/L<latency>``) the
+    :func:`~repro.experiments.sweeps.ablation_arbiter` sweep stamps on
+    its records; cells are the saturation value per traffic pattern.
+    The mechanism stays in the row key so a strong routing mechanism
+    cannot mask a weak arbiter through max-aggregation.
+    """
+    rows = [
+        {**rec, "mechanism:microarch": f"{rec['mechanism']}:{rec['microarch']}"}
+        for rec in records
+    ]
+    return throughput_matrix(
+        rows, row_key="mechanism:microarch", col_key="traffic", value_key=value_key
+    )
+
+
 def curve_sparkline(points: Sequence[tuple[float, float]], width: int = 40) -> str:
     """A crude one-line sparkline of a curve (for terminal output)."""
     if not points:

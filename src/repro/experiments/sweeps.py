@@ -23,7 +23,11 @@ from .executor import RECORD_KEYS, Executor, PointJob, SerialExecutor
 from .runner import PointSpec
 
 __all__ = [
+    "DEFAULT_ARBITERS",
     "RECORD_KEYS",
+    "ablation_arbiter",
+    "ablation_arbiter_jobs",
+    "annotate_components",
     "fault_sweep",
     "fault_sweep_jobs",
     "filter_records",
@@ -316,6 +320,107 @@ def transient_run(
         root=root, n_vcs=n_vcs,
     )
     return _run(jobs, executor)
+
+
+# ----------------------------------------------------------------------
+# Router-microarchitecture ablation (arbiter / flow control / link latency)
+# ----------------------------------------------------------------------
+#: The arbiters the ablation sweeps by default, paper's rule first.
+DEFAULT_ARBITERS = ("qp", "roundrobin", "age", "random")
+
+
+def ablation_arbiter_jobs(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    arbiters: Sequence[str] = DEFAULT_ARBITERS,
+    flow_controls: Sequence[str] = ("vct",),
+    link_latencies: Sequence[int] = (1,),
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+) -> list[PointJob]:
+    """The work list behind :func:`ablation_arbiter`.
+
+    One :func:`load_sweep_jobs` block per microarchitecture — the
+    component selection travels inside each job's ``SimConfig``, so the
+    points parallelise and cache exactly like any other sweep point.
+    """
+    jobs: list[PointJob] = []
+    for arbiter in arbiters:
+        for flow_control in flow_controls:
+            for latency in link_latencies:
+                cfg = config.with_(
+                    arbiter=arbiter,
+                    flow_control=flow_control,
+                    link_latency_slots=int(latency),
+                )
+                jobs += load_sweep_jobs(
+                    network, mechanisms, traffics, loads,
+                    warmup=warmup, measure=measure, seed=seed, config=cfg,
+                    root=root, n_vcs=n_vcs,
+                )
+    return jobs
+
+
+def annotate_components(jobs: Sequence[PointJob], records: Sequence[dict]) -> None:
+    """Stamp each record with its job's microarchitecture (in place).
+
+    Records coming back from the content-addressed cache carry only the
+    standard sweep keys; the component columns are derived from the job
+    list (same order by executor contract), so cached and fresh records
+    look identical.
+    """
+    for job, rec in zip(jobs, records):
+        cfg = job.config
+        rec["arbiter"] = cfg.arbiter
+        rec["flow_control"] = cfg.flow_control
+        rec["link_latency"] = cfg.link_latency_slots
+        rec["microarch"] = (
+            f"{cfg.arbiter}/{cfg.flow_control}/L{cfg.link_latency_slots}"
+        )
+
+
+def ablation_arbiter(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    arbiters: Sequence[str] = DEFAULT_ARBITERS,
+    flow_controls: Sequence[str] = ("vct",),
+    link_latencies: Sequence[int] = (1,),
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+    executor: Executor | None = None,
+) -> list[dict]:
+    """Sweep the router microarchitecture itself.
+
+    The paper hardwires Q+P output selection, virtual cut-through and
+    1-slot links; this sweep crosses arbiters x flow controls x link
+    latencies over a load sweep and reports how much of the routing
+    story each choice carries.  Every record is a standard sweep record
+    plus ``arbiter`` / ``flow_control`` / ``link_latency`` and the
+    combined ``microarch`` label.
+    """
+    jobs = ablation_arbiter_jobs(
+        network, mechanisms, traffics, loads,
+        arbiters=arbiters, flow_controls=flow_controls,
+        link_latencies=link_latencies, warmup=warmup, measure=measure,
+        seed=seed, config=config, root=root, n_vcs=n_vcs,
+    )
+    records = _run(jobs, executor)
+    annotate_components(jobs, records)
+    return records
 
 
 # ----------------------------------------------------------------------

@@ -1,29 +1,70 @@
-"""Slot-level network simulator: the reproduction's CAMINOS substitute."""
+"""Slot-level network simulator: the reproduction's CAMINOS substitute.
 
+The router microarchitecture is composed from three pluggable component
+families — :mod:`~repro.simulator.arbiters` (output selection + grant
+order), :mod:`~repro.simulator.flowcontrol` (grant admission) and
+:mod:`~repro.simulator.links` (link latency / in-flight transport) —
+selected by :class:`SimConfig` and defaulting to the paper's
+microarchitecture (Q+P, virtual cut-through, 1-slot links).
+"""
+
+from .arbiters import (
+    ARBITERS,
+    AgeBasedArbiter,
+    Arbiter,
+    QPArbiter,
+    RandomArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
 from .config import PAPER_CONFIG, SimConfig, table2_rows
 from .engine import DeadlockError, Simulator
+from .flowcontrol import (
+    FLOW_CONTROLS,
+    FlowControl,
+    StoreAndForward,
+    VirtualCutThrough,
+    make_flow_control,
+)
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
+from .links import LinkModel, PipelinedLink, UnitSlotLink, make_link_model
 from .metrics import MetricsCollector, SimResult, jain_index
 from .packet import Packet
 from .schedule import LINK_DOWN, LINK_UP, FaultEvent, FaultSchedule
 from .switch import Switch
 
 __all__ = [
+    "ARBITERS",
+    "AgeBasedArbiter",
+    "Arbiter",
     "BatchInjection",
     "BernoulliInjection",
     "DeadlockError",
+    "FLOW_CONTROLS",
     "FaultEvent",
     "FaultSchedule",
+    "FlowControl",
     "InjectionProcess",
     "LINK_DOWN",
     "LINK_UP",
+    "LinkModel",
     "MetricsCollector",
     "PAPER_CONFIG",
     "Packet",
+    "PipelinedLink",
+    "QPArbiter",
+    "RandomArbiter",
+    "RoundRobinArbiter",
     "SimConfig",
     "SimResult",
     "Simulator",
+    "StoreAndForward",
     "Switch",
+    "UnitSlotLink",
+    "VirtualCutThrough",
     "jain_index",
+    "make_arbiter",
+    "make_flow_control",
+    "make_link_model",
     "table2_rows",
 ]

@@ -1,0 +1,372 @@
+"""Output-selection and grant-order policies (the allocation phase).
+
+The paper's router picks, for every head-of-line packet, the candidate
+``(port, vc)`` with the lowest ``Q + P`` and lets every output port grant
+the lowest-scoring requests first.  This module makes that *one policy
+among several*: an :class:`Arbiter` owns phase 2 of the slot loop — which
+candidate each packet requests, and in which order each output port
+grants — while buffers, credits and the flow-control thresholds stay on
+the :class:`~repro.simulator.switch.Switch` and
+:class:`~repro.simulator.flowcontrol.FlowControl`.
+
+Implementations
+---------------
+* :class:`QPArbiter` (``"qp"``, default) — the paper's rule, bit-for-bit:
+  requests minimise ``(port_load + vc_load) * phits + penalty`` with
+  uniform random tie-breaks; ports grant in ascending score order.  Its
+  ``allocate`` is the monolithic engine's hot loop moved here verbatim,
+  so the default composition stays record-identical *and* as fast.
+* :class:`RoundRobinArbiter` (``"roundrobin"``) — rotating pointers: each
+  input cycles through its feasible candidates, each output port grants
+  inputs in cyclic order starting after the last winner.  No load
+  awareness, no RNG.
+* :class:`AgeBasedArbiter` (``"age"``) — requests take the minimal-penalty
+  candidate; ports grant the oldest packet (birth slot, then pid) first.
+* :class:`RandomArbiter` (``"random"``) — uniformly random feasible
+  candidate and uniformly random grant order (the unloaded baseline an
+  ablation compares the Q+P rule against).
+
+Adding an arbiter: subclass :class:`Arbiter`, implement ``allocate``
+(usually via the ``_hol_requests``/``_grant_in_order`` helpers), set a
+unique ``name``, and register it in :data:`ARBITERS`; it is then
+reachable from ``SimConfig(arbiter=...)``, every sweep, the cache key
+and the CLI.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .packet import Packet
+
+
+class Arbiter(ABC):
+    """Phase-2 policy: candidate selection + per-output grant order.
+
+    One instance serves one :class:`~repro.simulator.engine.Simulator`
+    (arbiters may keep per-switch pointers), driven once per slot via
+    :meth:`allocate`.
+    """
+
+    #: Registry key (subclasses override).
+    name: str = "?"
+
+    @abstractmethod
+    def allocate(self, sim) -> int:
+        """Run the allocation phase over every switch; return the number
+        of crossbar grants made this slot."""
+
+    # ------------------------------------------------------------------
+    # Shared building blocks for non-default arbiters
+    # ------------------------------------------------------------------
+    def _hol_requests(self, sim, sw) -> list[tuple[int, Packet, list]]:
+        """``(input_idx, packet, feasible)`` for every head-of-line packet.
+
+        ``feasible`` is the flow-control-filtered candidate list
+        ``[(port, vc, penalty), ...]``; packets with no candidates at all
+        are counted as stalled, exactly like the default path does.
+        """
+        mech = sim.mechanism
+        sid = sw.sid
+        n_vcs = sw.n_vcs
+        credits = sw.credits
+        out_q = sw.out_q
+        fc = sim.flow_control
+        min_cred = fc.min_credits
+        out_cap = fc.output_capacity
+        out = []
+        for idx in sw.active_inputs:
+            pkt = sw.in_q[idx][0]
+            if pkt.dst_switch == sid:
+                continue  # waiting for ejection
+            if pkt.cand_switch == sid:
+                cands = pkt.cand_list
+            else:
+                cands = mech.candidates(pkt, sid)
+                pkt.cand_switch = sid
+                pkt.cand_list = cands
+            if not cands:
+                sim.metrics.on_stalled(pkt, sim.slot)
+                continue
+            feasible = [
+                (port, vc, pen)
+                for port, vc, pen in cands
+                if credits[port * n_vcs + vc] >= min_cred
+                and len(out_q[port * n_vcs + vc]) < out_cap
+            ]
+            if feasible:
+                out.append((idx, pkt, feasible))
+        return out
+
+    def _commit(self, sim, sw, idx: int, port: int, vc: int, pkt: Packet) -> None:
+        """Grant bookkeeping: move the packet input -> output VC, return
+        the freed input credit, advance the routing mechanism."""
+        pv = port * sw.n_vcs + vc
+        sw.in_q[idx].popleft()
+        if not sw.in_q[idx]:
+            sw.deactivate(idx)
+        sim._return_input_credit(sw, idx)
+        sw.grant(pv, pkt)
+        new_switch = sim.network.port_neighbour[sw.sid][port]
+        sim.mechanism.on_hop(pkt, sw.sid, new_switch, port, vc)
+        pkt.cand_switch = -1
+
+    def _grant_in_order(
+        self, sim, sw, port: int, ordered, input_wins: dict[int, int]
+    ) -> list[int]:
+        """Grant up to ``crossbar_speedup`` of ``ordered`` ``(idx, vc,
+        pkt)`` requests on ``port``, re-checking flow control (an earlier
+        grant may have consumed the last slot) and the per-input win cap.
+        Returns the winning input indices, in grant order."""
+        winners: list[int] = []
+        speedup = sim.cfg.crossbar_speedup
+        fc = sim.flow_control
+        min_cred = fc.min_credits
+        out_cap = fc.output_capacity
+        n_vcs = sw.n_vcs
+        npv = sw.n_ports * n_vcs
+        for idx, vc, pkt in ordered:
+            if len(winners) >= speedup:
+                break
+            in_port = idx // n_vcs if idx < npv else sw.n_ports + (idx - npv)
+            if input_wins.get(in_port, 0) >= speedup:
+                continue
+            pv = port * n_vcs + vc
+            if sw.credits[pv] < min_cred or len(sw.out_q[pv]) >= out_cap:
+                continue
+            self._commit(sim, sw, idx, port, vc, pkt)
+            input_wins[in_port] = input_wins.get(in_port, 0) + 1
+            winners.append(idx)
+        return winners
+
+
+class QPArbiter(Arbiter):
+    """The paper's ``Q + P`` output selection (default, record-identical).
+
+    ``allocate`` is the pre-refactor engine loop: flow control and the
+    ``Q`` term are inlined on the switch's raw credit/occupancy arrays,
+    candidates are memoised on the packet, and the RNG is consulted in
+    the exact historical order (request tie-breaks, then grant-order
+    tie-breaks) so default-composition records stay byte-identical.
+    """
+
+    name = "qp"
+
+    def allocate(self, sim) -> int:
+        granted = 0
+        mech = sim.mechanism
+        phits = sim._phits
+        speedup = sim.cfg.crossbar_speedup
+        fc = sim.flow_control
+        min_cred = fc.min_credits
+        out_cap = fc.output_capacity
+        rng = sim.rng
+        metrics = sim.metrics
+        n_vcs = sim._n_vcs
+        port_neighbour = sim.network.port_neighbour
+        slot = sim.slot
+        for sw in sim.switches:
+            if not sw.active_inputs:
+                continue
+            sid = sw.sid
+            in_q = sw.in_q
+            credits = sw.credits
+            out_q = sw.out_q
+            load = sw.load
+            port_load = sw.port_load
+            # ---- requests -------------------------------------------------
+            requests: dict[int, list[tuple[float, float, int, int, Packet]]] = {}
+            for idx in sw.active_inputs:
+                pkt = in_q[idx][0]
+                if pkt.dst_switch == sid:
+                    continue  # waiting for ejection
+                if pkt.cand_switch == sid:
+                    cands = pkt.cand_list
+                else:
+                    cands = mech.candidates(pkt, sid)
+                    pkt.cand_switch = sid
+                    pkt.cand_list = cands
+                if not cands:
+                    metrics.on_stalled(pkt, slot)
+                    continue
+                best_score = None
+                best: list[tuple[int, int]] = []
+                for port, vc, pen in cands:
+                    pv = port * n_vcs + vc
+                    if credits[pv] < min_cred or len(out_q[pv]) >= out_cap:
+                        continue
+                    score = (port_load[port] + load[pv]) * phits + pen
+                    if best_score is None or score < best_score:
+                        best_score = score
+                        best = [(port, vc)]
+                    elif score == best_score:
+                        best.append((port, vc))
+                if not best:
+                    continue  # flow-control blocked this slot
+                port, vc = best[0] if len(best) == 1 else best[
+                    int(rng.integers(len(best)))
+                ]
+                requests.setdefault(port, []).append(
+                    (best_score, rng.random(), idx, vc, pkt)
+                )
+            if not requests:
+                continue
+            # ---- grants ---------------------------------------------------
+            npv = sw.n_ports * n_vcs
+            input_wins: dict[int, int] = {}
+            for port, reqs in requests.items():
+                reqs.sort()
+                grants_here = 0
+                for score, _tie, idx, vc, pkt in reqs:
+                    if grants_here >= speedup:
+                        break
+                    in_port = idx // n_vcs if idx < npv else sw.n_ports + (idx - npv)
+                    if input_wins.get(in_port, 0) >= speedup:
+                        continue
+                    pv = port * n_vcs + vc
+                    if credits[pv] < min_cred or len(out_q[pv]) >= out_cap:
+                        continue  # an earlier grant consumed the last slot
+                    in_q[idx].popleft()
+                    if not in_q[idx]:
+                        sw.deactivate(idx)
+                    sim._return_input_credit(sw, idx)
+                    sw.grant(pv, pkt)
+                    new_switch = port_neighbour[sid][port]
+                    mech.on_hop(pkt, sid, new_switch, port, vc)
+                    pkt.cand_switch = -1
+                    input_wins[in_port] = input_wins.get(in_port, 0) + 1
+                    grants_here += 1
+                    granted += 1
+        return granted
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-pointer arbitration, oblivious to load and penalties.
+
+    Each input cycles a pointer over the flat ``(port, vc)`` space and
+    requests the first feasible candidate at or after it; each output
+    port grants inputs in cyclic index order starting just past the
+    previous slot's last winner.  Deterministic — no RNG draws.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._cand_ptr: dict[tuple[int, int], int] = {}
+        self._grant_ptr: dict[tuple[int, int], int] = {}
+
+    def allocate(self, sim) -> int:
+        granted = 0
+        for sw in sim.switches:
+            if not sw.active_inputs:
+                continue
+            sid = sw.sid
+            n_vcs = sw.n_vcs
+            requests: dict[int, list[tuple[int, int, Packet]]] = {}
+            for idx, pkt, feasible in self._hol_requests(sim, sw):
+                ptr = self._cand_ptr.get((sid, idx), 0)
+                keyed = sorted(feasible, key=lambda c: c[0] * n_vcs + c[1])
+                chosen = next(
+                    (c for c in keyed if c[0] * n_vcs + c[1] >= ptr), keyed[0]
+                )
+                port, vc, _pen = chosen
+                self._cand_ptr[(sid, idx)] = port * n_vcs + vc + 1
+                requests.setdefault(port, []).append((idx, vc, pkt))
+            input_wins: dict[int, int] = {}
+            for port in sorted(requests):
+                reqs = sorted(requests[port])
+                gp = self._grant_ptr.get((sid, port), 0)
+                ordered = [r for r in reqs if r[0] >= gp] + [
+                    r for r in reqs if r[0] < gp
+                ]
+                winners = self._grant_in_order(sim, sw, port, ordered, input_wins)
+                if winners:
+                    # Rotate priority just past the last actual winner.
+                    self._grant_ptr[(sid, port)] = (winners[-1] + 1) % sw.n_inputs
+                granted += len(winners)
+        return granted
+
+
+class AgeBasedArbiter(Arbiter):
+    """Oldest-packet-first arbitration (global age order, deterministic).
+
+    Requests take the minimal-penalty feasible candidate (ties to the
+    lowest ``(port, vc)``); every output port grants the oldest packet —
+    earliest birth slot, then lowest pid — first.
+    """
+
+    name = "age"
+
+    def allocate(self, sim) -> int:
+        granted = 0
+        for sw in sim.switches:
+            if not sw.active_inputs:
+                continue
+            requests: dict[int, list[tuple[int, int, int, int, Packet]]] = {}
+            for idx, pkt, feasible in self._hol_requests(sim, sw):
+                port, vc, _pen = min(feasible, key=lambda c: (c[2], c[0], c[1]))
+                requests.setdefault(port, []).append(
+                    (pkt.birth_slot, pkt.pid, idx, vc, pkt)
+                )
+            input_wins: dict[int, int] = {}
+            for port in sorted(requests):
+                ordered = [
+                    (idx, vc, pkt)
+                    for _birth, _pid, idx, vc, pkt in sorted(requests[port])
+                ]
+                granted += len(
+                    self._grant_in_order(sim, sw, port, ordered, input_wins)
+                )
+        return granted
+
+
+class RandomArbiter(Arbiter):
+    """Uniformly random candidate choice and grant order.
+
+    The null hypothesis of the arbitration ablation: any structure the
+    Q+P rule buys shows up as the gap against this baseline.  Draws from
+    the simulator's RNG, so runs stay reproducible per seed.
+    """
+
+    name = "random"
+
+    def allocate(self, sim) -> int:
+        granted = 0
+        rng = sim.rng
+        for sw in sim.switches:
+            if not sw.active_inputs:
+                continue
+            requests: dict[int, list[tuple[float, int, int, Packet]]] = {}
+            for idx, pkt, feasible in self._hol_requests(sim, sw):
+                port, vc, _pen = feasible[
+                    0 if len(feasible) == 1 else int(rng.integers(len(feasible)))
+                ]
+                requests.setdefault(port, []).append((rng.random(), idx, vc, pkt))
+            input_wins: dict[int, int] = {}
+            for port in sorted(requests):
+                ordered = [
+                    (idx, vc, pkt) for _r, idx, vc, pkt in sorted(requests[port])
+                ]
+                granted += len(
+                    self._grant_in_order(sim, sw, port, ordered, input_wins)
+                )
+        return granted
+
+
+#: Registry of arbiters by config name.
+ARBITERS: dict[str, type[Arbiter]] = {
+    cls.name: cls
+    for cls in (QPArbiter, RoundRobinArbiter, AgeBasedArbiter, RandomArbiter)
+}
+
+
+def make_arbiter(name: str) -> Arbiter:
+    """Instantiate a registered arbiter (fresh per simulator — arbiters
+    may carry per-switch pointer state)."""
+    try:
+        cls = ARBITERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown arbiter {name!r}; expected one of {sorted(ARBITERS)}"
+        ) from None
+    return cls()

@@ -38,6 +38,19 @@ class SimConfig:
         Watchdog: slots without any ejection or crossbar grant (while
         packets are in flight) after which the network is declared
         deadlocked/stalled.
+    arbiter:
+        Output-selection/grant-order policy, by registry name (see
+        :data:`repro.simulator.arbiters.ARBITERS`).  ``"qp"`` is the
+        paper's Q+P rule; ``"roundrobin"``, ``"age"`` and ``"random"``
+        open the arbitration ablation axis.
+    flow_control:
+        Grant admission policy, by registry name (see
+        :data:`repro.simulator.flowcontrol.FLOW_CONTROLS`): ``"vct"``
+        (paper) or ``"saf"``.
+    link_latency_slots:
+        Slots a packet spends on each link: 1 (paper) uses the immediate
+        :class:`~repro.simulator.links.UnitSlotLink`; ``k > 1`` the
+        in-flight-tracking :class:`~repro.simulator.links.PipelinedLink`.
     """
 
     input_buffer_packets: int = 8
@@ -46,6 +59,9 @@ class SimConfig:
     crossbar_speedup: int = 2
     source_queue_packets: int = 16
     deadlock_threshold_slots: int = 500
+    arbiter: str = "qp"
+    flow_control: str = "vct"
+    link_latency_slots: int = 1
 
     def __post_init__(self) -> None:
         for name in (
@@ -55,9 +71,23 @@ class SimConfig:
             "crossbar_speedup",
             "source_queue_packets",
             "deadlock_threshold_slots",
+            "link_latency_slots",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        # Late imports: the component registries import this module.
+        from .arbiters import ARBITERS
+        from .flowcontrol import FLOW_CONTROLS
+
+        if self.arbiter not in ARBITERS:
+            raise ValueError(
+                f"unknown arbiter {self.arbiter!r}; expected one of {sorted(ARBITERS)}"
+            )
+        if self.flow_control not in FLOW_CONTROLS:
+            raise ValueError(
+                f"unknown flow control {self.flow_control!r}; "
+                f"expected one of {sorted(FLOW_CONTROLS)}"
+            )
 
     def with_(self, **kw) -> "SimConfig":
         """A copy with some fields replaced."""
@@ -73,15 +103,26 @@ class SimConfig:
 PAPER_CONFIG = SimConfig()
 
 
-def table2_rows() -> list[tuple[str, str]]:
-    """The rows of the paper's Table 2, for the table-regeneration bench."""
-    c = PAPER_CONFIG
+def table2_rows(config: SimConfig = PAPER_CONFIG) -> list[tuple[str, str]]:
+    """The rows of the paper's Table 2, for the table-regeneration bench.
+
+    Derived from the config so a component ablation prints its actual
+    microarchitecture; the defaults reproduce the paper's table verbatim.
+    """
+    from .flowcontrol import FLOW_CONTROLS
+
+    c = config
+    latency = (
+        "1 cycle"
+        if c.link_latency_slots == 1
+        else f"{c.link_latency_slots} slots (pipelined)"
+    )
     return [
         ("Input Buffer size", f"{c.input_buffer_packets} packets"),
         ("Output Buffer size", f"{c.output_buffer_packets} packets"),
-        ("Flow control", "Virtual cut-through"),
+        ("Flow control", FLOW_CONTROLS[c.flow_control].label),
         ("Packet length", f"{c.packet_phits} phits"),
-        ("Link latency", "1 cycle"),
+        ("Link latency", latency),
         ("Crossbar latency", "1 cycle (link)"),
         ("Crossbar internal speedup", str(c.crossbar_speedup)),
     ]

@@ -5,23 +5,38 @@ four phases, following DESIGN.md:
 
 1. **Ejection** — every server consumes at most one head-of-line packet
    addressed to it; the freed input slot returns a credit upstream.
-2. **Allocation** — every head-of-line packet (network inputs and
-   injection queues alike) asks its routing mechanism for candidate
-   ``(port, vc, penalty)`` hops, filters them by flow control (downstream
-   credit + output-buffer space) and requests the single candidate with
-   the lowest ``Q + P`` (phits; ties broken uniformly at random).  Every
-   output port grants up to ``crossbar_speedup`` requests in ascending
-   ``Q + P`` order; every input port wins at most ``crossbar_speedup``
-   grants.  A granted packet moves to the output VC, consuming the
-   downstream credit (virtual cut-through reservation) and returning the
-   credit of its freed input slot.
+2. **Allocation** — delegated to the pluggable
+   :class:`~repro.simulator.arbiters.Arbiter`: every head-of-line packet
+   (network inputs and injection queues alike) asks its routing
+   mechanism for candidate ``(port, vc, penalty)`` hops, the
+   :class:`~repro.simulator.flowcontrol.FlowControl` filters them by
+   admission (downstream credit + output-buffer space), and the arbiter
+   picks which candidate each packet requests and in which order every
+   output port grants — up to ``crossbar_speedup`` grants per output and
+   per input.  The default :class:`~repro.simulator.arbiters.QPArbiter`
+   is the paper's rule: request the lowest ``Q + P`` (phits; ties broken
+   uniformly at random), grant in ascending ``Q + P`` order.  A granted
+   packet moves to the output VC, consuming the downstream credit
+   (virtual cut-through reservation) and returning the credit of its
+   freed input slot.
 3. **Transmission** — every output port drains one packet, round-robin
-   over its VCs, into the reserved downstream input slot; the packet
-   becomes eligible for allocation there the next slot (1-slot link).
+   over its VCs, onto the pluggable
+   :class:`~repro.simulator.links.LinkModel`: the default
+   :class:`~repro.simulator.links.UnitSlotLink` lands it in the reserved
+   downstream input slot immediately (eligible next slot);
+   :class:`~repro.simulator.links.PipelinedLink` keeps it on the wire
+   for ``link_latency_slots`` slots.
 4. **Injection** — the injection process picks attempting servers; an
    attempt enqueues a fresh packet into the server's source queue if it
    has room (Bernoulli attempts against a full queue are lost and dent
    the Jain index).
+
+The router microarchitecture is therefore *composed*, not hardwired:
+``SimConfig(arbiter=..., flow_control=..., link_latency_slots=...)``
+selects the components, they flow through every sweep job and cache key,
+and the default composition (``qp`` + ``vct`` + 1-slot links) is
+record-identical to the historical monolithic engine (guarded by
+``tests/experiments/test_golden_fingerprint.py``).
 
 A watchdog declares the network *stalled* when packets are in flight but
 no ejection or grant has happened for ``deadlock_threshold_slots`` slots —
@@ -39,8 +54,11 @@ import numpy as np
 from ..routing.base import RoutingMechanism
 from ..topology.base import Network
 from ..traffic.base import TrafficPattern
+from .arbiters import Arbiter, make_arbiter
 from .config import PAPER_CONFIG, SimConfig
+from .flowcontrol import FlowControl, make_flow_control
 from .injection import BernoulliInjection, InjectionProcess
+from .links import LinkModel, make_link_model
 from .metrics import MetricsCollector, SimResult
 from .packet import Packet
 from .schedule import LINK_DOWN, FaultSchedule
@@ -81,9 +99,13 @@ class Simulator:
         Optional :class:`~repro.simulator.schedule.FaultSchedule` of
         mid-run link failures/repairs.  Events at slot ``s`` apply at the
         start of that slot's :meth:`step`: the network mutates in place,
-        packets buffered on a failed link are dropped (and counted),
-        per-packet candidate memos are invalidated and the mechanism
-        reconfigures via ``on_topology_change``.
+        packets buffered on (or in flight over) a failed link are dropped
+        (and counted), per-packet candidate memos are invalidated and the
+        mechanism reconfigures via ``on_topology_change``.
+    arbiter / flow_control / link_model:
+        Explicit component instances, overriding the ones named by
+        ``config`` (tests and bespoke experiments; sweeps select
+        components through the config so they enter the cache key).
     """
 
     def __init__(
@@ -99,12 +121,31 @@ class Simulator:
         series_interval: int | None = None,
         strict_deadlock: bool = False,
         fault_schedule: FaultSchedule | None = None,
+        arbiter: Arbiter | None = None,
+        flow_control: FlowControl | None = None,
+        link_model: LinkModel | None = None,
     ):
         self.network = network
         self.mechanism = mechanism
         self.traffic = traffic
         self.cfg = config
         self.rng = np.random.default_rng(seed)
+        # --- pluggable router microarchitecture ---------------------------
+        self.arbiter = arbiter if arbiter is not None else make_arbiter(config.arbiter)
+        self.flow_control = (
+            flow_control
+            if flow_control is not None
+            else make_flow_control(config.flow_control)
+        )
+        self.flow_control.attach(config)
+        self.link = (
+            link_model
+            if link_model is not None
+            else make_link_model(config.link_latency_slots)
+        )
+        #: Skip the per-step advance() call for link models that keep
+        #: nothing in flight (the default unit link).
+        self._link_pipelined = type(self.link).advance is not LinkModel.advance
         n_servers = network.n_servers
         if injection is None:
             injection = BernoulliInjection(n_servers, offered)
@@ -164,15 +205,22 @@ class Simulator:
     # Phases
     # ------------------------------------------------------------------
     def _eject(self) -> int:
-        """Phase 1: servers consume packets destined to them."""
+        """Phase 1: servers consume packets destined to them.
+
+        Iterates ``active_sorted`` — the ascending-index mirror the
+        switch maintains by sorted insertion — over a snapshot (ejection
+        deactivates inputs mid-loop), so the historical
+        ``sorted(active_inputs)`` priority holds without re-sorting
+        every slot for every switch.
+        """
         ejected = 0
         sps = self._sps
         for sw in self.switches:
-            if not sw.active_inputs:
+            if not sw.active_sorted:
                 continue
             sid = sw.sid
             served = 0  # bitmask over local servers
-            for idx in sorted(sw.active_inputs):
+            for idx in tuple(sw.active_sorted):
                 pkt = sw.in_q[idx][0]
                 if pkt.dst_switch != sid:
                     continue
@@ -183,7 +231,7 @@ class Simulator:
                 served |= bit
                 sw.in_q[idx].popleft()
                 if not sw.in_q[idx]:
-                    sw.active_inputs.discard(idx)
+                    sw.deactivate(idx)
                 self._return_input_credit(sw, idx)
                 pkt.eject_slot = self.slot
                 self.metrics.on_ejected(pkt, self.slot)
@@ -206,106 +254,24 @@ class Simulator:
         self.switches[upstream].return_credit(self.rev_port[sw.sid][port], vc)
 
     def _allocate(self) -> int:
-        """Phase 2: Q+P requests, per-output-port grants.
+        """Phase 2: delegated to the pluggable arbiter.
 
-        Two hot-path shortcuts keep this loop cheap without changing any
-        outcome:
-
-        * ``mech.candidates`` is memoised on the packet (``cand_switch`` /
-          ``cand_list``): candidates depend only on per-packet routing
-          state, which changes in ``on_hop`` — a head-of-line packet
-          blocked by flow control re-requests the same candidate set every
-          slot, so recomputing it was pure waste.
-        * Flow control (``can_accept``) and the ``Q`` term are inlined on
-          the switch's raw credit/occupancy arrays instead of going
-          through per-candidate method calls.
+        The arbiter owns output selection and grant order; flow-control
+        admission comes from ``self.flow_control``'s thresholds.  The
+        default :class:`~repro.simulator.arbiters.QPArbiter` is the
+        historical inlined Q+P loop, moved verbatim (record-identical,
+        same RNG draw order, same hot-path shortcuts).
         """
-        granted = 0
-        mech = self.mechanism
-        phits = self._phits
-        speedup = self.cfg.crossbar_speedup
-        out_cap = self.cfg.output_buffer_packets
-        rng = self.rng
-        metrics = self.metrics
-        n_vcs = self._n_vcs
-        port_neighbour = self.network.port_neighbour
-        for sw in self.switches:
-            if not sw.active_inputs:
-                continue
-            sid = sw.sid
-            in_q = sw.in_q
-            credits = sw.credits
-            out_q = sw.out_q
-            load = sw.load
-            port_load = sw.port_load
-            # ---- requests -------------------------------------------------
-            requests: dict[int, list[tuple[int, float, int, int, Packet]]] = {}
-            for idx in sw.active_inputs:
-                pkt = in_q[idx][0]
-                if pkt.dst_switch == sid:
-                    continue  # waiting for ejection
-                if pkt.cand_switch == sid:
-                    cands = pkt.cand_list
-                else:
-                    cands = mech.candidates(pkt, sid)
-                    pkt.cand_switch = sid
-                    pkt.cand_list = cands
-                if not cands:
-                    metrics.on_stalled(pkt, self.slot)
-                    continue
-                best_score = None
-                best: list[tuple[int, int]] = []
-                for port, vc, pen in cands:
-                    pv = port * n_vcs + vc
-                    if credits[pv] <= 0 or len(out_q[pv]) >= out_cap:
-                        continue
-                    score = (port_load[port] + load[pv]) * phits + pen
-                    if best_score is None or score < best_score:
-                        best_score = score
-                        best = [(port, vc)]
-                    elif score == best_score:
-                        best.append((port, vc))
-                if not best:
-                    continue  # flow-control blocked this slot
-                port, vc = best[0] if len(best) == 1 else best[
-                    int(rng.integers(len(best)))
-                ]
-                requests.setdefault(port, []).append(
-                    (best_score, rng.random(), idx, vc, pkt)
-                )
-            if not requests:
-                continue
-            # ---- grants ---------------------------------------------------
-            npv = sw.n_ports * n_vcs
-            input_wins: dict[int, int] = {}
-            for port, reqs in requests.items():
-                reqs.sort()
-                grants_here = 0
-                for score, _tie, idx, vc, pkt in reqs:
-                    if grants_here >= speedup:
-                        break
-                    in_port = idx // n_vcs if idx < npv else sw.n_ports + (idx - npv)
-                    if input_wins.get(in_port, 0) >= speedup:
-                        continue
-                    pv = port * n_vcs + vc
-                    if credits[pv] <= 0 or len(out_q[pv]) >= out_cap:
-                        continue  # an earlier grant consumed the last slot
-                    in_q[idx].popleft()
-                    if not in_q[idx]:
-                        sw.active_inputs.discard(idx)
-                    self._return_input_credit(sw, idx)
-                    sw.grant(pv, pkt)
-                    new_switch = port_neighbour[sid][port]
-                    mech.on_hop(pkt, sid, new_switch, port, vc)
-                    pkt.cand_switch = -1
-                    input_wins[in_port] = input_wins.get(in_port, 0) + 1
-                    grants_here += 1
-                    granted += 1
-        return granted
+        return self.arbiter.allocate(self)
 
     def _transmit(self) -> int:
-        """Phase 3: each output port pushes one packet over its link."""
+        """Phase 3: each output port pushes one packet onto its link.
+
+        The link model decides when the packet reaches the downstream
+        input FIFO (immediately for :class:`UnitSlotLink`, after
+        ``link_latency_slots`` for :class:`PipelinedLink`)."""
         moved = 0
+        deliver = self.link.deliver
         for sw in self.switches:
             sid = sw.sid
             port_load = sw.port_load
@@ -319,11 +285,7 @@ class Simulator:
                 self.link_packets[sid][port] += 1
                 if vc == self._escape_vc:
                     self.link_escape_packets[sid][port] += 1
-                t = self.network.port_neighbour[sid][port]
-                tsw = self.switches[t]
-                tidx = tsw.pv(self.rev_port[sid][port], vc)
-                tsw.in_q[tidx].append(pkt)
-                tsw.active_inputs.add(tidx)
+                deliver(self, sid, port, vc, pkt)
                 moved += 1
         return moved
 
@@ -349,7 +311,7 @@ class Simulator:
             self.next_pid += 1
             self.mechanism.init_packet(pkt)
             sw.in_q[idx].append(pkt)
-            sw.active_inputs.add(idx)
+            sw.activate(idx)
             self.injection.on_success(srv)
             self.metrics.on_generated(srv, self.slot)
             self.in_flight += 1
@@ -360,14 +322,18 @@ class Simulator:
     # Online reconfiguration (scheduled link failures / repairs)
     # ------------------------------------------------------------------
     def _purge_dead_link(self, link: tuple[int, int]) -> None:
-        """Drop the packets buffered *on* a freshly-failed link.
+        """Drop the packets buffered *on* (or in flight over) a
+        freshly-failed link.
 
-        The 1-slot link model keeps no packets in flight between slots, so
-        "on the link" means the output FIFOs of the dead port on both
-        endpoints.  Each dropped packet frees its output slot and returns
-        the downstream credit it had reserved, keeping the switch's Q-rule
-        accounting exact.  Packets that already crossed the link sit in the
-        far side's input FIFOs and continue normally from there.
+        "On the link" means the output FIFOs of the dead port on both
+        endpoints plus — for pipelined link models — the packets the link
+        model still holds on the wire (purged via
+        :meth:`LinkModel.purge_link`, which returns their upstream credit
+        reservation).  Each dropped packet frees its output slot and
+        returns the downstream credit it had reserved, keeping the
+        switch's Q-rule accounting exact.  Packets that already crossed
+        the link sit in the far side's input FIFOs and continue normally
+        from there.
         """
         a, b = link
         for s, t in ((a, b), (b, a)):
@@ -383,6 +349,7 @@ class Simulator:
                     sw.credits[pv] += 1
                     sw.load[pv] -= 2
                     sw.port_load[p] -= 2
+        self.link.purge_link(self, link)
 
     def _reconcile_restored_link(self, link: tuple[int, int]) -> None:
         """Reset credit/load accounting of a repaired link from ground truth.
@@ -390,9 +357,12 @@ class Simulator:
         While the link was down, departures from the far side's input FIFOs
         could not return credits (there was no upstream), so the dead port's
         ``credits``/``load`` went stale.  On repair both directions are
-        recomputed from the actual buffer occupancies, restoring the
-        virtual-cut-through invariant ``credits = capacity - downstream
-        occupancy - pending output occupancy``.
+        recomputed from the actual buffer occupancies — including any
+        packets a pipelined link model holds on the wire (none right after
+        a repair, since the failure purged them, but the formula states the
+        full invariant) — restoring the virtual-cut-through rule ``credits
+        = capacity - downstream occupancy - in flight - pending output
+        occupancy``.
         """
         a, b = link
         cap = self.cfg.input_buffer_packets
@@ -404,11 +374,12 @@ class Simulator:
             for vc in range(self._n_vcs):
                 pv = p * self._n_vcs + vc
                 in_down = len(tsw.in_q[rev * self._n_vcs + vc])
+                in_wire = self.link.in_flight_between(s, t, vc)
                 out_here = len(sw.out_q[pv])  # empty: dead ports get no grants
-                new_load = 2 * out_here + in_down
+                new_load = 2 * out_here + in_wire + in_down
                 sw.port_load[p] += new_load - sw.load[pv]
                 sw.load[pv] = new_load
-                sw.credits[pv] = cap - in_down - out_here
+                sw.credits[pv] = cap - in_down - in_wire - out_here
 
     def _refresh_inflight_packets(self) -> None:
         """Invalidate candidate memos and repair per-packet routing state.
@@ -416,7 +387,9 @@ class Simulator:
         Memoised candidate lists may reference dead ports (or miss repaired
         ones), and mechanism state like SurePath's escape phase is relative
         to the old tables — every buffered packet is refreshed at the switch
-        where its next allocation happens.
+        where its next allocation happens.  Packets a pipelined link holds
+        on the wire are refreshed against their destination switch (dying
+        links were already purged, so every wire survives the event).
         """
         mech = self.mechanism
         n_vcs = self._n_vcs
@@ -434,6 +407,9 @@ class Simulator:
                     pkt.cand_switch = -1
                     if nxt >= 0:  # next allocation happens downstream
                         mech.refresh_packet(pkt, nxt)
+        for nxt, pkt in self.link.iter_in_flight():
+            pkt.cand_switch = -1
+            mech.refresh_packet(pkt, nxt)
 
     def _apply_scheduled_events(self) -> None:
         """Apply every schedule event due at the current slot."""
@@ -460,14 +436,31 @@ class Simulator:
     # Driving
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance one slot (all four phases + watchdog)."""
+        """Advance one slot (all four phases + watchdog).
+
+        Scheduled fault events apply first, then the link model lands
+        in-flight packets due this slot — so a packet arriving on a link
+        that dies the same slot is dropped, not delivered.
+        """
         if self._schedule_pos < len(self._schedule_events):
             self._apply_scheduled_events()
+        if self._link_pipelined:
+            self.link.advance(self)
         ejected = self._eject()
         granted = self._allocate()
         self._transmit()
         self._inject()
-        if self.in_flight > 0 and ejected == 0 and granted == 0:
+        # Watchdog: packets on a wire always land within latency_slots, so
+        # wire transit is guaranteed progress and never counts as idle (a
+        # genuine stall drains the wire first, then the count starts; the
+        # default unit link keeps nothing in flight, so this is the
+        # historical condition there).
+        if (
+            self.in_flight > 0
+            and ejected == 0
+            and granted == 0
+            and self.link.total_in_flight() == 0
+        ):
             self.idle_slots += 1
             if self.idle_slots >= self.cfg.deadlock_threshold_slots:
                 self.deadlocked = True
@@ -496,7 +489,14 @@ class Simulator:
             )
 
     def run(self, warmup: int = 300, measure: int = 700) -> SimResult:
-        """Steady-state run: ``warmup`` slots, then ``measure`` slots."""
+        """Steady-state run: ``warmup`` slots, then ``measure`` slots.
+
+        When the watchdog stops the run early, the result is normalised
+        over the slots *actually measured* — not the nominal ``measure``
+        count — so a deadlocked point's accepted load reflects what the
+        network delivered while it still ran instead of being diluted by
+        slots that never happened.
+        """
         if warmup < 0 or measure <= 0:
             raise ValueError("warmup must be >= 0 and measure > 0")
         self._check_schedule_fits(self.slot + warmup + measure)
@@ -510,8 +510,9 @@ class Simulator:
                 self.step()
                 if self.deadlocked:
                     break
+        measured = self.slot - self.metrics.measure_start
         return self.metrics.result(
-            self.offered, measure, self.in_flight, self.deadlocked
+            self.offered, measured, self.in_flight, self.deadlocked
         )
 
     def run_until_drained(self, max_slots: int = 1_000_000) -> SimResult:
@@ -536,8 +537,19 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def buffered_packets(self) -> int:
-        """Packets currently buffered anywhere (conservation checks)."""
+        """Packets currently buffered in switches (conservation checks).
+
+        Packets a pipelined link model holds on the wire are *not*
+        buffered; see :meth:`wire_packets`.  With the default unit link
+        ``in_flight == buffered_packets()`` at phase boundaries; with
+        pipelined links the invariant is ``in_flight == buffered_packets()
+        + wire_packets()``.
+        """
         return sum(sw.occupancy_packets() for sw in self.switches)
+
+    def wire_packets(self) -> int:
+        """Packets currently in flight on links (0 for unit-slot links)."""
+        return self.link.total_in_flight()
 
     def link_utilization(self) -> dict[tuple[int, int], float]:
         """Packets per slot carried by each directed live link so far."""

@@ -1,0 +1,103 @@
+"""Flow-control policies: when may a packet be granted toward an output?
+
+The engine's allocation phase admits a candidate ``(port, vc)`` only when
+the flow-control policy accepts it.  Policies are deliberately expressed
+as two *thresholds* the hot loop can read as plain integers —
+``min_credits`` (downstream input slots that must be free) and
+``output_capacity`` (output-FIFO depth the grant may fill up to) — so
+that plugging a policy costs nothing on the paper's fast path: the
+:class:`~repro.simulator.arbiters.QPArbiter` inlines the comparison
+``credits[pv] >= min_credits and len(out_q[pv]) < output_capacity``
+exactly as the monolithic engine used to.
+
+Implementations
+---------------
+* :class:`VirtualCutThrough` (``"vct"``, the paper's Table 2 default) —
+  allocation-time credit reservation: one free downstream slot suffices
+  and the output FIFO may pipeline up to ``output_buffer_packets``.
+* :class:`StoreAndForward` (``"saf"``) — the switch forwards a packet
+  only when it can put it on the link in one piece: the output stage
+  holds at most one packet, so back-to-back grants to the same output VC
+  serialise.  At this simulator's packet-per-slot granularity that is
+  where store-and-forward's lost pipelining shows up.
+
+Adding a policy: subclass :class:`FlowControl`, implement
+:meth:`configure`, and register it in :data:`FLOW_CONTROLS`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .config import SimConfig
+
+
+class FlowControl(ABC):
+    """Admission policy for crossbar grants, as threshold values.
+
+    ``attach`` is called once by the simulator; afterwards
+    ``min_credits`` and ``output_capacity`` are plain ints the
+    allocation loop reads directly.
+    """
+
+    #: Registry key and human label (subclasses override).
+    name: str = "?"
+    label: str = "?"
+
+    def __init__(self) -> None:
+        self.min_credits = 1
+        self.output_capacity = 1
+
+    def attach(self, cfg: SimConfig) -> None:
+        """Bind to a simulator configuration (sizes the thresholds)."""
+        self.min_credits, self.output_capacity = self.configure(cfg)
+
+    @abstractmethod
+    def configure(self, cfg: SimConfig) -> tuple[int, int]:
+        """Return ``(min_credits, output_capacity)`` for this config."""
+
+    def can_accept(self, sw, port: int, vc: int) -> bool:
+        """Semantic form of the admission test (helpers/tests; the
+        arbiters inline the same comparison on the raw arrays)."""
+        pv = sw.pv(port, vc)
+        return (
+            sw.credits[pv] >= self.min_credits
+            and len(sw.out_q[pv]) < self.output_capacity
+        )
+
+
+class VirtualCutThrough(FlowControl):
+    """The paper's flow control: reserve one downstream slot per grant."""
+
+    name = "vct"
+    label = "Virtual cut-through"
+
+    def configure(self, cfg: SimConfig) -> tuple[int, int]:
+        return 1, cfg.output_buffer_packets
+
+
+class StoreAndForward(FlowControl):
+    """No output pipelining: at most one packet staged per output VC."""
+
+    name = "saf"
+    label = "Store-and-forward"
+
+    def configure(self, cfg: SimConfig) -> tuple[int, int]:
+        return 1, 1
+
+
+#: Registry of flow-control policies by config name.
+FLOW_CONTROLS: dict[str, type[FlowControl]] = {
+    cls.name: cls for cls in (VirtualCutThrough, StoreAndForward)
+}
+
+
+def make_flow_control(name: str) -> FlowControl:
+    """Instantiate a registered flow-control policy (fresh per simulator)."""
+    try:
+        cls = FLOW_CONTROLS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown flow control {name!r}; expected one of {sorted(FLOW_CONTROLS)}"
+        ) from None
+    return cls()

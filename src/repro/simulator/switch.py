@@ -24,6 +24,7 @@ penalty ``P``.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import Deque
 
@@ -42,6 +43,7 @@ class Switch:
         "cfg",
         "in_q",
         "active_inputs",
+        "active_sorted",
         "out_q",
         "credits",
         "load",
@@ -60,8 +62,13 @@ class Switch:
         self.n_inputs = npv + n_servers
         #: Input FIFOs: network inputs then injection queues.
         self.in_q: list[Deque[Packet]] = [deque() for _ in range(self.n_inputs)]
-        #: Indices of non-empty input FIFOs (maintained by the engine).
+        #: Indices of non-empty input FIFOs (maintained via
+        #: :meth:`activate`/:meth:`deactivate`).  The set backs O(1)
+        #: membership and the allocation phase's historical iteration
+        #: order; ``active_sorted`` mirrors it in ascending index order
+        #: so the ejection phase never re-sorts per slot.
         self.active_inputs: set[int] = set()
+        self.active_sorted: list[int] = []
         #: Output FIFOs per (port, vc).
         self.out_q: list[Deque[Packet]] = [deque() for _ in range(npv)]
         #: Free downstream input slots per output VC.
@@ -96,20 +103,26 @@ class Switch:
         return idx >= self.n_ports * self.n_vcs
 
     # ------------------------------------------------------------------
+    # Active-input tracking (sorted insertion; no per-slot sort)
+    # ------------------------------------------------------------------
+    def activate(self, idx: int) -> None:
+        """Mark input FIFO ``idx`` non-empty (idempotent)."""
+        if idx not in self.active_inputs:
+            self.active_inputs.add(idx)
+            insort(self.active_sorted, idx)
+
+    def deactivate(self, idx: int) -> None:
+        """Mark input FIFO ``idx`` empty again (it must be active)."""
+        self.active_inputs.discard(idx)
+        self.active_sorted.remove(idx)
+
+    # ------------------------------------------------------------------
     # Q+P bookkeeping (packets; engine scales to phits)
     # ------------------------------------------------------------------
     def q_value(self, port: int, vc: int) -> int:
         """The paper's ``Q`` for requesting (port, vc): the requested VC's
         load plus every load of the same port (requested VC counted twice)."""
         return self.port_load[port] + self.load[self.pv(port, vc)]
-
-    def can_accept(self, port: int, vc: int) -> bool:
-        """Flow control: a grant needs a downstream credit and output space."""
-        pv = self.pv(port, vc)
-        return (
-            self.credits[pv] > 0
-            and len(self.out_q[pv]) < self.cfg.output_buffer_packets
-        )
 
     def grant(self, pv: int, pkt: Packet) -> None:
         """Commit a packet to output VC ``pv``: occupy the FIFO slot and

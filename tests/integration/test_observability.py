@@ -8,6 +8,8 @@ engine's per-link counters let us watch that actually happen.
 from repro.routing.catalog import make_mechanism
 from repro.routing.escape_only import EscapeOnlyRouting
 from repro.simulator.engine import Simulator
+from repro.simulator.schedule import FaultSchedule
+from repro.topology.base import Network
 from repro.traffic import make_traffic
 
 
@@ -44,6 +46,48 @@ class TestLinkCounters:
         assert total_hops > 0
         esc_hops = sum(sum(row) for row in sim.link_escape_packets)
         assert 0 <= esc_hops <= total_hops
+
+    def test_counters_survive_fail_and_repair(self, hx2d):
+        """Per-port counters accumulated on a link persist while the port
+        is out of ``live_ports`` and keep accumulating after repair —
+        ``link_utilization`` / ``switch_escape_share`` stay consistent
+        across the whole fail-and-repair cycle."""
+        net = Network(hx2d)
+        link = sorted(net.live_links())[0]
+        s, t = link
+        port = net.port_of(s, t)
+        sched = FaultSchedule.down_then_up(120, 240, [link])
+        mech = make_mechanism("OmniSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.6, seed=0, fault_schedule=sched)
+        for _ in range(120):  # healthy phase: traffic crosses the link
+            sim.step()
+        before_fail = sim.link_packets[s][port]
+        assert before_fail > 0
+        escape_before = sim.switch_escape_share(s)
+        for _ in range(60):  # link down: port leaves live_ports
+            sim.step()
+        assert (s, t) not in sim.link_utilization()
+        assert (t, s) not in sim.link_utilization()
+        # The counter survives the port leaving live_ports untouched.
+        assert sim.link_packets[s][port] == before_fail
+        assert 0.0 <= sim.switch_escape_share(s) <= 1.0
+        for _ in range(180):  # repaired: port re-enters live_ports
+            sim.step()
+        util = sim.link_utilization()
+        assert (s, t) in util and (t, s) in util
+        # Accumulation resumed on top of the pre-failure tally.
+        after_repair = sim.link_packets[s][port]
+        assert after_repair >= before_fail
+        assert util[(s, t)] == after_repair / sim.slot
+        assert 0.0 <= sim.switch_escape_share(s) <= 1.0
+        # Escape share stays an aggregate over *all* traffic ever carried:
+        # its denominator only grew, so it cannot exceed 1 or reset.
+        total = sum(sim.link_packets[s])
+        esc = sum(sim.link_escape_packets[s])
+        assert esc <= total
+        assert sim.switch_escape_share(s) == (esc / total if total else 0.0)
+        assert escape_before <= 1.0
 
     def test_escape_share_zero_for_ladder_mechanisms(self, net2d):
         sim = run(net2d, make_mechanism("Polarized", net2d, rng=1))

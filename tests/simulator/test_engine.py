@@ -16,6 +16,74 @@ def make_sim(net, mechanism="PolSP", traffic="uniform", offered=0.3, seed=0,
                      offered=offered, seed=seed, **kw)
 
 
+class _NoRouteMechanism:
+    """A mechanism that never offers a candidate: every packet stalls."""
+
+    n_vcs = 1
+    escape_vc = None
+
+    def init_packet(self, pkt):
+        pass
+
+    def candidates(self, pkt, here):
+        return []
+
+    def on_hop(self, pkt, here, there, port, vc):  # pragma: no cover
+        raise AssertionError("no grants can happen without candidates")
+
+    def on_topology_change(self):  # pragma: no cover
+        pass
+
+    def refresh_packet(self, pkt, here):  # pragma: no cover
+        pass
+
+
+class TestEarlyStopMeasurement:
+    """A watchdog-stopped run reports the slots actually measured, so
+    accepted load is not diluted by slots that never happened."""
+
+    class _RemoteTraffic:
+        """Every server targets its peer on the next switch — nothing is
+        ever local, so no ejection can mask the stall."""
+
+        def __init__(self, net):
+            self.n_servers = net.n_servers
+            self.sps = net.servers_per_switch
+
+        def destination(self, src, rng):
+            return (src + self.sps) % self.n_servers
+
+    def _stalling_sim(self, net2d, threshold=10):
+        cfg = PAPER_CONFIG.with_(deadlock_threshold_slots=threshold)
+        return Simulator(
+            net2d, _NoRouteMechanism(), self._RemoteTraffic(net2d),
+            offered=1.0, seed=0, config=cfg,
+        )
+
+    def test_measure_slots_reflect_early_stop(self, net2d):
+        sim = self._stalling_sim(net2d)
+        res = sim.run(warmup=0, measure=500)
+        assert res.deadlocked
+        # The watchdog fired long before the nominal 500 slots.
+        assert 0 < res.measure_slots < 500
+        assert res.measure_slots == sim.slot - sim.metrics.measure_start
+
+    def test_accepted_uses_actual_window(self, net2d):
+        """Accepted load normalises over the measured slots; a healthy
+        mid-load run still reports its nominal window."""
+        stalled = self._stalling_sim(net2d).run(warmup=0, measure=500)
+        assert stalled.accepted == 0.0  # nothing ever delivered
+        healthy = make_sim(net2d, offered=0.3).run(warmup=40, measure=120)
+        assert healthy.measure_slots == 120
+
+    def test_deadlock_during_warmup_measures_nothing(self, net2d):
+        sim = self._stalling_sim(net2d)
+        res = sim.run(warmup=50, measure=100)
+        assert res.deadlocked
+        assert res.measure_slots == 0
+        assert res.accepted == 0.0
+
+
 class TestConservation:
     def test_packets_conserved_every_slot(self, net2d):
         sim = make_sim(net2d, offered=0.5)

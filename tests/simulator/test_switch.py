@@ -80,16 +80,24 @@ class TestCreditsAndLoad:
         assert sw.q_value(0, 0) == 0
 
     def test_can_accept_limits(self):
+        # Admission lives on the flow-control policy; the switch only
+        # exposes the raw credit/occupancy state the policy reads.
+        from repro.simulator.flowcontrol import make_flow_control
+
         sw = make_switch(output_buffer_packets=2)
+        fc = make_flow_control("vct")
+        fc.attach(sw.cfg)
         pv = sw.pv(0, 0)
-        assert sw.can_accept(0, 0)
+        assert fc.can_accept(sw, 0, 0)
         sw.grant(pv, make_pkt(0))
         sw.grant(pv, make_pkt(1))
-        assert not sw.can_accept(0, 0)  # output buffer full
+        assert not fc.can_accept(sw, 0, 0)  # output buffer full
         sw2 = make_switch(input_buffer_packets=1)
+        fc2 = make_flow_control("vct")
+        fc2.attach(sw2.cfg)
         sw2.grant(sw2.pv(0, 0), make_pkt(0))
         sw2.transmit(0)
-        assert not sw2.can_accept(0, 0)  # no downstream credit left
+        assert not fc2.can_accept(sw2, 0, 0)  # no downstream credit left
 
 
 class TestTransmitRoundRobin:
