@@ -9,7 +9,9 @@ commit SHA there, so regressions are attributable to a commit):
   of the slot loop, so a regression names the phase that caused it;
 * one kernel per registered arbiter, timing the pluggable allocation
   phase across policies (the Q+P default is the 5%-regression guard for
-  the component refactor).
+  the component refactor);
+* one kernel per workload combination (on-off injection, hotspot
+  traffic, split RNG streams), guarding the workload-diversity hot paths.
 
 Usage::
 
@@ -111,6 +113,35 @@ def arbiter_kernels(seed: int = 0) -> dict:
     return out
 
 
+def workload_kernels(seed: int = 0) -> dict:
+    """One timed point per workload combination the diversity sweep adds.
+
+    Covers the two new hot paths: on-off injection (vectorised Markov
+    modulation per slot) and the hotspot pattern (extra destination draws
+    per packet) — both on split RNG streams, as the workload sweep runs
+    them.
+    """
+    out = {}
+    for inj, traffic in (
+        ("bernoulli", "uniform"),
+        ("onoff", "uniform"),
+        ("onoff", "hotspot"),
+    ):
+        runner = ExperimentRunner(
+            Network(HyperX((4, 4), 4)),
+            config=PAPER_CONFIG.with_(injection=inj, rng_streams="split"),
+        )
+        t0 = time.perf_counter()
+        res = runner.run_point(
+            "PolSP", traffic, 0.4, warmup=100, measure=200, seed=seed
+        )
+        out[f"{inj}/{traffic}"] = {
+            "seconds": round(time.perf_counter() - t0, 3),
+            "accepted": round(res.accepted, 4),
+        }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local",
@@ -152,6 +183,10 @@ def main(argv=None) -> int:
     for name, k in arbiters.items():
         print(f"arbiter {name:>10}: {k['seconds']:.2f}s accepted={k['accepted']}")
 
+    workloads = workload_kernels(seed=args.seed)
+    for name, k in workloads.items():
+        print(f"workload {name:>16}: {k['seconds']:.2f}s accepted={k['accepted']}")
+
     result = {
         "label": args.label,
         "preset": args.preset,
@@ -165,6 +200,7 @@ def main(argv=None) -> int:
         "records_identical": identical,
         "phases": phases,
         "arbiter_kernels": arbiters,
+        "workload_kernels": workloads,
     }
     out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(result, indent=2) + "\n")

@@ -9,19 +9,22 @@ Examples::
     surepath-sim fig10 --scale tiny --csv out.csv
     surepath-sim fig-transient --scale tiny --repair
     surepath-sim fig-ablation-arbiter --scale tiny --link-latencies 1 2
+    surepath-sim fig-workloads --scale tiny --injections bernoulli onoff
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
 the exact paper topologies (slow in pure Python — see DESIGN.md).  The
-sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient and
-fig-ablation-arbiter) accept ``--jobs N`` to simulate points on a process
-pool and ``--cache-dir DIR`` to reuse previously simulated points across
-runs.  ``fig-transient`` goes beyond the paper's static snapshots: links
-fail (and optionally come back) *mid-run* and the per-interval recovery
-series is reported.  ``fig-ablation-arbiter`` sweeps the router
-microarchitecture itself — arbiter (Q+P / round-robin / age / random),
-flow control (virtual cut-through / store-and-forward) and link latency
-— which the paper hardwires.
+sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient,
+fig-ablation-arbiter and fig-workloads) accept ``--jobs N`` to simulate
+points on a process pool and ``--cache-dir DIR`` to reuse previously
+simulated points across runs.  ``fig-transient`` goes beyond the paper's
+static snapshots: links fail (and optionally come back) *mid-run* and the
+per-interval recovery series is reported.  ``fig-ablation-arbiter``
+sweeps the router microarchitecture itself — arbiter (Q+P / round-robin /
+age / random), flow control (virtual cut-through / store-and-forward) and
+link latency — which the paper hardwires.  ``fig-workloads`` opens the
+workload axis: the adversarial traffic-pattern library (hotspot, tornado,
+shift, bit permutations) under smooth and bursty (on-off) injection.
 """
 
 from __future__ import annotations
@@ -33,7 +36,9 @@ import sys
 from ..routing.catalog import MECHANISMS
 from ..simulator.arbiters import ARBITERS
 from ..simulator.flowcontrol import FLOW_CONTROLS
+from ..simulator.injection import INJECTIONS
 from ..topology.base import Network
+from ..traffic import TRAFFIC_PATTERNS
 from . import figures
 from .executor import encode_json_safe, make_executor
 from .reporting import (
@@ -42,6 +47,7 @@ from .reporting import (
     microarch_matrix,
     records_to_csv,
     throughput_matrix,
+    workload_matrix,
 )
 from .runner import ExperimentRunner
 from .scales import SCALES, get_scale
@@ -61,10 +67,18 @@ ABLATION_COLUMNS = (
     "offered", "accepted", "latency_cycles",
 )
 
+WORKLOAD_COLUMNS = (
+    "workload", "mechanism", "traffic", "offered", "accepted",
+    "latency_cycles", "jain",
+)
+
 
 #: Subcommands whose points run through an executor (--jobs/--cache-dir).
 SWEEP_COMMANDS = frozenset(
-    {"fig4", "fig5", "fig6", "fig8", "fig9", "fig-transient", "fig-ablation-arbiter"}
+    {
+        "fig4", "fig5", "fig6", "fig8", "fig9",
+        "fig-transient", "fig-ablation-arbiter", "fig-workloads",
+    }
 )
 
 
@@ -136,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig10", "completion time under Star faults + RPN"),
         ("fig-transient", "mid-run link failure/repair recovery series"),
         ("fig-ablation-arbiter", "router-microarchitecture ablation sweep"),
+        ("fig-workloads", "workload-diversity sweep (patterns x injection)"),
         ("point", "one simulation point"),
     ):
         p = sub.add_parser(name, help=help_)
@@ -167,6 +182,27 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--link-latencies", nargs="+", type=_positive_int,
                            default=[1], metavar="SLOTS",
                            help="link latencies in slots (default: 1)")
+            p.add_argument("--loads", nargs="+", type=float, default=None,
+                           help="offered loads (default: scale mid + max)")
+        if name == "fig-workloads":
+            p.add_argument("--dims", type=int, default=2, choices=(2, 3))
+            p.add_argument("--mechanisms", nargs="+",
+                           default=["OmniSP", "PolSP"], choices=MECHANISMS)
+            p.add_argument("--patterns", nargs="+", default=None,
+                           choices=TRAFFIC_PATTERNS, metavar="PATTERN",
+                           help="traffic patterns (default: every pattern "
+                                "the topology supports)")
+            p.add_argument("--injections", nargs="+",
+                           default=sorted(INJECTIONS),
+                           choices=sorted(INJECTIONS))
+            p.add_argument("--burst", type=_positive_int, default=8,
+                           metavar="SLOTS",
+                           help="mean on-burst length of the on-off "
+                                "process (default: 8)")
+            p.add_argument("--idle", type=_positive_int, default=8,
+                           metavar="SLOTS",
+                           help="mean off-idle length of the on-off "
+                                "process (default: 8)")
             p.add_argument("--loads", nargs="+", type=float, default=None,
                            help="offered loads (default: scale mid + max)")
         if name == "point":
@@ -268,6 +304,18 @@ def main(argv: list[str] | None = None) -> int:
         _emit(recs, args, ABLATION_COLUMNS,
               "Ablation — router microarchitecture (arbiter / flow control / "
               "link latency)")
+    elif cmd == "fig-workloads":
+        recs = figures.fig_workloads(
+            args.scale, dims=args.dims, mechanisms=tuple(args.mechanisms),
+            traffics=None if args.patterns is None else tuple(args.patterns),
+            injections=tuple(args.injections),
+            burst_slots=args.burst, idle_slots=args.idle,
+            loads=None if args.loads is None else tuple(args.loads),
+            seed=args.seed, executor=executor,
+        )
+        print(workload_matrix(recs))
+        _emit(recs, args, WORKLOAD_COLUMNS,
+              "Workload diversity — traffic patterns x injection processes")
     elif cmd == "fig10":
         recs = figures.fig10_completion_time(args.scale, seed=args.seed)
         for r in recs:

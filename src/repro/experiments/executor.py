@@ -41,6 +41,7 @@ from typing import Iterable, Sequence
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..simulator.metrics import SimResult
 from ..simulator.schedule import FaultSchedule
+from ..simulator.workload import WorkloadSchedule
 from ..topology.base import Link, Network, Topology
 from ..topology.hyperx import HyperX
 from .runner import ExperimentRunner, PointSpec
@@ -51,7 +52,11 @@ from .runner import ExperimentRunner, PointSpec
 #: v3: SimConfig grew the router-microarchitecture fields (arbiter,
 #: flow_control, link_latency_slots) and early-stopped runs now report
 #: actually-measured slot counts.
-CACHE_VERSION = 3
+#: v4: the workload-diversity subsystem — SimConfig grew injection /
+#: burst_slots / idle_slots / rng_streams, and jobs grew the optional
+#: workload (phase) schedule; two points differing only in burst
+#: geometry or phasing must never alias one cache entry.
+CACHE_VERSION = 4
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).
@@ -90,6 +95,9 @@ class PointJob:
     schedule: FaultSchedule | None = None
     #: Slots per transient-series bin (only meaningful with a schedule).
     series_interval: int | None = None
+    #: Mid-run workload (pattern/load) phase schedule; ``None`` for
+    #: single-phase points.
+    workload: WorkloadSchedule | None = None
 
     def network(self) -> Network:
         return Network(self.topology, self.faults)
@@ -142,6 +150,7 @@ def job_key(job: PointJob) -> str:
         "config": asdict(job.config),
         "schedule": None if job.schedule is None else job.schedule.canonical(),
         "series_interval": job.series_interval,
+        "workload": None if job.workload is None else job.workload.canonical(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -200,8 +209,8 @@ def _get_runner(job: PointJob) -> ExperimentRunner:
 
 def run_job(job: PointJob) -> dict:
     """Simulate one job and return its sweep record."""
-    if job.schedule is not None:
-        return _run_transient_job(job)
+    if job.schedule is not None or job.workload is not None:
+        return _run_dynamic_job(job)
     runner = _get_runner(job)
     spec = job.spec
     result = runner.run_point(
@@ -216,16 +225,23 @@ def run_job(job: PointJob) -> dict:
     return make_record(job, result)
 
 
-def _run_transient_job(job: PointJob) -> dict:
-    """Simulate one scheduled-fault point to a transient record.
+def _run_dynamic_job(job: PointJob) -> dict:
+    """Simulate one scheduled-fault and/or workload-phased point.
 
-    Transient runs mutate their network in place (that is the point), so
-    they deliberately bypass the shared runner cache: every job gets a
-    fresh :class:`Network` and routing tables, making records independent
-    of job order and of which worker picked the job up — the executor
-    identity guarantee extends to scheduled-fault points.
+    Fault-schedule runs mutate their network in place (that is the
+    point), so they deliberately bypass the shared runner cache: every
+    such job gets a fresh :class:`Network` and routing tables, making
+    records independent of job order and of which worker picked the job
+    up — the executor identity guarantee extends to scheduled-fault
+    points.  Pure workload phasing never touches the network, so those
+    jobs keep sharing the per-process runner like static ones.
     """
-    runner = ExperimentRunner(job.network(), config=job.config, root=job.spec.root)
+    if job.schedule is not None:
+        runner = ExperimentRunner(
+            job.network(), config=job.config, root=job.spec.root
+        )
+    else:
+        runner = _get_runner(job)
     spec = job.spec
     sim = runner.build_simulator(
         spec.mechanism,
@@ -235,12 +251,17 @@ def _run_transient_job(job: PointJob) -> dict:
         n_vcs=spec.n_vcs,
         series_interval=job.series_interval,
         fault_schedule=job.schedule,
+        workload_schedule=job.workload,
     )
     result = sim.run(warmup=job.warmup, measure=job.measure)
     record = make_record(job, result)
-    record["dropped"] = result.dropped_packets
-    record["schedule_events"] = len(job.schedule)
-    record["series"] = result.transient_series
+    if job.schedule is not None:
+        record["dropped"] = result.dropped_packets
+        record["schedule_events"] = len(job.schedule)
+        record["series"] = result.transient_series
+    if job.workload is not None:
+        record["workload_events"] = len(job.workload)
+        record["phase_series"] = result.phase_series
     return record
 
 

@@ -27,11 +27,13 @@ from .runner import ExperimentRunner
 from .scales import Scale, get_scale
 from .sweeps import (
     DEFAULT_ARBITERS,
+    DEFAULT_INJECTIONS,
     ablation_arbiter,
     fault_sweep,
     load_sweep,
     shape_fault_run,
     transient_run,
+    workload_sweep,
 )
 
 #: Traffic patterns per topology dimensionality, in the paper's order.
@@ -486,6 +488,60 @@ def fig_ablation_arbiter(
         Network(hx), mechanisms, traffics, loads,
         arbiters=arbiters, flow_controls=flow_controls,
         link_latencies=link_latencies,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload diversity — patterns x injection processes (beyond the paper)
+# ----------------------------------------------------------------------
+#: The workload patterns fig-workloads sweeps by default (paper's Uniform
+#: as the baseline, then the adversarial library); filtered per topology.
+WORKLOAD_TRAFFICS = (
+    "uniform", "hotspot", "tornado", "shift", "transpose", "bitrev", "shuffle",
+)
+
+
+def fig_workloads(
+    scale: str | Scale = "tiny",
+    dims: int = 2,
+    mechanisms: tuple[str, ...] = ("OmniSP", "PolSP"),
+    traffics: tuple[str, ...] | None = None,
+    injections: tuple[str, ...] = DEFAULT_INJECTIONS,
+    burst_slots: int = 8,
+    idle_slots: int = 8,
+    loads: tuple[float, ...] | None = None,
+    seed: int = 0,
+    executor=None,
+) -> list[dict]:
+    """Mechanism x pattern x injection-process comparison table.
+
+    The paper's evaluation holds the workload axis fixed (four patterns,
+    steady-state Bernoulli); this driver sweeps the workload-diversity
+    library — hotspot in-cast, tornado, shift, the bit-permutation family
+    — under both smooth and bursty (on-off) injection at the same
+    normalised offered loads.  Patterns a topology cannot host (e.g. bit
+    transpose on an odd bit count) are dropped automatically.
+
+    Expected shape: everything loses throughput under hotspot (the hot
+    server is the bottleneck, not routing); tornado/bit patterns separate
+    the load-aware mechanisms from the oblivious ones; on-off matches
+    Bernoulli's saturation but pays a latency premium below it (queueing
+    bursts), and the premium grows with ``burst_slots``.
+    """
+    sc = _scale(scale)
+    hx = sc.hyperx_2d() if dims == 2 else sc.hyperx_3d()
+    net = Network(hx)
+    if traffics is None:
+        from ..traffic import supported_traffics
+
+        traffics = tuple(supported_traffics(net, WORKLOAD_TRAFFICS))
+    if loads is None:
+        # Mid-load (latency regime) plus saturation (throughput regime).
+        loads = (sc.loads[len(sc.loads) // 2 - 1], sc.loads[-1])
+    return workload_sweep(
+        net, mechanisms, traffics, loads,
+        injections=injections, burst_slots=burst_slots, idle_slots=idle_slots,
         warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
     )
 

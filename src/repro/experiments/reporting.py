@@ -123,6 +123,26 @@ def microarch_matrix(records: Iterable[dict], value_key: str = "accepted") -> st
     )
 
 
+def workload_matrix(records: Iterable[dict], value_key: str = "accepted") -> str:
+    """Pivot workload-sweep records into a (mechanism, injection) x
+    traffic matrix.
+
+    Rows combine the routing mechanism with the ``workload`` label
+    (``bernoulli`` / ``onoff(burst/idle)``) that
+    :func:`~repro.experiments.sweeps.workload_sweep` stamps on its
+    records; cells are the saturation value per traffic pattern — the
+    mechanism x pattern comparison table of the workload-diversity
+    experiments.
+    """
+    rows = [
+        {**rec, "mechanism:workload": f"{rec['mechanism']}:{rec['workload']}"}
+        for rec in records
+    ]
+    return throughput_matrix(
+        rows, row_key="mechanism:workload", col_key="traffic", value_key=value_key
+    )
+
+
 def curve_sparkline(points: Sequence[tuple[float, float]], width: int = 40) -> str:
     """A crude one-line sparkline of a curve (for terminal output)."""
     if not points:

@@ -86,12 +86,15 @@ class ExperimentRunner:
         injection=None,
         series_interval: int | None = None,
         fault_schedule=None,
+        workload_schedule=None,
     ) -> Simulator:
         """Assemble a simulator for one point (exposed for batch runs).
 
         With a ``fault_schedule`` the simulation mutates ``self.network``
         in place as events fire — share the runner across such runs only
-        when the schedule restores every link it fails.
+        when the schedule restores every link it fails.  A
+        ``workload_schedule`` never mutates the network; it swaps the
+        pattern / retargets the load inside the simulator only.
         """
         escape = (
             self.escape if mechanism.lower() in ("omnisp", "polsp") else None
@@ -110,6 +113,7 @@ class ExperimentRunner:
             seed=seed,
             series_interval=series_interval,
             fault_schedule=fault_schedule,
+            workload_schedule=workload_schedule,
         )
 
     def run_point(

@@ -17,17 +17,21 @@ from typing import Iterable, Sequence
 from ..routing.catalog import supported_mechanisms
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..simulator.schedule import FaultSchedule
+from ..simulator.workload import WorkloadSchedule
 from ..topology.base import Network, Topology
 from ..topology.faults import random_connected_fault_sequence
+from ..traffic import supported_traffics
 from .executor import RECORD_KEYS, Executor, PointJob, SerialExecutor
 from .runner import PointSpec
 
 __all__ = [
     "DEFAULT_ARBITERS",
+    "DEFAULT_INJECTIONS",
     "RECORD_KEYS",
     "ablation_arbiter",
     "ablation_arbiter_jobs",
     "annotate_components",
+    "annotate_workload",
     "fault_sweep",
     "fault_sweep_jobs",
     "filter_records",
@@ -37,8 +41,11 @@ __all__ = [
     "shape_fault_run",
     "shape_fault_run_jobs",
     "supported_mechanisms",
+    "supported_traffics",
     "transient_run",
     "transient_run_jobs",
+    "workload_sweep",
+    "workload_sweep_jobs",
 ]
 
 
@@ -420,6 +427,142 @@ def ablation_arbiter(
     )
     records = _run(jobs, executor)
     annotate_components(jobs, records)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Workload sweeps (patterns x injection processes, optional phasing)
+# ----------------------------------------------------------------------
+#: Injection processes the workload sweep crosses by default.
+DEFAULT_INJECTIONS = ("bernoulli", "onoff")
+
+
+def workload_sweep_jobs(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    injections: Sequence[str] = DEFAULT_INJECTIONS,
+    burst_slots: int = 8,
+    idle_slots: int = 8,
+    workload: WorkloadSchedule | None = None,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+) -> list[PointJob]:
+    """The work list behind :func:`workload_sweep`.
+
+    One :func:`load_sweep_jobs`-shaped block per injection process; the
+    selection travels inside each job's :class:`SimConfig` (and the
+    optional phase schedule inside the job itself), so the points
+    parallelise and cache exactly like any other sweep point.  Every job
+    runs with ``rng_streams="split"`` — destination sequences then depend
+    on the seed alone, so the bernoulli and on-off rows of the resulting
+    table route *identical* traffic and differ only in arrival timing.
+    """
+    # Validate every pattern the sweep will touch upfront — the explicit
+    # traffic list and any schedule phase names alike — so a bad request
+    # fails here with one clean error, not mid-sweep inside a pool worker.
+    supported = set(supported_traffics(network))
+    wanted = list(traffics) + (
+        workload.pattern_names() if workload is not None else []
+    )
+    bad = sorted({name for name in wanted if name.strip().lower() not in supported})
+    if bad:
+        raise ValueError(
+            f"pattern(s) {bad} unsupported on this topology; supported: "
+            f"{sorted(supported)}"
+        )
+    jobs: list[PointJob] = []
+    for injection in injections:
+        cfg = config.with_(
+            injection=injection,
+            burst_slots=int(burst_slots),
+            idle_slots=int(idle_slots),
+            rng_streams="split",
+        )
+        jobs += [
+            PointJob(
+                topology=network.topology,
+                faults=tuple(sorted(network.faults)),
+                spec=PointSpec(
+                    mechanism, traffic, offered, seed=seed, n_vcs=n_vcs, root=root
+                ),
+                warmup=warmup,
+                measure=measure,
+                config=cfg,
+                workload=workload,
+            )
+            for traffic in traffics
+            for mechanism in supported_mechanisms(network.topology, mechanisms)
+            for offered in loads
+        ]
+    return jobs
+
+
+def annotate_workload(jobs: Sequence[PointJob], records: Sequence[dict]) -> None:
+    """Stamp each record with its job's injection process (in place).
+
+    Mirrors :func:`annotate_components`: records from the
+    content-addressed cache carry only the standard keys, so the workload
+    columns are derived from the job list (same order by executor
+    contract).  ``workload`` is the row label — the process name plus its
+    burst geometry when that matters, e.g. ``onoff(8/8)``.
+    """
+    for job, rec in zip(jobs, records):
+        cfg = job.config
+        rec["injection"] = cfg.injection
+        rec["burst_slots"] = cfg.burst_slots
+        rec["idle_slots"] = cfg.idle_slots
+        rec["workload"] = (
+            f"onoff({cfg.burst_slots}/{cfg.idle_slots})"
+            if cfg.injection == "onoff"
+            else cfg.injection
+        )
+        if job.workload is not None:
+            rec["workload"] += f"+{len(job.workload)}ev"
+
+
+def workload_sweep(
+    network: Network,
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    injections: Sequence[str] = DEFAULT_INJECTIONS,
+    burst_slots: int = 8,
+    idle_slots: int = 8,
+    workload: WorkloadSchedule | None = None,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = None,
+    executor: Executor | None = None,
+) -> list[dict]:
+    """Sweep mechanisms x traffic patterns x injection processes.
+
+    The paper evaluates four patterns under steady-state Bernoulli
+    injection only; this sweep crosses the full registered pattern
+    catalog with bursty (on-off) and optionally phased workloads.  Every
+    record is a standard sweep record plus ``injection`` /
+    ``burst_slots`` / ``idle_slots`` and the combined ``workload`` label
+    (and, for phased jobs, ``workload_events`` + the per-phase
+    ``phase_series``).
+    """
+    jobs = workload_sweep_jobs(
+        network, mechanisms, traffics, loads,
+        injections=injections, burst_slots=burst_slots, idle_slots=idle_slots,
+        workload=workload, warmup=warmup, measure=measure, seed=seed,
+        config=config, root=root, n_vcs=n_vcs,
+    )
+    records = _run(jobs, executor)
+    annotate_workload(jobs, records)
     return records
 
 

@@ -26,12 +26,21 @@ from .flowcontrol import (
     VirtualCutThrough,
     make_flow_control,
 )
-from .injection import BatchInjection, BernoulliInjection, InjectionProcess
+from .injection import (
+    INJECTIONS,
+    BatchInjection,
+    BernoulliInjection,
+    InjectionProcess,
+    OnOffInjection,
+    PhasedInjection,
+    make_injection,
+)
 from .links import LinkModel, PipelinedLink, UnitSlotLink, make_link_model
 from .metrics import MetricsCollector, SimResult, jain_index
 from .packet import Packet
 from .schedule import LINK_DOWN, LINK_UP, FaultEvent, FaultSchedule
 from .switch import Switch
+from .workload import SET_OFFERED, SET_PATTERN, WorkloadEvent, WorkloadSchedule
 
 __all__ = [
     "ARBITERS",
@@ -44,17 +53,22 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FlowControl",
+    "INJECTIONS",
     "InjectionProcess",
     "LINK_DOWN",
     "LINK_UP",
     "LinkModel",
     "MetricsCollector",
+    "OnOffInjection",
     "PAPER_CONFIG",
     "Packet",
+    "PhasedInjection",
     "PipelinedLink",
     "QPArbiter",
     "RandomArbiter",
     "RoundRobinArbiter",
+    "SET_OFFERED",
+    "SET_PATTERN",
     "SimConfig",
     "SimResult",
     "Simulator",
@@ -62,9 +76,12 @@ __all__ = [
     "Switch",
     "UnitSlotLink",
     "VirtualCutThrough",
+    "WorkloadEvent",
+    "WorkloadSchedule",
     "jain_index",
     "make_arbiter",
     "make_flow_control",
+    "make_injection",
     "make_link_model",
     "table2_rows",
 ]

@@ -51,6 +51,22 @@ class SimConfig:
         Slots a packet spends on each link: 1 (paper) uses the immediate
         :class:`~repro.simulator.links.UnitSlotLink`; ``k > 1`` the
         in-flight-tracking :class:`~repro.simulator.links.PipelinedLink`.
+    injection:
+        Generation regime, by registry name (see
+        :data:`repro.simulator.injection.INJECTIONS`): ``"bernoulli"``
+        (paper, steady-state) or ``"onoff"`` (Markov-modulated bursts at
+        the same normalised offered load).
+    burst_slots / idle_slots:
+        Mean ON-burst and OFF-idle lengths of the ``"onoff"`` process
+        (geometric sojourns); ignored by ``"bernoulli"``.
+    rng_streams:
+        ``"shared"`` (historical) draws arbiter tie-breaks, injection
+        coins and traffic destinations from one generator — the paper
+        reproduction's exact stream.  ``"split"`` gives traffic and
+        injection their own spawned child generators, so swapping the
+        injection model cannot perturb the destination sequence (the
+        workload sweeps run split; the default stays shared so the
+        golden fingerprint holds bit-for-bit).
     """
 
     input_buffer_packets: int = 8
@@ -62,6 +78,10 @@ class SimConfig:
     arbiter: str = "qp"
     flow_control: str = "vct"
     link_latency_slots: int = 1
+    injection: str = "bernoulli"
+    burst_slots: int = 8
+    idle_slots: int = 8
+    rng_streams: str = "shared"
 
     def __post_init__(self) -> None:
         for name in (
@@ -72,12 +92,15 @@ class SimConfig:
             "source_queue_packets",
             "deadlock_threshold_slots",
             "link_latency_slots",
+            "burst_slots",
+            "idle_slots",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
         # Late imports: the component registries import this module.
         from .arbiters import ARBITERS
         from .flowcontrol import FLOW_CONTROLS
+        from .injection import INJECTIONS
 
         if self.arbiter not in ARBITERS:
             raise ValueError(
@@ -87,6 +110,15 @@ class SimConfig:
             raise ValueError(
                 f"unknown flow control {self.flow_control!r}; "
                 f"expected one of {sorted(FLOW_CONTROLS)}"
+            )
+        if self.injection not in INJECTIONS:
+            raise ValueError(
+                f"unknown injection process {self.injection!r}; "
+                f"expected one of {sorted(INJECTIONS)}"
+            )
+        if self.rng_streams not in ("shared", "split"):
+            raise ValueError(
+                f"rng_streams must be 'shared' or 'split', got {self.rng_streams!r}"
             )
 
     def with_(self, **kw) -> "SimConfig":

@@ -57,12 +57,13 @@ from ..traffic.base import TrafficPattern
 from .arbiters import Arbiter, make_arbiter
 from .config import PAPER_CONFIG, SimConfig
 from .flowcontrol import FlowControl, make_flow_control
-from .injection import BernoulliInjection, InjectionProcess
+from .injection import InjectionProcess, make_injection
 from .links import LinkModel, make_link_model
 from .metrics import MetricsCollector, SimResult
 from .packet import Packet
 from .schedule import LINK_DOWN, FaultSchedule
 from .switch import Switch
+from .workload import SET_OFFERED, WorkloadSchedule
 
 
 class DeadlockError(RuntimeError):
@@ -102,10 +103,30 @@ class Simulator:
         packets buffered on (or in flight over) a failed link are dropped
         (and counted), per-packet candidate memos are invalidated and the
         mechanism reconfigures via ``on_topology_change``.
+    workload_schedule:
+        Optional :class:`~repro.simulator.workload.WorkloadSchedule` of
+        mid-run traffic-pattern switches and offered-load retargets.
+        Events apply at the start of their slot's :meth:`step` (before
+        any fault events) and open a new metrics phase, so the shift's
+        transient shows up in ``SimResult.phase_series``.  Phase patterns
+        are built eagerly at construction (seeded with the simulator
+        seed), so an unsupported pattern fails here, not mid-run.
     arbiter / flow_control / link_model:
         Explicit component instances, overriding the ones named by
         ``config`` (tests and bespoke experiments; sweeps select
         components through the config so they enter the cache key).
+
+    RNG streams
+    -----------
+    ``config.rng_streams`` decides who draws from what: ``"shared"``
+    (default) keeps the historical single stream — arbiter tie-breaks,
+    injection coins and traffic destinations interleave on ``self.rng``
+    exactly as the golden fingerprint pins.  ``"split"`` spawns
+    independent child generators ``traffic_rng`` and ``inject_rng`` from
+    the seed, so the destination sequence is a function of the seed alone
+    and swapping the injection model (or its burst geometry) cannot
+    perturb it — the property the workload sweeps rely on to compare
+    injection processes on identical traffic.
     """
 
     def __init__(
@@ -121,6 +142,7 @@ class Simulator:
         series_interval: int | None = None,
         strict_deadlock: bool = False,
         fault_schedule: FaultSchedule | None = None,
+        workload_schedule: WorkloadSchedule | None = None,
         arbiter: Arbiter | None = None,
         flow_control: FlowControl | None = None,
         link_model: LinkModel | None = None,
@@ -129,7 +151,22 @@ class Simulator:
         self.mechanism = mechanism
         self.traffic = traffic
         self.cfg = config
-        self.rng = np.random.default_rng(seed)
+        # default_rng(SeedSequence(seed)) is stream-identical to
+        # default_rng(seed); going through the SeedSequence keeps the
+        # split-mode children derivable on numpy versions without
+        # Generator.spawn (added in 1.25) while matching its streams.
+        seed_seq = (
+            seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        self.rng = np.random.default_rng(seed_seq)
+        if config.rng_streams == "split":
+            traffic_ss, inject_ss = seed_seq.spawn(2)
+            self.traffic_rng = np.random.default_rng(traffic_ss)
+            self.inject_rng = np.random.default_rng(inject_ss)
+        else:
+            # One shared stream, the historical (golden-pinned) behaviour.
+            self.traffic_rng = self.inject_rng = self.rng
         # --- pluggable router microarchitecture ---------------------------
         self.arbiter = arbiter if arbiter is not None else make_arbiter(config.arbiter)
         self.flow_control = (
@@ -148,7 +185,10 @@ class Simulator:
         self._link_pipelined = type(self.link).advance is not LinkModel.advance
         n_servers = network.n_servers
         if injection is None:
-            injection = BernoulliInjection(n_servers, offered)
+            injection = make_injection(
+                config.injection, n_servers, offered,
+                burst_slots=config.burst_slots, idle_slots=config.idle_slots,
+            )
         if injection.n_servers != n_servers:
             raise ValueError("injection process sized for a different network")
         self.injection = injection
@@ -192,6 +232,22 @@ class Simulator:
         else:
             self._schedule_events = ()
         self._schedule_pos = 0
+        self.workload_schedule = workload_schedule
+        if workload_schedule is not None and len(workload_schedule):
+            self._workload_events = workload_schedule.events
+            # Built now so an unsupported pattern fails at construction;
+            # seeded with the simulator seed like the runner's patterns.
+            from ..traffic import make_traffic
+
+            self._phase_patterns = {
+                name: make_traffic(name, network, seed)
+                for name in workload_schedule.pattern_names()
+            }
+            self.metrics.on_phase(0, "initial")
+        else:
+            self._workload_events = ()
+            self._phase_patterns = {}
+        self._workload_pos = 0
         self.slot = 0
         self.in_flight = 0
         self.next_pid = 0
@@ -290,13 +346,18 @@ class Simulator:
         return moved
 
     def _inject(self) -> int:
-        """Phase 4: generation attempts into source queues."""
+        """Phase 4: generation attempts into source queues.
+
+        Injection coins come from ``inject_rng`` and destinations from
+        ``traffic_rng`` — the same object under the default shared stream,
+        independent spawned streams under ``rng_streams="split"``.
+        """
         injected = 0
         cap = self.cfg.source_queue_packets
         sps = self._sps
         traffic = self.traffic
-        rng = self.rng
-        for srv in self.injection.attempts(self.slot, rng):
+        trng = self.traffic_rng
+        for srv in self.injection.attempts(self.slot, self.inject_rng):
             srv = int(srv)
             sid = srv // sps
             sw = self.switches[sid]
@@ -304,7 +365,7 @@ class Simulator:
             if len(sw.in_q[idx]) >= cap:
                 self.injection.on_blocked(srv)
                 continue
-            dst = int(traffic.destination(srv, rng))
+            dst = int(traffic.destination(srv, trng))
             pkt = Packet(
                 self.next_pid, srv, dst, sid, dst // sps, self.slot
             )
@@ -411,6 +472,27 @@ class Simulator:
             pkt.cand_switch = -1
             mech.refresh_packet(pkt, nxt)
 
+    def _apply_workload_events(self) -> None:
+        """Apply every workload event due at the current slot.
+
+        ``SET_OFFERED`` retargets the live injection process (keeping its
+        state — an on-off chain stays mid-burst); ``SET_PATTERN`` swaps in
+        the prebuilt phase pattern.  Every event opens a new metrics
+        phase, labelled by the event, so the shift is observable in
+        ``SimResult.phase_series``.
+        """
+        events = self._workload_events
+        pos = self._workload_pos
+        while pos < len(events) and events[pos].slot <= self.slot:
+            ev = events[pos]
+            pos += 1
+            if ev.kind == SET_OFFERED:
+                self.injection.set_offered(ev.value)
+            else:
+                self.traffic = self._phase_patterns[ev.value]
+            self.metrics.on_phase(self.slot, ev.label)
+        self._workload_pos = pos
+
     def _apply_scheduled_events(self) -> None:
         """Apply every schedule event due at the current slot."""
         events = self._schedule_events
@@ -438,10 +520,14 @@ class Simulator:
     def step(self) -> None:
         """Advance one slot (all four phases + watchdog).
 
-        Scheduled fault events apply first, then the link model lands
-        in-flight packets due this slot — so a packet arriving on a link
-        that dies the same slot is dropped, not delivered.
+        Scheduled workload events apply first (the new pattern/load
+        governs this slot's injection), then fault events, then the link
+        model lands in-flight packets due this slot — so a packet
+        arriving on a link that dies the same slot is dropped, not
+        delivered.
         """
+        if self._workload_pos < len(self._workload_events):
+            self._apply_workload_events()
         if self._schedule_pos < len(self._schedule_events):
             self._apply_scheduled_events()
         if self._link_pipelined:
@@ -486,6 +572,13 @@ class Simulator:
                 f"fault schedule has an event at slot {events[-1].slot}, but "
                 f"this run ends after slot {end_slot - 1}; the event would "
                 "silently never apply"
+            )
+        wevents = self._workload_events
+        if self._workload_pos < len(wevents) and wevents[-1].slot >= end_slot:
+            raise ValueError(
+                f"workload schedule has an event at slot {wevents[-1].slot}, "
+                f"but this run ends after slot {end_slot - 1}; the event "
+                "would silently never apply"
             )
 
     def run(self, warmup: int = 300, measure: int = 700) -> SimResult:

@@ -11,9 +11,29 @@ Two generation regimes cover the paper's experiments:
   packet is consumed.  Used by the completion-time experiment (Figure 10,
   8000 phits = 500 packets per server).
 
-A generation *attempt* that finds the source queue full is lost for
-Bernoulli (the server was throttled; this is what dents the Jain index)
-and retried for Batch (the budget only decrements on success).
+The workload-diversity subsystem adds two more:
+
+* :class:`OnOffInjection` — Markov-modulated bursty generation: every
+  server alternates between geometrically-distributed ON bursts (mean
+  ``burst_slots``) and OFF idles (mean ``idle_slots``), injecting only
+  while ON.  The in-burst rate is normalised so the *long-run* offered
+  load equals ``offered`` — an on-off point and a Bernoulli point at the
+  same ``offered`` are directly comparable; the on-off one just arrives
+  in clumps.
+* :class:`PhasedInjection` — a composite that switches between child
+  processes at scheduled slots, for workload-shift experiments (see also
+  :class:`~repro.simulator.workload.WorkloadSchedule`, which switches the
+  *pattern* or retargets the load of a live process mid-run).
+
+A generation *attempt* that finds the source queue full is lost for the
+Bernoulli-style processes (the server was throttled; this is what dents
+the Jain index) and retried for Batch (the budget only decrements on
+success).
+
+The engine-facing factory :func:`make_injection` builds a process from
+the :class:`~repro.simulator.config.SimConfig` fields ``injection`` /
+``burst_slots`` / ``idle_slots``, so the selection travels through every
+sweep job and cache key like any other simulator parameter.
 """
 
 from __future__ import annotations
@@ -41,6 +61,16 @@ class InjectionProcess(ABC):
     def on_blocked(self, server: int) -> None:
         """The attempt of ``server`` found a full source queue."""
 
+    def set_offered(self, offered: float) -> None:
+        """Retarget the offered load mid-run (workload-schedule events).
+
+        Rate-based processes override this; budget-driven ones (Batch)
+        have no load knob and reject the event.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no offered-load knob"
+        )
+
     @property
     def exhausted(self) -> bool:
         """True when the process will never generate again (batch drained)."""
@@ -63,6 +93,136 @@ class BernoulliInjection(InjectionProcess):
             return np.arange(self.n_servers, dtype=np.int64)
         mask = rng.random(self.n_servers) < self.offered
         return np.nonzero(mask)[0]
+
+    def set_offered(self, offered: float) -> None:
+        """Retarget the load mid-run (workload-schedule events)."""
+        if not 0.0 <= offered <= 1.0:
+            raise ValueError(f"offered load must be in [0, 1], got {offered}")
+        self.offered = float(offered)
+
+
+class OnOffInjection(InjectionProcess):
+    """Markov-modulated (on-off) bursty generation, normalised load.
+
+    Every server carries an independent two-state Markov chain: ON slots
+    end with probability ``1 / burst_slots`` and OFF slots with
+    ``1 / idle_slots`` (geometric sojourn times, means ``burst_slots`` and
+    ``idle_slots``).  While ON, the server attempts generation with the
+    in-burst rate ``offered / duty`` where ``duty = burst / (burst +
+    idle)`` is the stationary ON fraction — so the long-run attempt rate
+    is exactly ``offered`` and on-off points are load-comparable with
+    Bernoulli ones.  ``offered > duty`` is rejected: even back-to-back
+    in-burst injection could not reach that load.
+
+    States start from their stationary distribution (drawn on the first
+    :meth:`attempts` call) so there is no modulation transient on top of
+    the network's own warmup.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        offered: float,
+        *,
+        burst_slots: float = 8.0,
+        idle_slots: float = 8.0,
+    ):
+        super().__init__(n_servers)
+        if burst_slots < 1 or idle_slots < 1:
+            raise ValueError("burst_slots and idle_slots must be >= 1")
+        if not 0.0 <= offered <= 1.0:
+            raise ValueError(f"offered load must be in [0, 1], got {offered}")
+        self.burst_slots = float(burst_slots)
+        self.idle_slots = float(idle_slots)
+        self.duty = self.burst_slots / (self.burst_slots + self.idle_slots)
+        self.offered = float(offered)
+        self.peak = self._peak(self.offered)
+        self._p_off = 1.0 / self.burst_slots  # ON -> OFF
+        self._p_on = 1.0 / self.idle_slots  # OFF -> ON
+        self._on: np.ndarray | None = None  # drawn stationary on first use
+
+    def _peak(self, offered: float) -> float:
+        peak = offered / self.duty
+        if peak > 1.0 + 1e-12:
+            raise ValueError(
+                f"offered load {offered} exceeds the duty cycle "
+                f"{self.duty:.4f} of burst {self.burst_slots:g} / idle "
+                f"{self.idle_slots:g}; even saturated bursts cannot carry it"
+            )
+        return min(peak, 1.0)
+
+    def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
+        n = self.n_servers
+        if self._on is None:
+            self._on = rng.random(n) < self.duty
+        else:
+            flip = rng.random(n)
+            on = self._on
+            self._on = np.where(on, flip >= self._p_off, flip < self._p_on)
+        if self.peak == 0.0:
+            return np.empty(0, dtype=np.int64)
+        mask = self._on & (rng.random(n) < self.peak)
+        return np.nonzero(mask)[0]
+
+    def set_offered(self, offered: float) -> None:
+        """Retarget the load mid-run, keeping the burst geometry."""
+        if not 0.0 <= offered <= 1.0:
+            raise ValueError(f"offered load must be in [0, 1], got {offered}")
+        self.peak = self._peak(offered)
+        self.offered = float(offered)
+
+
+class PhasedInjection(InjectionProcess):
+    """A composite process switching between children at scheduled slots.
+
+    ``phases`` is a sequence of ``(start_slot, process)`` pairs with
+    strictly increasing start slots, the first at slot 0.  All children
+    must be sized for the same server count.  Success/blocked feedback is
+    routed to the phase that produced the attempt; the composite is
+    exhausted when its *last* phase is active and exhausted (earlier
+    batch phases simply go quiet until their successor takes over).
+    """
+
+    def __init__(self, n_servers: int, phases):
+        super().__init__(n_servers)
+        phases = [(int(slot), proc) for slot, proc in phases]
+        if not phases:
+            raise ValueError("need at least one phase")
+        if phases[0][0] != 0:
+            raise ValueError(f"first phase must start at slot 0, got {phases[0][0]}")
+        starts = [slot for slot, _ in phases]
+        if sorted(set(starts)) != starts:
+            raise ValueError(f"phase starts must strictly increase, got {starts}")
+        for slot, proc in phases:
+            if proc.n_servers != n_servers:
+                raise ValueError(
+                    f"phase at slot {slot} sized for {proc.n_servers} servers, "
+                    f"expected {n_servers}"
+                )
+        self.phases = tuple(phases)
+        self._idx = 0
+
+    @property
+    def current(self) -> InjectionProcess:
+        return self.phases[self._idx][1]
+
+    def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
+        while (
+            self._idx + 1 < len(self.phases)
+            and slot >= self.phases[self._idx + 1][0]
+        ):
+            self._idx += 1
+        return self.current.attempts(slot, rng)
+
+    def on_success(self, server: int) -> None:
+        self.current.on_success(server)
+
+    def on_blocked(self, server: int) -> None:
+        self.current.on_blocked(server)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._idx == len(self.phases) - 1 and self.current.exhausted
 
 
 class BatchInjection(InjectionProcess):
@@ -88,3 +248,41 @@ class BatchInjection(InjectionProcess):
     @property
     def total_packets(self) -> int:
         return self.packets_per_server * self.n_servers
+
+
+# ----------------------------------------------------------------------
+# Registry (the config-selectable processes)
+# ----------------------------------------------------------------------
+#: Processes selectable through ``SimConfig.injection``.  Batch and Phased
+#: stay explicit-only: they need per-experiment structure (a packet
+#: budget, a phase list) that does not fit a flat config field.
+INJECTIONS: dict[str, type[InjectionProcess]] = {
+    "bernoulli": BernoulliInjection,
+    "onoff": OnOffInjection,
+}
+
+
+def make_injection(
+    name: str,
+    n_servers: int,
+    offered: float,
+    *,
+    burst_slots: float = 8.0,
+    idle_slots: float = 8.0,
+) -> InjectionProcess:
+    """Build a registry injection process by name.
+
+    The burst/idle geometry only applies to ``"onoff"``; it is accepted
+    (and ignored) for ``"bernoulli"`` so callers can thread one config
+    through unconditionally.
+    """
+    key = name.strip().lower()
+    if key == "bernoulli":
+        return BernoulliInjection(n_servers, offered)
+    if key == "onoff":
+        return OnOffInjection(
+            n_servers, offered, burst_slots=burst_slots, idle_slots=idle_slots
+        )
+    raise ValueError(
+        f"unknown injection process {name!r}; expected one of {sorted(INJECTIONS)}"
+    )

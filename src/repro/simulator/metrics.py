@@ -61,6 +61,9 @@ class SimResult:
     #: Per-interval transient records (accepted load, latency, stalls,
     #: drops) around scheduled fault events; empty without a series.
     transient_series: list[dict] = field(default_factory=list)
+    #: Per-phase records around workload-schedule events (one per phase
+    #: that overlaps the measurement window); empty without a schedule.
+    phase_series: list[dict] = field(default_factory=list)
 
     @property
     def completion_cycles(self) -> int | None:
@@ -118,6 +121,9 @@ class MetricsCollector:
         self._series_lat_count: dict[int, int] = {}
         self._series_stalls: dict[int, int] = {}
         self._series_drops: dict[int, int] = {}
+        #: Workload phases (opened by the engine on schedule events);
+        #: empty unless a workload schedule is driving the run.
+        self._phases: list[dict] = []
 
     # ------------------------------------------------------------------
     # Event hooks (called by the engine)
@@ -126,10 +132,25 @@ class MetricsCollector:
         self.measuring = True
         self.measure_start = slot
 
+    def on_phase(self, slot: int, label: str) -> None:
+        """Open a new workload phase (engine: workload-schedule events)."""
+        self._phases.append(
+            {
+                "label": label,
+                "start_slot": slot,
+                "delivered": 0,
+                "generated": 0,
+                "lat_slots": 0,
+                "lat_count": 0,
+            }
+        )
+
     def on_generated(self, server: int, slot: int) -> None:
         self.generated_total += 1
         if self.measuring:
             self.generated_measured[server] += 1
+            if self._phases:
+                self._phases[-1]["generated"] += 1
 
     def on_ejected(self, pkt, slot: int) -> None:
         self.delivered_total += 1
@@ -145,6 +166,12 @@ class MetricsCollector:
         if pkt.birth_slot >= self.measure_start:
             self.latency_slots_sum += slot - pkt.birth_slot
             self.latency_count += 1
+        if self._phases:
+            ph = self._phases[-1]
+            ph["delivered"] += 1
+            if pkt.birth_slot >= self.measure_start:
+                ph["lat_slots"] += slot - pkt.birth_slot
+                ph["lat_count"] += 1
         if self.series_interval:
             b = slot // self.series_interval
             self._series_bins[b] = self._series_bins.get(b, 0) + 1
@@ -219,6 +246,53 @@ class MetricsCollector:
             )
         return out
 
+    def phase_series(self, measure_slots: int) -> list[dict]:
+        """Per-workload-phase records over the measurement window.
+
+        One record per phase that overlaps the window: ``label`` (the
+        schedule event that opened it), ``start_slot`` (clipped to the
+        window), ``slots`` (measured slots the phase covers),
+        ``accepted`` (packets per server per slot ejected while the phase
+        was live — deliveries attribute to the wall-clock phase, so a
+        burst's backlog draining into the next phase is visible as
+        elevated accepted load there), ``latency_cycles`` (mean over
+        measurement-born packets delivered in the phase, NaN when none)
+        and ``generated``.  Phases entirely outside the window are
+        dropped.
+        """
+        if not self._phases:
+            return []
+        end = self.measure_start + measure_slots
+        out = []
+        for i, ph in enumerate(self._phases):
+            start = max(ph["start_slot"], self.measure_start)
+            stop = (
+                self._phases[i + 1]["start_slot"]
+                if i + 1 < len(self._phases)
+                else end
+            )
+            slots = max(min(stop, end) - start, 0)
+            if slots == 0 and not ph["delivered"] and not ph["generated"]:
+                continue
+            out.append(
+                {
+                    "phase": len(out),
+                    "label": ph["label"],
+                    "start_slot": start,
+                    "slots": slots,
+                    "accepted": (
+                        ph["delivered"] / (self.n_servers * slots) if slots else 0.0
+                    ),
+                    "latency_cycles": (
+                        ph["lat_slots"] / ph["lat_count"] * self.cycles_per_slot
+                        if ph["lat_count"]
+                        else float("nan")
+                    ),
+                    "generated": ph["generated"],
+                }
+            )
+        return out
+
     def result(
         self,
         offered: float,
@@ -260,4 +334,5 @@ class MetricsCollector:
             time_series=self.time_series(),
             dropped_packets=self.dropped_total,
             transient_series=self.transient_series(),
+            phase_series=self.phase_series(measure_slots),
         )

@@ -1,4 +1,6 @@
-"""Synthetic traffic patterns of the paper's evaluation (§4)."""
+"""Synthetic traffic patterns: the paper's evaluation set (§4) plus the
+workload-diversity library (hotspot, tornado/shift, bit permutations,
+Dragonfly group-adversarial — see :mod:`repro.traffic.workloads`)."""
 
 from __future__ import annotations
 
@@ -12,16 +14,38 @@ from .patterns import (
     UniformTraffic,
 )
 from .rpn import RegularPermutationToNeighbour, gray_cycle, next_in_gray_cycle
+from .workloads import (
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    BitTransposeTraffic,
+    DragonflyAdversarial,
+    HotspotTraffic,
+    ShiftTraffic,
+    TornadoTraffic,
+    break_fixed_points,
+)
 
-#: Short names accepted by :func:`make_traffic`, in the paper's order.
-TRAFFIC_PATTERNS: tuple[str, ...] = ("uniform", "randperm", "dcr", "rpn")
+#: Short names accepted by :func:`make_traffic`: the paper's four first,
+#: then the workload-diversity library.
+TRAFFIC_PATTERNS: tuple[str, ...] = (
+    "uniform", "randperm", "dcr", "rpn",
+    "hotspot", "tornado", "shift", "transpose", "bitrev", "shuffle",
+    "adversarial",
+)
 
-#: Paper display names by short name.
+#: Display names by short name.
 TRAFFIC_DISPLAY: dict[str, str] = {
     "uniform": "Uniform",
     "randperm": "Random Server Permutation",
     "dcr": "Dimension Complement Reverse",
     "rpn": "Regular Permutation to Neighbour",
+    "hotspot": "Hotspot",
+    "tornado": "Tornado",
+    "shift": "Shift",
+    "transpose": "Bit Transpose",
+    "bitrev": "Bit Reverse",
+    "shuffle": "Bit Shuffle",
+    "adversarial": "Dragonfly Adversarial",
 }
 
 
@@ -30,7 +54,12 @@ def make_traffic(
     network: Network,
     rng: np.random.Generator | int | None = None,
 ) -> TrafficPattern:
-    """Build a traffic pattern by short name (see :data:`TRAFFIC_PATTERNS`)."""
+    """Build a traffic pattern by short name (see :data:`TRAFFIC_PATTERNS`).
+
+    Patterns with structural requirements raise ``TypeError`` (wrong
+    topology class) or ``ValueError`` (wrong sizing) — use
+    :func:`supported_traffics` to filter a pattern list for a network.
+    """
     key = name.strip().lower()
     if key == "uniform":
         return UniformTraffic(network)
@@ -40,20 +69,67 @@ def make_traffic(
         return DimensionComplementReverse(network)
     if key in ("rpn", "regular permutation to neighbour"):
         return RegularPermutationToNeighbour(network)
+    if key == "hotspot":
+        return HotspotTraffic(network, rng)
+    if key == "tornado":
+        return TornadoTraffic(network)
+    if key == "shift":
+        return ShiftTraffic(network)
+    if key in ("transpose", "bit transpose"):
+        return BitTransposeTraffic(network)
+    if key in ("bitrev", "bit reverse"):
+        return BitReverseTraffic(network)
+    if key in ("shuffle", "bit shuffle"):
+        return BitShuffleTraffic(network)
+    if key in ("adversarial", "dragonfly adversarial", "dfly-adv"):
+        return DragonflyAdversarial(network)
     raise ValueError(f"unknown traffic pattern {name!r}; expected one of {TRAFFIC_PATTERNS}")
 
 
+def supported_traffics(
+    network: Network, names: tuple[str, ...] = TRAFFIC_PATTERNS
+) -> list[str]:
+    """The subset of ``names`` constructible on ``network``, in order.
+
+    Mirrors :func:`repro.routing.catalog.supported_mechanisms`: patterns
+    with structural requirements (HyperX coordinates, even sides,
+    power-of-two server counts, Dragonfly groups) are silently dropped so
+    sweeps can take one pattern list across heterogeneous topologies.
+    """
+    out = []
+    for name in names:
+        try:
+            make_traffic(name, network, rng=0)
+        except TypeError:
+            continue
+        except ValueError as e:
+            if "unknown traffic pattern" in str(e):
+                raise  # a typo is an error, not an unsupported topology
+            continue
+        out.append(name)
+    return out
+
+
 __all__ = [
+    "BitReverseTraffic",
+    "BitShuffleTraffic",
+    "BitTransposeTraffic",
     "DimensionComplementReverse",
+    "DragonflyAdversarial",
+    "HotspotTraffic",
     "PermutationTraffic",
     "RandomServerPermutation",
     "RegularPermutationToNeighbour",
+    "ShiftTraffic",
     "TRAFFIC_DISPLAY",
     "TRAFFIC_PATTERNS",
+    "TornadoTraffic",
     "TrafficPattern",
     "UniformTraffic",
+    "break_fixed_points",
     "gray_cycle",
     "make_traffic",
     "next_in_gray_cycle",
+    "supported_traffics",
     "validate_permutation",
 ]

@@ -13,7 +13,8 @@ class TestParser:
         sub = [a for a in parser._actions if a.dest == "command"][0]
         expected = {
             "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "fig-transient", "point",
+            "fig7", "fig8", "fig9", "fig10", "fig-transient",
+            "fig-workloads", "point",
         }
         assert expected <= set(sub.choices)
 
@@ -80,6 +81,24 @@ class TestFastCommands:
             raise AssertionError(f"non-strict JSON token {token!r}")
         records = json.loads(json_path.read_text(), parse_constant=reject)
         assert records[0]["schedule_events"] == 4  # 2 links down + up
+
+    def test_fig_workloads_runs(self, tmp_path, capsys):
+        json_path = tmp_path / "workloads.json"
+        assert main([
+            "fig-workloads", "--scale", "tiny", "--mechanisms", "PolSP",
+            "--patterns", "uniform", "shift", "--loads", "0.3",
+            "--burst", "4", "--idle", "4", "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # The mechanism x pattern matrix plus the record table.
+        assert "PolSP:bernoulli" in out and "PolSP:onoff(4/4)" in out
+        assert "uniform" in out and "shift" in out
+        records = json.loads(json_path.read_text())
+        assert {r["injection"] for r in records} == {"bernoulli", "onoff"}
+
+    def test_fig_workloads_rejects_bad_burst(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig-workloads", "--burst", "0"])
 
     def test_csv_and_json_output(self, tmp_path, capsys):
         csv_path = tmp_path / "t3.csv"

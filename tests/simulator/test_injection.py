@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.simulator.injection import BatchInjection, BernoulliInjection
+from repro.simulator.injection import (
+    INJECTIONS,
+    BatchInjection,
+    BernoulliInjection,
+    OnOffInjection,
+    PhasedInjection,
+    make_injection,
+)
 
 
 class TestBernoulli:
@@ -61,3 +68,156 @@ class TestBatch:
             BatchInjection(0, 5)
         with pytest.raises(ValueError):
             BatchInjection(4, 0)
+
+    def test_has_no_offered_load_knob(self):
+        with pytest.raises(NotImplementedError):
+            BatchInjection(4, 2).set_offered(0.5)
+
+
+class TestOnOff:
+    def test_long_run_rate_matches_offered(self):
+        """The in-burst rate is normalised: mean load == offered."""
+        rng = np.random.default_rng(0)
+        inj = OnOffInjection(64, 0.3, burst_slots=8, idle_slots=8)
+        total = sum(inj.attempts(t, rng).size for t in range(4000))
+        assert total / (64 * 4000) == pytest.approx(0.3, abs=0.01)
+
+    def test_burstier_geometry_same_rate(self):
+        rng = np.random.default_rng(1)
+        inj = OnOffInjection(64, 0.2, burst_slots=32, idle_slots=32)
+        total = sum(inj.attempts(t, rng).size for t in range(8000))
+        assert total / (64 * 8000) == pytest.approx(0.2, abs=0.02)
+
+    def test_arrivals_are_bursty(self):
+        """Slot-count series is temporally correlated, unlike Bernoulli.
+
+        (Marginal per-slot variance matches Bernoulli by construction —
+        independent 0/1 attempts at rate ``offered`` — so burstiness is
+        the *autocorrelation* the Markov modulation introduces.)
+        """
+        def autocorr1(inj, slots=4000):
+            rng = np.random.default_rng(7)
+            x = np.array([inj.attempts(t, rng).size for t in range(slots)], float)
+            x -= x.mean()
+            return float((x[1:] * x[:-1]).mean() / x.var())
+
+        bern = autocorr1(BernoulliInjection(64, 0.3))
+        onoff = autocorr1(OnOffInjection(64, 0.3, burst_slots=16, idle_slots=16))
+        assert abs(bern) < 0.1  # memoryless
+        # Theory: r^2 * var(on) * persistence / var(x) with r = 0.6 peak,
+        # var(on) = 0.25, persistence = 1 - 2/16, var(x) = 0.21 -> ~0.375.
+        assert onoff > 0.25
+
+    def test_single_server_attempts_cluster_in_bursts(self):
+        """ON runs have the configured mean length, not one slot."""
+        rng = np.random.default_rng(3)
+        inj = OnOffInjection(1, 0.5, burst_slots=16, idle_slots=16)
+        active = [bool(inj.attempts(t, rng).size) for t in range(6000)]
+        runs, cur = [], 0
+        for a in active:
+            if a:
+                cur += 1
+            elif cur:
+                runs.append(cur)
+                cur = 0
+        # peak = 0.5/0.5 = 1.0: ON slots always attempt, so attempt runs
+        # ~ geometric(1/16) bursts (mean 16), nothing like Bernoulli's ~2.
+        assert np.mean(runs) > 6
+
+    def test_duty_cycle_bounds_offered(self):
+        with pytest.raises(ValueError, match="duty cycle"):
+            OnOffInjection(8, 0.5, burst_slots=4, idle_slots=12)
+        # offered == duty is feasible (saturated bursts).
+        OnOffInjection(8, 0.25, burst_slots=4, idle_slots=12)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            OnOffInjection(8, 0.2, burst_slots=0)
+        with pytest.raises(ValueError):
+            OnOffInjection(8, 0.2, idle_slots=0)
+        with pytest.raises(ValueError):
+            OnOffInjection(8, 1.5)
+
+    def test_set_offered_keeps_chain_state(self):
+        rng = np.random.default_rng(0)
+        inj = OnOffInjection(16, 0.4, burst_slots=8, idle_slots=8)
+        inj.attempts(0, rng)
+        state = inj._on.copy()
+        inj.set_offered(0.1)
+        assert inj.offered == 0.1
+        assert np.array_equal(inj._on, state)
+        with pytest.raises(ValueError, match="duty cycle"):
+            inj.set_offered(0.9)  # > 0.5 duty
+
+    def test_never_exhausted(self, rng):
+        assert not OnOffInjection(8, 0.2).exhausted
+
+
+class TestPhased:
+    def test_switches_at_scheduled_slots(self, rng):
+        phased = PhasedInjection(
+            4,
+            [
+                (0, BernoulliInjection(4, 1.0)),
+                (10, BernoulliInjection(4, 0.0)),
+            ],
+        )
+        assert phased.attempts(0, rng).size == 4
+        assert phased.attempts(9, rng).size == 4
+        assert phased.attempts(10, rng).size == 0
+        assert phased.attempts(50, rng).size == 0
+
+    def test_feedback_routes_to_active_phase(self, rng):
+        batch = BatchInjection(2, 1)
+        phased = PhasedInjection(
+            2, [(0, batch), (10, BernoulliInjection(2, 0.5))]
+        )
+        phased.attempts(0, rng)
+        phased.on_success(0)
+        assert batch.remaining[0] == 0
+
+    def test_exhausted_only_on_last_phase(self, rng):
+        drained = BatchInjection(2, 1)
+        drained.on_success(0)
+        drained.on_success(1)
+        phased = PhasedInjection(
+            2, [(0, drained), (10, BernoulliInjection(2, 0.5))]
+        )
+        phased.attempts(0, rng)
+        assert not phased.exhausted  # a later phase is still coming
+        phased.attempts(10, rng)
+        assert not phased.exhausted  # bernoulli never exhausts
+
+    def test_rejects_bad_phase_lists(self):
+        with pytest.raises(ValueError):
+            PhasedInjection(4, [])
+        with pytest.raises(ValueError, match="slot 0"):
+            PhasedInjection(4, [(5, BernoulliInjection(4, 0.5))])
+        with pytest.raises(ValueError, match="strictly increase"):
+            PhasedInjection(
+                4,
+                [
+                    (0, BernoulliInjection(4, 0.5)),
+                    (0, BernoulliInjection(4, 0.1)),
+                ],
+            )
+        with pytest.raises(ValueError, match="sized for"):
+            PhasedInjection(4, [(0, BernoulliInjection(8, 0.5))])
+
+
+class TestRegistry:
+    def test_registry_names_build(self):
+        for name in INJECTIONS:
+            inj = make_injection(name, 8, 0.2, burst_slots=4, idle_slots=4)
+            assert inj.n_servers == 8
+            assert inj.offered == 0.2
+
+    def test_burst_geometry_reaches_onoff_only(self):
+        onoff = make_injection("onoff", 8, 0.2, burst_slots=5, idle_slots=7)
+        assert (onoff.burst_slots, onoff.idle_slots) == (5.0, 7.0)
+        bern = make_injection("bernoulli", 8, 0.2, burst_slots=5, idle_slots=7)
+        assert isinstance(bern, BernoulliInjection)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection"):
+            make_injection("poisson", 8, 0.2)

@@ -1,0 +1,138 @@
+"""RNG stream-separation audit (regression tests).
+
+Historically one generator fed arbiter tie-breaks, injection coins *and*
+traffic destinations, so introducing a new injection model silently
+perturbed every destination sequence.  ``SimConfig(rng_streams="split")``
+gives traffic and injection their own spawned child generators:
+
+* the **default stays shared** — golden-fingerprint compatibility means
+  the paper reproduction's stream is untouched bit-for-bit;
+* under split, the Uniform **destination stream is a function of the
+  seed alone**: swapping Bernoulli for on-off (or changing the burst
+  geometry) leaves the drawn destination values unchanged;
+* the split streams are pinned to literal values so any accidental
+  reordering of draws (or re-seeding) fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.routing.catalog import make_mechanism
+from repro.simulator.config import PAPER_CONFIG, SimConfig
+from repro.simulator.engine import Simulator
+from repro.simulator.injection import BernoulliInjection, OnOffInjection
+from repro.topology.base import Network
+from repro.topology.hyperx import HyperX
+from repro.traffic.base import TrafficPattern
+
+SPLIT = SimConfig(rng_streams="split")
+
+#: First 12 values of the split traffic stream for seed 0 on 64 servers:
+#: ``default_rng(0).spawn(2)[0].integers(63)`` repeatedly — the raw draw
+#: behind every Uniform destination.  Pinned so the traffic child, its
+#: spawn order and the one-draw-per-destination discipline cannot drift.
+PINNED_TRAFFIC_DRAWS = [50, 59, 0, 19, 47, 45, 13, 7, 61, 26, 44, 40]
+
+
+class RecordingUniform(TrafficPattern):
+    """Uniform traffic that logs the raw draw behind each destination.
+
+    The raw ``integers(n - 1)`` value is recorded (not the folded
+    destination): the fold depends on the source server, the raw value
+    only on the generator stream — which is exactly what stream
+    separation must keep invariant across injection models.
+    """
+
+    name = "RecordingUniform"
+
+    def __init__(self, network):
+        super().__init__(network)
+        self.draws: list[int] = []
+
+    def destination(self, src_server: int, rng: np.random.Generator) -> int:
+        d = int(rng.integers(self.n_servers - 1))
+        self.draws.append(d)
+        return d + 1 if d >= src_server else d
+
+
+def _run_recorded(net, injection, slots=40, config=SPLIT):
+    escape = ExperimentRunner(net, config=config).escape
+    traffic = RecordingUniform(net)
+    sim = Simulator(
+        net,
+        make_mechanism("PolSP", net, None, escape=escape, rng=1),
+        traffic,
+        injection=injection,
+        config=config,
+        seed=0,
+    )
+    for _ in range(slots):
+        sim.step()
+    return traffic.draws
+
+
+@pytest.fixture(scope="module")
+def net():
+    return Network(HyperX((4, 4), 4))
+
+
+class TestStreamWiring:
+    def test_default_is_the_historical_shared_stream(self, net):
+        sim = ExperimentRunner(net).build_simulator("PolSP", "uniform", 0.5)
+        assert sim.traffic_rng is sim.rng
+        assert sim.inject_rng is sim.rng
+
+    def test_split_gives_each_consumer_its_own_stream(self, net):
+        sim = ExperimentRunner(net, config=SPLIT).build_simulator(
+            "PolSP", "uniform", 0.5
+        )
+        assert sim.traffic_rng is not sim.rng
+        assert sim.inject_rng is not sim.rng
+        assert sim.traffic_rng is not sim.inject_rng
+
+    def test_paper_config_unchanged(self):
+        assert PAPER_CONFIG.rng_streams == "shared"
+        assert PAPER_CONFIG.injection == "bernoulli"
+
+
+class TestDestinationStreamSeparation:
+    def test_injection_model_cannot_perturb_destination_stream(self, net):
+        """The satellite guarantee: same seed => same traffic draws, no
+        matter which injection process consumes how many coins."""
+        a = _run_recorded(net, BernoulliInjection(net.n_servers, 0.4))
+        b = _run_recorded(
+            net, OnOffInjection(net.n_servers, 0.4, burst_slots=8, idle_slots=8)
+        )
+        c = _run_recorded(
+            net, OnOffInjection(net.n_servers, 0.4, burst_slots=32, idle_slots=32)
+        )
+        k = min(len(a), len(b), len(c))
+        assert k > 100  # the runs actually generated traffic
+        assert a[:k] == b[:k] == c[:k]
+
+    def test_shared_stream_is_perturbed_by_injection_model(self, net):
+        """The counterfactual that motivates the split: under the shared
+        (historical) stream the same swap changes the destinations."""
+        shared = SimConfig()
+        a = _run_recorded(
+            net, BernoulliInjection(net.n_servers, 0.4), config=shared
+        )
+        b = _run_recorded(
+            net,
+            OnOffInjection(net.n_servers, 0.4, burst_slots=8, idle_slots=8),
+            config=shared,
+        )
+        k = min(len(a), len(b))
+        assert a[:k] != b[:k]
+
+    def test_uniform_destination_stream_pinned(self, net):
+        """Regression pin: the split traffic stream for seed 0, raw."""
+        draws = _run_recorded(net, BernoulliInjection(net.n_servers, 0.4))
+        assert draws[: len(PINNED_TRAFFIC_DRAWS)] == PINNED_TRAFFIC_DRAWS
+        # And the pin is exactly the spawned child's own stream.
+        child = np.random.default_rng(0).spawn(2)[0]
+        expect = [int(child.integers(63)) for _ in range(len(PINNED_TRAFFIC_DRAWS))]
+        assert expect == PINNED_TRAFFIC_DRAWS

@@ -6,24 +6,39 @@ from repro.traffic import (
     TRAFFIC_DISPLAY,
     TRAFFIC_PATTERNS,
     make_traffic,
+    supported_traffics,
 )
 
 
 class TestFactory:
     @pytest.mark.parametrize("name", TRAFFIC_PATTERNS)
-    def test_builds_every_pattern_3d(self, net3d, name):
-        t = make_traffic(name, net3d, rng=0)
-        assert t.n_servers == net3d.n_servers
+    def test_builds_or_cleanly_rejects_every_pattern_3d(self, net3d, name):
+        """Every registered name either builds on the 3D HyperX or raises
+        the structural error ``supported_traffics`` filters on."""
+        if name in supported_traffics(net3d):
+            t = make_traffic(name, net3d, rng=0)
+            assert t.n_servers == net3d.n_servers
+        else:
+            with pytest.raises((TypeError, ValueError)):
+                make_traffic(name, net3d, rng=0)
+
+    def test_hyperx_supports_all_but_dragonfly_adversarial(self, net3d):
+        # 4x4x4 with 4 servers/switch: 256 servers (8 bits) hosts the
+        # whole catalog except the Dragonfly-structured pattern.
+        assert supported_traffics(net3d) == [
+            n for n in TRAFFIC_PATTERNS if n != "adversarial"
+        ]
 
     def test_long_names_accepted(self, net3d):
         assert make_traffic("Dimension Complement Reverse", net3d).name.startswith(
             "Dimension"
         )
         assert make_traffic("Regular Permutation to Neighbour", net3d)
+        assert make_traffic("Bit Reverse", net3d).name == "Bit Reverse"
 
     def test_unknown_rejected(self, net2d):
-        with pytest.raises(ValueError):
-            make_traffic("bitrev", net2d)
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            make_traffic("zipfian", net2d)
 
     def test_display_names_cover_patterns(self):
         assert set(TRAFFIC_DISPLAY) == set(TRAFFIC_PATTERNS)
@@ -34,3 +49,10 @@ class TestFactory:
         a = make_traffic("randperm", net2d, 3).as_permutation()
         b = make_traffic("randperm", net2d, 3).as_permutation()
         assert np.array_equal(a, b)
+
+    def test_hotspot_seed_forwarded(self, net2d):
+        import numpy as np
+
+        a = make_traffic("hotspot", net2d, 3)
+        b = make_traffic("hotspot", net2d, 3)
+        assert np.array_equal(a.hot, b.hot)

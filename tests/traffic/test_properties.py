@@ -1,0 +1,139 @@
+"""Property-based tests of the traffic-pattern catalog.
+
+No hypothesis dependency: randomness comes from seed loops over explicit
+``np.random.default_rng(seed)`` generators, so every run checks the same
+cases and a failure names its (topology, pattern, seed) triple.
+
+Properties, for every registered pattern on every topology that supports
+it (HyperX 2D/3D — square and irregular — Dragonfly, ring/mesh customs):
+
+* destinations are valid server ids (in range);
+* no message is ever self-directed;
+* fixed-map patterns are bijective *and* fixed-point-free permutations,
+  and report themselves deterministic;
+* random patterns redraw from the passed generator only (construction
+  does not capture hidden state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.custom import mesh_topology, ring_topology
+from repro.topology.dragonfly import Dragonfly, balanced_dragonfly
+from repro.topology.hyperx import HyperX
+from repro.traffic import (
+    TRAFFIC_PATTERNS,
+    make_traffic,
+    supported_traffics,
+    validate_permutation,
+)
+
+SEEDS = range(5)
+
+#: The cross-topology test bed: structured, irregular, hierarchical and
+#: arbitrary graphs.  Server counts include powers of two (bit patterns),
+#: non-powers (they must be *excluded* cleanly) and odd bit counts
+#: (transpose must be excluded while reverse/shuffle stay).
+TOPOLOGIES = [
+    pytest.param(HyperX((4, 4), 4), id="hyperx-4x4"),  # 64 servers, 6 bits
+    pytest.param(HyperX((2, 2, 2), 2), id="hyperx-2cube"),  # 16 servers
+    pytest.param(HyperX((4, 4), 2), id="hyperx-4x4-sps2"),  # 32 servers, 5 bits
+    pytest.param(HyperX((3, 5), 2), id="hyperx-rect"),  # odd sides, 30 servers
+    pytest.param(balanced_dragonfly(2), id="dragonfly-h2"),  # 72 servers
+    pytest.param(Dragonfly(a=2, p=1, h=1), id="dragonfly-min"),  # 6 servers
+    pytest.param(ring_topology(6, 2), id="ring-6"),  # 12 servers
+    pytest.param(mesh_topology(3, 3, 2), id="mesh-3x3"),  # 18 servers
+]
+
+
+def _cases():
+    for param in TOPOLOGIES:
+        topo = param.values[0]
+        net = Network(topo)
+        for name in supported_traffics(net):
+            yield pytest.param(net, name, id=f"{param.id}-{name}")
+
+
+CASES = list(_cases())
+
+
+@pytest.mark.parametrize("net,name", CASES)
+def test_destinations_in_range_and_never_self(net, name):
+    n = net.n_servers
+    for seed in SEEDS:
+        pattern = make_traffic(name, net, rng=seed)
+        draw = np.random.default_rng(seed + 1000)
+        for src in range(n):
+            for _ in range(3):
+                dst = pattern.destination(src, draw)
+                assert isinstance(dst, int)
+                assert 0 <= dst < n, f"{name} sent {src} -> {dst} (out of range)"
+                assert dst != src, f"{name} sent {src} to itself"
+
+
+@pytest.mark.parametrize("net,name", CASES)
+def test_fixed_maps_are_fixed_point_free_permutations(net, name):
+    n = net.n_servers
+    for seed in SEEDS:
+        pattern = make_traffic(name, net, rng=seed)
+        if not pattern.is_deterministic:
+            with pytest.raises(TypeError):
+                pattern.as_permutation()
+            continue
+        perm = pattern.as_permutation()
+        # Bijective over range(n) and no fixed points, via the library's
+        # own validator plus an independent explicit check.
+        validate_permutation(perm, n)
+        assert len(np.unique(perm)) == n
+        assert not (perm == np.arange(n)).any()
+        # Deterministic means deterministic: the destination method agrees
+        # with the exported permutation and never touches the RNG.
+        probe = np.random.default_rng(0)
+        state = probe.bit_generator.state
+        for src in range(n):
+            assert pattern.destination(src, probe) == perm[src]
+        assert probe.bit_generator.state == state
+
+
+@pytest.mark.parametrize("net,name", CASES)
+def test_same_seed_same_pattern(net, name):
+    """Construction is a pure function of (network, seed)."""
+    a = make_traffic(name, net, rng=3)
+    b = make_traffic(name, net, rng=3)
+    if a.is_deterministic:
+        assert np.array_equal(a.as_permutation(), b.as_permutation())
+    else:
+        da = [a.destination(0, np.random.default_rng(9)) for _ in range(1)]
+        db = [b.destination(0, np.random.default_rng(9)) for _ in range(1)]
+        assert da == db
+
+
+def test_every_pattern_is_reachable_somewhere():
+    """The catalog holds no dead entries: every registered name is
+    supported by at least one test-bed topology."""
+    seen: set[str] = set()
+    for param in TOPOLOGIES:
+        seen.update(supported_traffics(Network(param.values[0])))
+    assert seen == set(TRAFFIC_PATTERNS)
+
+
+def test_supported_traffics_rejects_typos():
+    net = Network(HyperX((4, 4), 2))
+    with pytest.raises(ValueError, match="unknown traffic pattern"):
+        supported_traffics(net, ("uniform", "hotspott"))
+
+
+def test_structural_exclusions_are_the_expected_ones():
+    """Spot-check the filter: who is excluded where, and why."""
+    hyperx = supported_traffics(Network(HyperX((4, 4), 4)))
+    assert "adversarial" not in hyperx  # Dragonfly-only
+    dfly = supported_traffics(Network(balanced_dragonfly(2)))
+    assert "adversarial" in dfly
+    assert "tornado" not in dfly and "dcr" not in dfly  # HyperX-only
+    assert "transpose" not in dfly  # 72 servers: not a power of two
+    odd_bits = supported_traffics(Network(HyperX((4, 4), 2)))  # 32 = 2^5
+    assert "transpose" not in odd_bits  # odd bit count
+    assert "bitrev" in odd_bits and "shuffle" in odd_bits
