@@ -11,7 +11,9 @@ commit SHA there, so regressions are attributable to a commit):
   phase across policies (the Q+P default is the 5%-regression guard for
   the component refactor);
 * one kernel per workload combination (on-off injection, hotspot
-  traffic, split RNG streams), guarding the workload-diversity hot paths.
+  traffic, split RNG streams), guarding the workload-diversity hot paths;
+* one kernel per topology family (torus, mesh, fat-tree,
+  random-regular), tracking the diversity sweep's per-family cost.
 
 Usage::
 
@@ -36,6 +38,7 @@ from repro.routing.catalog import MECHANISMS  # noqa: E402
 from repro.simulator.arbiters import ARBITERS  # noqa: E402
 from repro.simulator.config import PAPER_CONFIG  # noqa: E402
 from repro.topology.base import Network  # noqa: E402
+from repro.topology.catalog import make_topology  # noqa: E402
 from repro.topology.hyperx import HyperX  # noqa: E402
 
 #: Benchmark presets: (loads, warmup, measure).  Both sweep all six
@@ -142,6 +145,29 @@ def workload_kernels(seed: int = 0) -> dict:
     return out
 
 
+def topology_kernels(seed: int = 0) -> dict:
+    """One timed point per topology family the diversity sweep adds.
+
+    Times the same (PolSP, uniform, 0.4) point on a tiny instance of
+    every new family — torus, mesh, fat-tree, random-regular — so
+    ``BENCH_<sha>.json`` tracks a topology dimension: a regression in
+    e.g. the escape construction on irregular graphs shows up as one
+    family's kernel slowing down.
+    """
+    out = {}
+    for name in ("torus", "mesh", "fattree", "random"):
+        runner = ExperimentRunner(Network(make_topology(name)))
+        t0 = time.perf_counter()
+        res = runner.run_point(
+            "PolSP", "uniform", 0.4, warmup=100, measure=200, seed=seed
+        )
+        out[name] = {
+            "seconds": round(time.perf_counter() - t0, 3),
+            "accepted": round(res.accepted, 4),
+        }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local",
@@ -187,6 +213,10 @@ def main(argv=None) -> int:
     for name, k in workloads.items():
         print(f"workload {name:>16}: {k['seconds']:.2f}s accepted={k['accepted']}")
 
+    topologies = topology_kernels(seed=args.seed)
+    for name, k in topologies.items():
+        print(f"topology {name:>10}: {k['seconds']:.2f}s accepted={k['accepted']}")
+
     result = {
         "label": args.label,
         "preset": args.preset,
@@ -201,6 +231,7 @@ def main(argv=None) -> int:
         "phases": phases,
         "arbiter_kernels": arbiters,
         "workload_kernels": workloads,
+        "topology_kernels": topologies,
     }
     out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(result, indent=2) + "\n")

@@ -10,21 +10,26 @@ Examples::
     surepath-sim fig-transient --scale tiny --repair
     surepath-sim fig-ablation-arbiter --scale tiny --link-latencies 1 2
     surepath-sim fig-workloads --scale tiny --injections bernoulli onoff
+    surepath-sim fig-topologies --scale tiny --topologies torus fattree random
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
 the exact paper topologies (slow in pure Python — see DESIGN.md).  The
 sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient,
-fig-ablation-arbiter and fig-workloads) accept ``--jobs N`` to simulate
-points on a process pool and ``--cache-dir DIR`` to reuse previously
-simulated points across runs.  ``fig-transient`` goes beyond the paper's
-static snapshots: links fail (and optionally come back) *mid-run* and the
-per-interval recovery series is reported.  ``fig-ablation-arbiter``
-sweeps the router microarchitecture itself — arbiter (Q+P / round-robin /
-age / random), flow control (virtual cut-through / store-and-forward) and
-link latency — which the paper hardwires.  ``fig-workloads`` opens the
-workload axis: the adversarial traffic-pattern library (hotspot, tornado,
-shift, bit permutations) under smooth and bursty (on-off) injection.
+fig-ablation-arbiter, fig-workloads and fig-topologies) accept ``--jobs
+N`` to simulate points on a process pool and ``--cache-dir DIR`` to reuse
+previously simulated points across runs.  ``fig-transient`` goes beyond
+the paper's static snapshots: links fail (and optionally come back)
+*mid-run* and the per-interval recovery series is reported.
+``fig-ablation-arbiter`` sweeps the router microarchitecture itself —
+arbiter (Q+P / round-robin / age / random), flow control (virtual
+cut-through / store-and-forward) and link latency — which the paper
+hardwires.  ``fig-workloads`` opens the workload axis: the adversarial
+traffic-pattern library (hotspot, tornado, shift, bit permutations)
+under smooth and bursty (on-off) injection.  ``fig-topologies`` opens
+the topology axis: the same mechanisms over torus/mesh, fat-tree and
+seeded random-regular (Jellyfish-style) families from the topology
+registry, with per-family escape roots.
 """
 
 from __future__ import annotations
@@ -38,7 +43,9 @@ from ..simulator.arbiters import ARBITERS
 from ..simulator.flowcontrol import FLOW_CONTROLS
 from ..simulator.injection import INJECTIONS
 from ..topology.base import Network
+from ..topology.catalog import TOPOLOGIES
 from ..traffic import TRAFFIC_PATTERNS
+from ..updown.roots import ROOT_STRATEGIES
 from . import figures
 from .executor import encode_json_safe, make_executor
 from .reporting import (
@@ -47,6 +54,7 @@ from .reporting import (
     microarch_matrix,
     records_to_csv,
     throughput_matrix,
+    topology_matrix,
     workload_matrix,
 )
 from .runner import ExperimentRunner
@@ -72,12 +80,18 @@ WORKLOAD_COLUMNS = (
     "latency_cycles", "jain",
 )
 
+TOPOLOGY_COLUMNS = (
+    "topology", "mechanism", "traffic", "offered", "accepted",
+    "latency_cycles", "jain",
+)
+
 
 #: Subcommands whose points run through an executor (--jobs/--cache-dir).
 SWEEP_COMMANDS = frozenset(
     {
         "fig4", "fig5", "fig6", "fig8", "fig9",
         "fig-transient", "fig-ablation-arbiter", "fig-workloads",
+        "fig-topologies",
     }
 )
 
@@ -151,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig-transient", "mid-run link failure/repair recovery series"),
         ("fig-ablation-arbiter", "router-microarchitecture ablation sweep"),
         ("fig-workloads", "workload-diversity sweep (patterns x injection)"),
+        ("fig-topologies", "topology-diversity sweep (mechanism x family)"),
         ("point", "one simulation point"),
     ):
         p = sub.add_parser(name, help=help_)
@@ -203,6 +218,25 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SLOTS",
                            help="mean off-idle length of the on-off "
                                 "process (default: 8)")
+            p.add_argument("--loads", nargs="+", type=float, default=None,
+                           help="offered loads (default: scale mid + max)")
+        if name == "fig-topologies":
+            p.add_argument("--topologies", nargs="+",
+                           default=list(figures.TOPOLOGY_FAMILIES),
+                           choices=TOPOLOGIES, metavar="FAMILY",
+                           help="topology families to sweep (default: "
+                                "hyperx torus mesh fattree random)")
+            p.add_argument("--mechanisms", nargs="+",
+                           default=["Minimal", "Polarized", "PolSP"],
+                           choices=MECHANISMS)
+            p.add_argument("--patterns", nargs="+",
+                           default=list(figures.TOPOLOGY_TRAFFICS),
+                           choices=TRAFFIC_PATTERNS, metavar="PATTERN",
+                           help="traffic patterns (filtered per family)")
+            p.add_argument("--root-strategy", default="max_live_degree",
+                           choices=ROOT_STRATEGIES,
+                           help="escape-root policy per family "
+                                "(default: max_live_degree)")
             p.add_argument("--loads", nargs="+", type=float, default=None,
                            help="offered loads (default: scale mid + max)")
         if name == "point":
@@ -316,6 +350,18 @@ def main(argv: list[str] | None = None) -> int:
         print(workload_matrix(recs))
         _emit(recs, args, WORKLOAD_COLUMNS,
               "Workload diversity — traffic patterns x injection processes")
+    elif cmd == "fig-topologies":
+        recs = figures.fig_topologies(
+            args.scale, topologies=tuple(args.topologies),
+            mechanisms=tuple(args.mechanisms),
+            traffics=tuple(args.patterns),
+            loads=None if args.loads is None else tuple(args.loads),
+            root_strategy=args.root_strategy,
+            seed=args.seed, executor=executor,
+        )
+        print(topology_matrix(recs))
+        _emit(recs, args, TOPOLOGY_COLUMNS,
+              "Topology diversity — mechanisms x topology families")
     elif cmd == "fig10":
         recs = figures.fig10_completion_time(args.scale, seed=args.seed)
         for r in recs:

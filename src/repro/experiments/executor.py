@@ -43,7 +43,10 @@ from ..simulator.metrics import SimResult
 from ..simulator.schedule import FaultSchedule
 from ..simulator.workload import WorkloadSchedule
 from ..topology.base import Link, Network, Topology
+from ..topology.fattree import FatTree
+from ..topology.graph import NetworkDisconnected
 from ..topology.hyperx import HyperX
+from ..topology.torus import Torus
 from .runner import ExperimentRunner, PointSpec
 
 #: Salt of the on-disk cache key.  Bump whenever a simulator/routing
@@ -56,7 +59,12 @@ from .runner import ExperimentRunner, PointSpec
 #: burst_slots / idle_slots / rng_streams, and jobs grew the optional
 #: workload (phase) schedule; two points differing only in burst
 #: geometry or phasing must never alias one cache entry.
-CACHE_VERSION = 4
+#: v5: the topology-diversity subsystem — compact signatures for the new
+#: families (torus/mesh, fat-tree, random-regular), disconnected points
+#: now produce records instead of crashing, and ``avg_hops`` joined the
+#: NaN-able keys; pre-v5 entries for non-HyperX topologies used the
+#: neighbour-list fallback signature and must not alias the compact one.
+CACHE_VERSION = 5
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).
@@ -114,13 +122,25 @@ _SIGNATURE_MEMO: "weakref.WeakKeyDictionary[Topology, str]" = (
 def topology_signature(topo: Topology) -> str:
     """A content-complete signature of a topology (canonical JSON).
 
-    HyperX gets a compact form; any other topology falls back to its full
+    The deterministically parametric families (HyperX, torus/mesh,
+    fat-tree) get compact forms — their constructor parameters define
+    the graph completely; any other topology falls back to its full
     neighbour lists (which define a :class:`Topology` entirely).
+    RandomRegular deliberately takes the fallback: its ``(n, degree,
+    seed)`` triple names a numpy *stream*, which numpy does not keep
+    stable across versions, so only the drawn wiring itself can address
+    a cache entry safely.
     """
     sig = _SIGNATURE_MEMO.get(topo)
     if sig is None:
         if isinstance(topo, HyperX):
             payload = ["HyperX", list(topo.sides), topo.servers_per_switch]
+        elif isinstance(topo, Torus):
+            payload = [
+                "Torus", list(topo.sides), topo.wrap, topo.servers_per_switch
+            ]
+        elif isinstance(topo, FatTree):
+            payload = ["FatTree", topo.k, topo.servers_per_switch]
         else:
             payload = [
                 type(topo).__name__,
@@ -207,8 +227,68 @@ def _get_runner(job: PointJob) -> ExperimentRunner:
     return runner
 
 
+def disconnected_record(job: PointJob, dropped: int = 0) -> dict:
+    """The record of a point whose network is (or became) disconnected.
+
+    Fault sweeps can legitimately cut a network apart; the point is real
+    data — zero accepted load, no latency — not a crash.  The record
+    carries every standard key plus ``disconnected: True`` so reporting
+    can distinguish "no throughput" from "no network", and the same
+    schedule/workload keys (``series``, ``dropped``, ...) a live run of
+    the job would have produced, so downstream consumers see one record
+    shape regardless of *when* the network fell apart.
+    """
+    record = {
+        "mechanism": job.spec.mechanism,
+        "traffic": job.spec.traffic,
+        "offered": job.spec.offered,
+        "accepted": 0.0,
+        "latency_cycles": float("nan"),
+        "jain": 0.0,
+        "faults": len(job.faults),
+        "deadlocked": False,
+        "stalled": 0,
+        "escape_fraction": 0.0,
+        "avg_hops": float("nan"),
+        "disconnected": True,
+    }
+    if job.schedule is not None:
+        record["dropped"] = dropped
+        record["schedule_events"] = len(job.schedule)
+        record["series"] = []
+    if job.workload is not None:
+        record["workload_events"] = len(job.workload)
+        record["phase_series"] = []
+    return record
+
+
+#: Connectivity of (topology, fault set) pairs, memoised so a sweep of
+#: many points on one network pays the gate's Network construction and
+#: component scan once, mirroring the runner cache's amortisation.
+_CONNECTIVITY_MEMO: dict[tuple, bool] = {}
+_CONNECTIVITY_MEMO_MAX = 64
+
+
+def _job_network_connected(job: PointJob) -> bool:
+    key = (topology_signature(job.topology), frozenset(job.faults))
+    hit = _CONNECTIVITY_MEMO.get(key)
+    if hit is None:
+        if len(_CONNECTIVITY_MEMO) >= _CONNECTIVITY_MEMO_MAX:
+            _CONNECTIVITY_MEMO.pop(next(iter(_CONNECTIVITY_MEMO)))
+        hit = _CONNECTIVITY_MEMO[key] = job.network().is_connected
+    return hit
+
+
 def run_job(job: PointJob) -> dict:
-    """Simulate one job and return its sweep record."""
+    """Simulate one job and return its sweep record.
+
+    A job whose fault set disconnects the network — or whose fault
+    schedule does so mid-run — yields a :func:`disconnected_record`
+    instead of propagating :class:`NetworkDisconnected` out of a pool
+    worker and killing the whole sweep.
+    """
+    if not _job_network_connected(job):
+        return disconnected_record(job)
     if job.schedule is not None or job.workload is not None:
         return _run_dynamic_job(job)
     runner = _get_runner(job)
@@ -253,7 +333,13 @@ def _run_dynamic_job(job: PointJob) -> dict:
         fault_schedule=job.schedule,
         workload_schedule=job.workload,
     )
-    result = sim.run(warmup=job.warmup, measure=job.measure)
+    try:
+        result = sim.run(warmup=job.warmup, measure=job.measure)
+    except NetworkDisconnected:
+        # A scheduled event cut the network: record the point instead of
+        # crashing the worker (the engine raises before any mechanism
+        # sees the split topology).
+        return disconnected_record(job, dropped=sim.metrics.dropped_total)
     record = make_record(job, result)
     if job.schedule is not None:
         record["dropped"] = result.dropped_packets
@@ -268,9 +354,10 @@ def _run_dynamic_job(job: PointJob) -> dict:
 # ----------------------------------------------------------------------
 # Strict-JSON record encoding
 # ----------------------------------------------------------------------
-#: Record keys whose ``null`` means "not a number" (a deadlocked or
-#: zero-delivery point has no latency).  Used to restore ``NaN`` on load.
-NAN_KEYS = frozenset({"latency_cycles"})
+#: Record keys whose ``null`` means "not a number" (a deadlocked,
+#: zero-delivery or disconnected point has no latency / hop count).
+#: Used to restore ``NaN`` on load.
+NAN_KEYS = frozenset({"latency_cycles", "avg_hops"})
 
 
 def encode_json_safe(obj):

@@ -24,7 +24,7 @@ from ..topology.faults import (
 from ..topology.graph import diameter_or_none
 from ..topology.hyperx import HyperX
 from .runner import ExperimentRunner
-from .scales import Scale, get_scale
+from .scales import Scale, get_scale, scaled_topology
 from .sweeps import (
     DEFAULT_ARBITERS,
     DEFAULT_INJECTIONS,
@@ -32,6 +32,7 @@ from .sweeps import (
     fault_sweep,
     load_sweep,
     shape_fault_run,
+    topology_sweep,
     transient_run,
     workload_sweep,
 )
@@ -543,6 +544,59 @@ def fig_workloads(
         net, mechanisms, traffics, loads,
         injections=injections, burst_slots=burst_slots, idle_slots=idle_slots,
         warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
+    )
+
+
+# ----------------------------------------------------------------------
+# Topology diversity — mechanism x topology families (beyond the paper)
+# ----------------------------------------------------------------------
+#: The families fig-topologies sweeps by default: the paper's 2D HyperX
+#: as the baseline, then the diversity library.
+TOPOLOGY_FAMILIES = ("hyperx", "torus", "mesh", "fattree", "random")
+
+#: Patterns for cross-family comparison: structurally universal first
+#: (uniform/randperm/shift build everywhere), then hotspot; coordinate-
+#: bound patterns are filtered per family by the sweep.
+TOPOLOGY_TRAFFICS = ("uniform", "randperm", "shift", "hotspot")
+
+
+def fig_topologies(
+    scale: str | Scale = "tiny",
+    topologies: tuple[str, ...] = TOPOLOGY_FAMILIES,
+    mechanisms: tuple[str, ...] = ("Minimal", "Polarized", "PolSP"),
+    traffics: tuple[str, ...] = TOPOLOGY_TRAFFICS,
+    loads: tuple[float, ...] | None = None,
+    root_strategy: str = "max_live_degree",
+    seed: int = 0,
+    executor=None,
+) -> list[dict]:
+    """Mechanism x topology-family comparison sweep.
+
+    The paper's evaluation is HyperX-only (Dragonfly appears as the §7
+    portability remark); this driver runs the same mechanisms over the
+    topology registry — torus, mesh, fat-tree, seeded random-regular —
+    at comparable scale presets, with the escape root chosen per family
+    by ``root_strategy`` (a fat-tree or random graph has no canonical
+    switch 0).
+
+    Expected shape: HyperX saturates highest (densest links, diameter 2);
+    the torus pays its larger diameter in latency and saturates lower;
+    the mesh adds boundary asymmetry on top; the fat-tree bottlenecks on
+    its uplinks under uniform; the random graph lands between torus and
+    HyperX (Jellyfish's short mean paths).  PolSP stays deadlock-free on
+    every family — the escape construction is topology-agnostic.
+    """
+    sc = _scale(scale)
+    networks = {
+        name: Network(scaled_topology(name, sc)) for name in topologies
+    }
+    if loads is None:
+        # Mid-load (latency regime) plus saturation (throughput regime).
+        loads = (sc.loads[len(sc.loads) // 2 - 1], sc.loads[-1])
+    return topology_sweep(
+        networks, mechanisms, traffics, loads,
+        warmup=sc.warmup, measure=sc.measure, seed=seed,
+        root_strategy=root_strategy, executor=executor,
     )
 
 

@@ -143,6 +143,27 @@ def workload_matrix(records: Iterable[dict], value_key: str = "accepted") -> str
     )
 
 
+def topology_matrix(records: Iterable[dict], value_key: str = "accepted") -> str:
+    """Pivot topology-sweep records into a (mechanism, traffic) x
+    topology matrix.
+
+    Rows combine the routing mechanism with the traffic pattern; columns
+    are the ``topology`` labels that
+    :func:`~repro.experiments.sweeps.topology_sweep` stamps on its
+    records; cells are the saturation value.  Cells a family cannot host
+    (a HyperX-only mechanism, a structurally impossible pattern) simply
+    have no records and render as ``nan`` — the visible shape of the
+    compatibility matrix.
+    """
+    rows = [
+        {**rec, "mechanism:traffic": f"{rec['mechanism']}:{rec['traffic']}"}
+        for rec in records
+    ]
+    return throughput_matrix(
+        rows, row_key="mechanism:traffic", col_key="topology", value_key=value_key
+    )
+
+
 def curve_sparkline(points: Sequence[tuple[float, float]], width: int = 40) -> str:
     """A crude one-line sparkline of a curve (for terminal output)."""
     if not points:

@@ -68,6 +68,50 @@ SCALES: dict[str, Scale] = {
 }
 
 
+def scaled_topology(name: str, scale: Scale):
+    """Build one topology family sized to a scale preset.
+
+    The coordinate families reuse the preset's HyperX sides; the others
+    are sized for a comparable switch count (fat-tree arity ``side_2d``
+    gives ``5/4 * side^2`` switches, the random-regular draw matches the
+    2D switch count and uses degree ``side_2d`` so the server-to-network
+    port ratio stays comparable).  Every side is even at every scale, so
+    the power-of-two and even-side patterns stay available where the
+    server count allows.
+    """
+    from ..topology.catalog import canonical_name, make_topology
+
+    # Canonicalise first: an alias ("fat-tree", "jellyfish") must pick up
+    # the same per-scale parameters as its registry name, and an unknown
+    # name must raise here, never build a default-sized instance.
+    key = canonical_name(name)
+    if key == "hyperx":
+        return scale.hyperx_2d()
+    if key == "hyperx3":
+        return scale.hyperx_3d()
+    side2, side3 = scale.side_2d, scale.side_3d
+    params = {
+        "dragonfly": dict(h=max(2, side2 // 2)),
+        "torus": dict(side=side2, servers_per_switch=side2),
+        "torus3": dict(side=side3, servers_per_switch=side3),
+        "mesh": dict(side=side2, servers_per_switch=side2),
+        "fattree": dict(k=side2),
+        "random": dict(
+            n_switches=side2 * side2, degree=side2, servers_per_switch=side2
+        ),
+    }
+    try:
+        kwargs = params[key]
+    except KeyError:
+        # Registry drift guard, mirroring make_topology's: a family added
+        # to the catalog also needs a sizing entry here.
+        raise RuntimeError(
+            f"topology {key!r} has no per-scale sizing entry in "
+            "scaled_topology"
+        ) from None
+    return make_topology(key, **kwargs)
+
+
 def get_scale(name: str) -> Scale:
     """Look up a scale preset by name."""
     try:

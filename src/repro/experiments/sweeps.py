@@ -31,6 +31,7 @@ __all__ = [
     "ablation_arbiter",
     "ablation_arbiter_jobs",
     "annotate_components",
+    "annotate_topology",
     "annotate_workload",
     "fault_sweep",
     "fault_sweep_jobs",
@@ -42,6 +43,8 @@ __all__ = [
     "shape_fault_run_jobs",
     "supported_mechanisms",
     "supported_traffics",
+    "topology_sweep",
+    "topology_sweep_jobs",
     "transient_run",
     "transient_run_jobs",
     "workload_sweep",
@@ -51,6 +54,37 @@ __all__ = [
 
 def _run(jobs: list[PointJob], executor: Executor | None) -> list[dict]:
     return (executor if executor is not None else SerialExecutor()).run(jobs)
+
+
+def _validate_traffics(
+    network: Network, traffics: Sequence[str], extra: Sequence[str] = ()
+) -> None:
+    """Reject structurally impossible patterns before any job runs.
+
+    Every sweep validates its full pattern list against the (healthy)
+    network upfront, so a bad request fails with one clean error naming
+    the patterns and the topology — not a ``TypeError`` mid-sweep inside
+    a pool worker.  Names are canonicalised first: an alias ("Random
+    Server Permutation", "bit reverse") validates exactly like its short
+    name, and an unknown name raises the factory's typo error.
+    """
+    from ..traffic import canonical_traffic_name
+
+    wanted = list(traffics) + list(extra)
+    # Probe only the requested names; the full registry is constructed
+    # lazily, for the error message alone (building every pattern per
+    # validation call is measurable at paper scale).
+    requested = {canonical_traffic_name(n) for n in wanted}
+    ok = set(supported_traffics(network, tuple(sorted(requested))))
+    bad = sorted({n for n in wanted if canonical_traffic_name(n) not in ok})
+    if bad:
+        supported = sorted(
+            canonical_traffic_name(n) for n in supported_traffics(network)
+        )
+        raise ValueError(
+            f"pattern(s) {bad} unsupported on "
+            f"{type(network.topology).__name__}; supported: {supported}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -70,6 +104,7 @@ def load_sweep_jobs(
     n_vcs: int | None = None,
 ) -> list[PointJob]:
     """The work list behind :func:`load_sweep`: one job per point."""
+    _validate_traffics(network, traffics)
     faults = tuple(sorted(network.faults))
     return [
         PointJob(
@@ -139,6 +174,7 @@ def fault_sweep_jobs(
     a prefix of it, so fault sets are nested exactly as in the paper's
     "sequence of random faults" scenario.
     """
+    _validate_traffics(Network(topology), traffics)
     counts = sorted(set(int(c) for c in fault_counts))
     if counts and counts[-1] > 0:
         sequence = random_connected_fault_sequence(
@@ -213,6 +249,7 @@ def shape_fault_run_jobs(
     n_vcs: int | None = 4,
 ) -> list[PointJob]:
     """The work list behind :func:`shape_fault_run`."""
+    _validate_traffics(network, traffics)
     faults = tuple(sorted(network.faults))
     return [
         PointJob(
@@ -276,6 +313,7 @@ def transient_run_jobs(
     The schedule content enters every job's cache key, so transient points
     parallelise and cache exactly like static ones.
     """
+    _validate_traffics(network, traffics)
     schedule.validate(network.topology, network.faults)
     faults = tuple(sorted(network.faults))
     return [
@@ -467,16 +505,10 @@ def workload_sweep_jobs(
     # Validate every pattern the sweep will touch upfront — the explicit
     # traffic list and any schedule phase names alike — so a bad request
     # fails here with one clean error, not mid-sweep inside a pool worker.
-    supported = set(supported_traffics(network))
-    wanted = list(traffics) + (
-        workload.pattern_names() if workload is not None else []
+    _validate_traffics(
+        network, traffics,
+        extra=workload.pattern_names() if workload is not None else (),
     )
-    bad = sorted({name for name in wanted if name.strip().lower() not in supported})
-    if bad:
-        raise ValueError(
-            f"pattern(s) {bad} unsupported on this topology; supported: "
-            f"{sorted(supported)}"
-        )
     jobs: list[PointJob] = []
     for injection in injections:
         cfg = config.with_(
@@ -563,6 +595,107 @@ def workload_sweep(
     )
     records = _run(jobs, executor)
     annotate_workload(jobs, records)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Topology sweeps (mechanism x traffic x load, across topology families)
+# ----------------------------------------------------------------------
+def topology_sweep_jobs(
+    networks: dict[str, Network | Topology],
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root_strategy: str = "first",
+    n_vcs: int | None = None,
+) -> tuple[list[PointJob], list[str]]:
+    """The work list behind :func:`topology_sweep`: jobs plus their labels.
+
+    ``networks`` maps display labels to :class:`Network` (or bare
+    :class:`Topology`) instances.  One pattern/mechanism list serves every
+    family: structurally impossible combinations (HyperX-only mechanisms,
+    coordinate-bound or power-of-two patterns) are dropped *per topology*
+    through the same filters single-topology sweeps use, so the job list
+    contains exactly the cells that exist.  The escape root is chosen per
+    topology by :func:`repro.updown.roots.choose_root` with
+    ``root_strategy`` — the Up/Down tree has no canonical root on an
+    asymmetric family like a fat-tree or a random graph.
+
+    Returns ``(jobs, labels)`` with ``labels[i]`` naming the topology of
+    ``jobs[i]`` (the job itself only carries the topology object; the
+    label is a sweep-level annotation, applied by
+    :func:`annotate_topology`).
+    """
+    from ..updown.roots import choose_root
+
+    jobs: list[PointJob] = []
+    labels: list[str] = []
+    for label, net in networks.items():
+        if not isinstance(net, Network):
+            net = Network(net)
+        root = choose_root(net, root_strategy)
+        block = load_sweep_jobs(
+            net,
+            supported_mechanisms(net.topology, mechanisms),
+            supported_traffics(net, tuple(traffics)),
+            loads,
+            warmup=warmup, measure=measure, seed=seed, config=config,
+            root=root, n_vcs=n_vcs,
+        )
+        jobs += block
+        labels += [label] * len(block)
+    return jobs, labels
+
+
+def annotate_topology(
+    labels: Sequence[str], records: Sequence[dict]
+) -> None:
+    """Stamp each record with its topology label (in place).
+
+    Mirrors :func:`annotate_components`: records from the
+    content-addressed cache carry only the standard keys, so the
+    ``topology`` column is derived from the label list
+    :func:`topology_sweep_jobs` returned (same order by executor
+    contract).
+    """
+    for label, rec in zip(labels, records):
+        rec["topology"] = label
+
+
+def topology_sweep(
+    networks: dict[str, Network | Topology],
+    mechanisms: Sequence[str],
+    traffics: Sequence[str],
+    loads: Sequence[float],
+    *,
+    warmup: int = 300,
+    measure: int = 600,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root_strategy: str = "first",
+    n_vcs: int | None = None,
+    executor: Executor | None = None,
+) -> list[dict]:
+    """Sweep mechanisms x traffic x load across topology *families*.
+
+    The paper holds the topology axis fixed (HyperX, with Dragonfly as
+    the §7 contrast); this sweep crosses the full registry — torus/mesh,
+    fat-tree, random-regular — with the same mechanism and pattern lists,
+    filtering per family.  Every record is a standard sweep record plus
+    its ``topology`` label.
+    """
+    jobs, labels = topology_sweep_jobs(
+        networks, mechanisms, traffics, loads,
+        warmup=warmup, measure=measure, seed=seed, config=config,
+        root_strategy=root_strategy, n_vcs=n_vcs,
+    )
+    records = _run(jobs, executor)
+    annotate_topology(labels, records)
     return records
 
 

@@ -1,0 +1,31 @@
+"""Shared name-registry helper.
+
+The library keeps several by-short-name registries (traffic patterns,
+topology families, arbiters, injections).  Those that accept aliases
+resolve them through :func:`resolve_name`, so alias handling cannot
+drift between registries: same case/whitespace folding, same
+unknown-name error shape, resolved in one place.
+"""
+
+from __future__ import annotations
+
+
+def resolve_name(
+    name: str,
+    aliases: dict[str, tuple[str, ...]],
+    *,
+    kind: str,
+    expected: tuple[str, ...],
+) -> str:
+    """Resolve ``name`` (or an alias) to its canonical registry name.
+
+    ``aliases`` maps each canonical name to its accepted lower-case
+    aliases.  Unknown names raise one ``ValueError`` naming the ``kind``
+    and the ``expected`` registry — a typo is an error wherever it is
+    spotted, never a silently dropped entry.
+    """
+    key = name.strip().lower()
+    for canon, alts in aliases.items():
+        if key == canon or key in alts:
+            return canon
+    raise ValueError(f"unknown {kind} {name!r}; expected one of {expected}")

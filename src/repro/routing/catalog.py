@@ -42,24 +42,75 @@ SUREPATH_MECHANISMS: tuple[str, ...] = ("OmniSP", "PolSP")
 #: Mechanisms that assume the HyperX coordinate structure.
 HYPERX_ONLY: tuple[str, ...] = ("OmniWAR", "OmniSP")
 
+#: Lower-cased lookup sets, computed once (these run per sweep cell).
+_MECHANISMS_LC = frozenset(n.lower() for n in MECHANISMS)
+_HYPERX_ONLY_LC = frozenset(n.lower() for n in HYPERX_ONLY)
+
+
+def mechanism_supported(name: str, topology) -> bool:
+    """Whether ``name`` can route on ``topology``.
+
+    The structural requirement is per-mechanism: the Omnidimensional
+    mechanisms walk HyperX coordinates; everything else (Minimal,
+    Valiant, Polarized, PolSP) is table-driven and runs on any connected
+    topology — torus, fat-tree, random-regular, Dragonfly, explicit
+    graphs alike.  An unknown mechanism name raises here — a typo is an
+    error at filter time, never a crash inside a pool worker.
+    """
+    key = name.strip().lower()
+    if key not in _MECHANISMS_LC:
+        raise ValueError(
+            f"unknown mechanism {name!r}; expected one of {MECHANISMS}"
+        )
+    if key in _HYPERX_ONLY_LC:
+        return isinstance(topology, HyperX)
+    return True
+
 
 def supported_mechanisms(topology, names) -> list[str]:
     """Filter mechanism names to those the topology supports."""
-    if isinstance(topology, HyperX):
-        return list(names)
-    return [n for n in names if n not in HYPERX_ONLY]
+    return [n for n in names if mechanism_supported(n, topology)]
+
+
+def compatibility_matrix(topologies: dict[str, object]) -> list[dict]:
+    """Per-mechanism x per-topology support matrix.
+
+    ``topologies`` maps display labels to :class:`Topology` instances;
+    the result has one row per mechanism with boolean cells per label —
+    the upfront map of which sweep cells exist, mirroring
+    :func:`repro.traffic.supported_traffics` on the traffic axis.
+    """
+    return [
+        {
+            "mechanism": name,
+            **{
+                label: mechanism_supported(name, topo)
+                for label, topo in topologies.items()
+            },
+        }
+        for name in MECHANISMS
+    ]
 
 
 def default_n_vcs(network: Network) -> int:
     """The paper's fair-comparison VC budget: ``2n`` for an nD HyperX.
 
     For non-HyperX topologies we fall back to twice the diameter, the
-    analogous ladder requirement.
+    analogous ladder requirement.  Raises
+    :class:`~repro.topology.graph.NetworkDisconnected` when the network
+    is split (there is no finite diameter to size the ladder from).
     """
     topo = network.topology
     if isinstance(topo, HyperX):
         return 2 * topo.n_dims
-    return 2 * int(network.diameter)
+    from ..topology.graph import NetworkDisconnected, diameter_or_none
+
+    diam = diameter_or_none(network)
+    if diam is None:
+        raise NetworkDisconnected(
+            "cannot size a VC ladder on a disconnected network"
+        )
+    return 2 * diam
 
 
 def make_mechanism(
@@ -92,9 +143,16 @@ def make_mechanism(
     max_deroutes:
         Omnidimensional deroute budget ``m`` (default: ``n`` dims).
     """
+    key = name.strip().lower()
+    if not mechanism_supported(name, network.topology):
+        # Clean upfront rejection (the constructors would fail deeper in,
+        # possibly inside a pool worker): name both sides of the mismatch.
+        raise TypeError(
+            f"mechanism {name!r} requires a HyperX topology, got "
+            f"{type(network.topology).__name__}; see supported_mechanisms()"
+        )
     if n_vcs is None:
         n_vcs = default_n_vcs(network)
-    key = name.strip().lower()
     builders: dict[str, Callable[[], RoutingMechanism]] = {
         "minimal": lambda: MinimalRouting(network, n_vcs),
         "valiant": lambda: ValiantRouting(network, n_vcs, rng=rng),

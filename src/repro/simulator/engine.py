@@ -510,6 +510,17 @@ class Simulator:
             changed = True
         self._schedule_pos = pos
         if changed:
+            if not self.network.is_connected:
+                # Fail with the typed error *before* the mechanisms rebuild
+                # their tables: no mechanism can route across a cut, and
+                # the executor records the point as disconnected instead
+                # of crashing its pool worker on a deep assertion.
+                from ..topology.graph import NetworkDisconnected
+
+                raise NetworkDisconnected(
+                    f"scheduled fault events disconnected the network at "
+                    f"slot {self.slot}"
+                )
             self.mechanism.on_topology_change()
             self._refresh_inflight_packets()
             self.idle_slots = 0  # reconfiguration restarts the watchdog

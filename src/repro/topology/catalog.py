@@ -1,0 +1,112 @@
+"""Topology registry: build any supported family by short name.
+
+Mirrors :data:`repro.traffic.TRAFFIC_PATTERNS` / ``make_traffic``: sweeps,
+the CLI and cache keys select topologies by a short string instead of
+importing family classes, so adding a family is one entry here plus its
+module (see the README's "adding a topology" recipe).
+
+Every family builder takes only keyword parameters with small defaults,
+so ``make_topology("torus")`` alone yields a CI-sized instance; the
+experiment scales pick per-preset sizes through
+:func:`repro.experiments.scales.scaled_topology`.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+from .dragonfly import balanced_dragonfly
+from .fattree import FatTree
+from .hyperx import HyperX
+from .random_regular import RandomRegular
+from .torus import Torus
+
+#: Short names accepted by :func:`make_topology`: the paper's evaluation
+#: families first, then the diversity library.
+TOPOLOGIES: tuple[str, ...] = (
+    "hyperx", "hyperx3", "dragonfly",
+    "torus", "torus3", "mesh", "fattree", "random",
+)
+
+#: Display names by short name.
+TOPOLOGY_DISPLAY: dict[str, str] = {
+    "hyperx": "2D HyperX",
+    "hyperx3": "3D HyperX",
+    "dragonfly": "Dragonfly",
+    "torus": "2D Torus",
+    "torus3": "3D Torus",
+    "mesh": "2D Mesh",
+    "fattree": "Fat-tree",
+    "random": "Random Regular",
+}
+
+#: Accepted aliases per registry name (lower-case).
+_ALIASES: dict[str, tuple[str, ...]] = {
+    "hyperx": ("hyperx2d", "2d hyperx"),
+    "hyperx3": ("hyperx3d", "3d hyperx"),
+    "dragonfly": (),
+    "torus": ("torus2d", "2d torus"),
+    "torus3": ("torus3d", "3d torus"),
+    "mesh": ("mesh2d", "2d mesh"),
+    "fattree": ("fat-tree", "folded-clos"),
+    "random": ("random-regular", "jellyfish"),
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a family name or alias to its registry name.
+
+    Every consumer that dispatches on topology names (the factory below,
+    per-scale sizing, CLI plumbing) goes through this, so an alias can
+    never silently fall into a different code path than its registry
+    name.  Unknown names raise the registry's one error.
+    """
+    from ..registry import resolve_name
+
+    return resolve_name(name, _ALIASES, kind="topology", expected=TOPOLOGIES)
+
+
+def make_topology(
+    name: str,
+    *,
+    side: int = 4,
+    servers_per_switch: int | None = None,
+    h: int = 2,
+    k: int = 4,
+    n_switches: int = 16,
+    degree: int = 4,
+    seed: int = 0,
+) -> Topology:
+    """Build a topology by short name (see :data:`TOPOLOGIES`).
+
+    Parameters beyond ``name`` are family-specific and ignored by the
+    others: ``side`` sizes the coordinate families (HyperX/torus/mesh),
+    ``h`` the balanced Dragonfly, ``k`` the fat-tree arity,
+    ``n_switches``/``degree``/``seed`` the random-regular draw.
+    ``servers_per_switch`` overrides every family's default density.
+    """
+    key = canonical_name(name)
+    sps = servers_per_switch
+    if key == "hyperx":
+        return HyperX((side, side), sps)
+    if key == "hyperx3":
+        return HyperX((side,) * 3, sps)
+    if key == "dragonfly":
+        df = balanced_dragonfly(h)
+        if sps is not None and sps != df.p:
+            df = type(df)(a=df.a, p=sps, h=df.h)
+        return df
+    if key == "torus":
+        return Torus((side, side), sps)
+    if key == "torus3":
+        return Torus((side,) * 3, sps)
+    if key == "mesh":
+        return Torus((side, side), sps, wrap=False)
+    if key == "fattree":
+        return FatTree(k, sps)
+    if key == "random":
+        return RandomRegular(n_switches, degree, sps, seed=seed)
+    # Unreachable unless a name is registered without a dispatch branch.
+    # RuntimeError so no ValueError-filtering caller can swallow the drift.
+    raise RuntimeError(
+        f"topology {key!r} is registered but has no factory branch"
+    )

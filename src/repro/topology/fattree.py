@@ -1,0 +1,147 @@
+"""Folded-Clos / fat-tree topology (three tiers, k-ary).
+
+The canonical k-ary fat-tree of the datacenter literature: ``k`` pods,
+each with ``k/2`` edge and ``k/2`` aggregation switches, plus ``(k/2)^2``
+core switches.  Every edge switch connects to every aggregation switch of
+its pod; aggregation switch ``j`` of every pod connects to core switches
+``j*(k/2) .. (j+1)*(k/2)-1``, so any two pods are joined through every
+core switch and the topology is a folded Clos with full bisection
+bandwidth.
+
+This is the structurally *opposite* stressor to HyperX for an escape
+subnetwork: the graph is bipartite-ish and hierarchical, shortest paths
+between pods are 4 hops, and an Up*/Down* tree rooted at an edge switch
+must climb through the aggregation/core tiers — no row cliques to
+shortcut through.
+
+Switch numbering is tier-major and pod-major, so structure is recoverable
+from the id alone: edge switches first (``pod*(k/2) + i``), then
+aggregation, then core.  Port numbering: edge ports go to the pod's
+aggregation switches in index order; aggregation ports list the pod's
+edge switches first, then the switch's core uplinks; core ports go to the
+attached aggregation switch of pods ``0..k-1`` in order.  All numbering
+is stable under link failures.
+
+One deliberate deviation from deployment practice: this library attaches
+``servers_per_switch`` terminals to *every* switch (the
+:class:`~repro.topology.base.Topology` contract the simulator's injection
+and ejection paths assume), so aggregation and core switches host servers
+too.  The default ``k/2`` matches the realistic edge density; traffic
+originating at the upper tiers simply exercises shorter subtrees.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+#: Tier labels, in switch-id order.
+TIERS = ("edge", "aggregation", "core")
+
+
+class FatTree(Topology):
+    """Three-tier k-ary fat-tree (folded Clos).
+
+    Parameters
+    ----------
+    k:
+        Arity: pod count and upper-tier switch radix.  Even, ``>= 2``.
+    servers_per_switch:
+        Terminals attached to every switch (see the module docstring for
+        the uniform-attachment convention); defaults to ``k // 2``.
+    """
+
+    def __init__(self, k: int, servers_per_switch: int | None = None):
+        k = int(k)
+        if k < 2 or k % 2:
+            raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+        self.k = k
+        half = k // 2
+        self.half = half
+        self.n_pods = k
+        self.n_edge = k * half
+        self.n_agg = k * half
+        self.n_core = half * half
+        self._n_switches = self.n_edge + self.n_agg + self.n_core
+        if servers_per_switch is None:
+            servers_per_switch = half
+        if servers_per_switch < 1:
+            raise ValueError("servers_per_switch must be >= 1")
+        self._servers_per_switch = int(servers_per_switch)
+        self._neighbours: list[list[int]] = [
+            self._build_neighbours(s) for s in range(self._n_switches)
+        ]
+
+    # ------------------------------------------------------------------
+    # Topology interface
+    # ------------------------------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        return self._n_switches
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self._servers_per_switch
+
+    def neighbours(self, s: int) -> list[int]:
+        return self._neighbours[s]
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def edge_id(self, pod: int, i: int) -> int:
+        """Switch id of edge switch ``i`` of ``pod``."""
+        self._check(pod, i)
+        return pod * self.half + i
+
+    def agg_id(self, pod: int, j: int) -> int:
+        """Switch id of aggregation switch ``j`` of ``pod``."""
+        self._check(pod, j)
+        return self.n_edge + pod * self.half + j
+
+    def core_id(self, j: int, m: int) -> int:
+        """Switch id of core switch ``m`` of aggregation-position ``j``."""
+        self._check(0, j)
+        self._check(0, m)
+        return self.n_edge + self.n_agg + j * self.half + m
+
+    def _check(self, pod: int, idx: int) -> None:
+        if not (0 <= pod < self.n_pods and 0 <= idx < self.half):
+            raise ValueError(f"(pod={pod}, index={idx}) out of range")
+
+    def tier(self, s: int) -> str:
+        """Tier of switch ``s``: ``edge``, ``aggregation`` or ``core``."""
+        if not 0 <= s < self._n_switches:
+            raise ValueError(f"switch {s} out of range")
+        if s < self.n_edge:
+            return TIERS[0]
+        if s < self.n_edge + self.n_agg:
+            return TIERS[1]
+        return TIERS[2]
+
+    def pod_of(self, s: int) -> int:
+        """Pod of an edge or aggregation switch (core switches have none)."""
+        if self.tier(s) == "core":
+            raise ValueError(f"core switch {s} belongs to no pod")
+        return (s % self.n_edge) // self.half
+
+    def _build_neighbours(self, s: int) -> list[int]:
+        half = self.half
+        tier = self.tier(s)
+        if tier == "edge":
+            pod = self.pod_of(s)
+            return [self.agg_id(pod, j) for j in range(half)]
+        if tier == "aggregation":
+            pod = self.pod_of(s)
+            j = (s - self.n_edge) % half
+            down = [self.edge_id(pod, i) for i in range(half)]
+            up = [self.core_id(j, m) for m in range(half)]
+            return down + up
+        c = s - self.n_edge - self.n_agg
+        j = c // half
+        return [self.agg_id(pod, j) for pod in range(self.n_pods)]
+
+    def __repr__(self) -> str:
+        return (
+            f"FatTree(k={self.k},"
+            f" servers_per_switch={self._servers_per_switch})"
+        )

@@ -19,6 +19,17 @@ from .base import Network
 UNREACHABLE = -1
 
 
+class NetworkDisconnected(ValueError):
+    """A metric that needs a connected network was asked of a split one.
+
+    Subclasses :class:`ValueError` so historical ``except ValueError``
+    call sites keep working; sweep drivers catch this specific type to
+    record a point as *disconnected* instead of crashing a pool worker
+    (fault sequences and scheduled fault events can legitimately cut a
+    network apart mid-sweep).
+    """
+
+
 def adjacency_matrix(network: Network) -> sp.csr_matrix:
     """Sparse boolean adjacency matrix over live links."""
     n = network.n_switches
@@ -66,13 +77,13 @@ def diameter(network: Network) -> int:
 
     Raises
     ------
-    ValueError
+    NetworkDisconnected
         If the network is disconnected (the diameter is then infinite; the
         Figure 1 driver catches this to mark the end of a fault sequence).
     """
     d = network.distances
     if (d == UNREACHABLE).any():
-        raise ValueError("network is disconnected; diameter is infinite")
+        raise NetworkDisconnected("network is disconnected; diameter is infinite")
     return int(d.max())
 
 
@@ -93,14 +104,29 @@ def average_distance(network: Network, include_self: bool = False) -> float:
     """
     d = network.distances
     if (d == UNREACHABLE).any():
-        raise ValueError("network is disconnected; average distance undefined")
+        raise NetworkDisconnected(
+            "network is disconnected; average distance undefined"
+        )
     n = network.n_switches
     return float(d.sum()) / (n * n if include_self else n * (n - 1))
 
 
+def average_distance_or_none(
+    network: Network, include_self: bool = False
+) -> float | None:
+    """Average distance, or ``None`` when the network is disconnected."""
+    if (network.distances == UNREACHABLE).any():
+        return None
+    return average_distance(network, include_self)
+
+
 def eccentricity(network: Network, s: int) -> int:
-    """Largest distance from switch ``s``."""
+    """Largest distance from switch ``s``.
+
+    Raises :class:`NetworkDisconnected` when any switch is unreachable
+    from ``s``.
+    """
     d = network.distances[s]
     if (d == UNREACHABLE).any():
-        raise ValueError("network is disconnected")
+        raise NetworkDisconnected(f"network is disconnected from switch {s}")
     return int(d.max())

@@ -1,0 +1,159 @@
+"""Seeded random-regular topologies (Jellyfish-style).
+
+Jellyfish wires every switch to ``degree`` uniformly random peers and
+shows the resulting random regular graph beats structured topologies on
+mean path length at equal cost.  For this library it is the acid test of
+topology-agnosticism: no coordinates, no symmetry, nothing for a
+structured routing mechanism to exploit — only the BFS-table mechanisms
+and the Up/Down escape construction apply.
+
+Construction is the classic configuration model with rejection: shuffle
+``n * degree`` port stubs, pair them up, reject pairings with self-loops,
+parallel edges or a disconnected result, and redraw.  Everything is
+driven by one ``numpy`` generator seeded with ``seed``, so a
+``(n_switches, degree, seed)`` triple names the graph *reproducibly* —
+the seed is part of the topology's identity (and its ``repr``), and two
+instances built with the same triple are link-for-link identical, which
+is what lets sweep cache keys and golden tests pin a random topology.
+
+Ports are numbered by ascending neighbour id — an arbitrary but stable
+convention, unchanged by link failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .base import Topology
+
+
+def _is_connected(adj: list[list[int]]) -> bool:
+    """BFS connectivity over adjacency lists (no Network round-trip)."""
+    n = len(adj)
+    seen = [False] * n
+    seen[0] = True
+    queue = deque([0])
+    count = 1
+    while queue:
+        for t in adj[queue.popleft()]:
+            if not seen[t]:
+                seen[t] = True
+                count += 1
+                queue.append(t)
+    return count == n
+
+
+class RandomRegular(Topology):
+    """A connected random ``degree``-regular graph on ``n_switches`` nodes.
+
+    Parameters
+    ----------
+    n_switches:
+        Switch count; ``n_switches * degree`` must be even (handshake).
+    degree:
+        Uniform switch-to-switch degree, ``2 <= degree < n_switches``
+        (degree 1 yields disjoint edges; a connected draw needs >= 2).
+    servers_per_switch:
+        Terminals attached to every switch; defaults to ``degree``,
+        keeping the server-to-network port ratio of the other families.
+    seed:
+        Seed of the construction RNG — part of the topology's identity.
+    max_tries:
+        Rejection-sampling budget before giving up (pathological only
+        for very dense graphs; the default is generous).
+    """
+
+    def __init__(
+        self,
+        n_switches: int,
+        degree: int,
+        servers_per_switch: int | None = None,
+        *,
+        seed: int = 0,
+        max_tries: int = 1000,
+    ):
+        n = int(n_switches)
+        d = int(degree)
+        if n < 3:
+            raise ValueError(f"need at least 3 switches, got {n}")
+        if not 2 <= d < n:
+            raise ValueError(f"degree must be in [2, {n - 1}], got {d}")
+        if (n * d) % 2:
+            raise ValueError(
+                f"n_switches * degree must be even, got {n} * {d}"
+            )
+        if servers_per_switch is None:
+            servers_per_switch = d
+        if servers_per_switch < 1:
+            raise ValueError("servers_per_switch must be >= 1")
+        self.n = n
+        self.degree_target = d
+        self.seed = int(seed)
+        self._servers_per_switch = int(servers_per_switch)
+        rng = np.random.default_rng(self.seed)
+        self._neighbours = self._draw(rng, n, d, max_tries)
+
+    @staticmethod
+    def _draw(
+        rng: np.random.Generator, n: int, d: int, max_tries: int
+    ) -> list[list[int]]:
+        # Practical stub pairing (the networkx heuristic): take the last
+        # shuffled stub, scan backwards for the first compatible partner,
+        # restart the attempt only when none exists.  Rejecting the whole
+        # pairing on the first collision would need ~exp(d^2/4) attempts
+        # for dense graphs; this converges in a handful for any sizing a
+        # sweep would use.
+        for _ in range(max_tries):
+            stubs = np.repeat(np.arange(n), d)
+            rng.shuffle(stubs)
+            stubs = stubs.tolist()
+            edges: set[tuple[int, int]] = set()
+            stuck = False
+            while stubs:
+                a = stubs.pop()
+                for i in range(len(stubs) - 1, -1, -1):
+                    b = stubs[i]
+                    link = (a, b) if a < b else (b, a)
+                    if a != b and link not in edges:
+                        edges.add(link)
+                        stubs.pop(i)
+                        break
+                else:
+                    stuck = True
+                    break
+            if stuck:
+                continue
+            adj: list[list[int]] = [[] for _ in range(n)]
+            for a, b in edges:
+                adj[a].append(b)
+                adj[b].append(a)
+            if not _is_connected(adj):
+                continue
+            return [sorted(row) for row in adj]
+        raise RuntimeError(
+            f"no simple connected {d}-regular graph on {n} switches found "
+            f"in {max_tries} tries"
+        )
+
+    # ------------------------------------------------------------------
+    # Topology interface
+    # ------------------------------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        return self.n
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self._servers_per_switch
+
+    def neighbours(self, s: int) -> list[int]:
+        return self._neighbours[s]
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomRegular(n={self.n}, degree={self.degree_target},"
+            f" seed={self.seed},"
+            f" servers_per_switch={self._servers_per_switch})"
+        )

@@ -1,0 +1,170 @@
+"""Torus and mesh (k-ary n-cube) topologies.
+
+The paper's evaluation runs on HyperX, whose rows are complete graphs; the
+k-ary n-cube replaces each row clique with a ring (torus) or a path (mesh)
+— the classic low-radix families of the interconnection-network literature
+and the natural contrast point for any topology-agnostic mechanism: the
+same switch count with far fewer links, larger diameter and no one-hop
+row shortcuts, so minimal path diversity is much thinner.
+
+One switch per coordinate vector ``(x_1, ..., x_n)`` with ``0 <= x_i <
+k_i``, exactly like :class:`~repro.topology.hyperx.HyperX` (same
+mixed-radix id scheme, dimension 0 fastest-varying).  Two switches are
+adjacent iff they differ by ±1 (mod ``k_i`` for the torus) in exactly one
+coordinate.
+
+Port numbering is dimension-major and direction-ordered — for every
+dimension the ``-1`` neighbour comes before the ``+1`` neighbour — which
+is the numbering switch firmware would use and stays stable under link
+failures.  Two degenerate cases keep the neighbour lists duplicate-free:
+
+* a wrapped dimension of side 2 has one neighbour, not two (the ``-1``
+  and ``+1`` rings coincide);
+* mesh boundary switches simply lack the port beyond the edge.
+
+:func:`~repro.topology.custom.mesh_topology` (an :class:`ExplicitTopology`
+limited to 2D) predates this module and is kept for compatibility; new
+code should prefer :class:`Torus` with ``wrap=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Topology
+
+
+class Torus(Topology):
+    """k-ary n-cube: ``Ring_{k1} x ... x Ring_{kn}`` (or paths, unwrapped).
+
+    Parameters
+    ----------
+    sides:
+        Per-dimension sides ``(k_1, ..., k_n)``; every ``k_i >= 2``.
+    servers_per_switch:
+        Terminals attached to every switch; defaults to ``max(sides)``,
+        mirroring the HyperX convention so load-per-switch comparisons
+        across families stay apples-to-apples.
+    wrap:
+        ``True`` (default) closes every dimension into a ring — the torus.
+        ``False`` leaves the rows as open paths — the mesh; boundary
+        switches then have lower degree.
+    """
+
+    def __init__(
+        self,
+        sides: Sequence[int],
+        servers_per_switch: int | None = None,
+        *,
+        wrap: bool = True,
+    ):
+        sides = tuple(int(k) for k in sides)
+        if not sides:
+            raise ValueError("Torus needs at least one dimension")
+        if any(k < 2 for k in sides):
+            raise ValueError(f"every side must be >= 2, got {sides}")
+        self.sides = sides
+        self.n_dims = len(sides)
+        self.wrap = bool(wrap)
+        if servers_per_switch is None:
+            servers_per_switch = max(sides)
+        if servers_per_switch < 1:
+            raise ValueError("servers_per_switch must be >= 1")
+        self._servers_per_switch = int(servers_per_switch)
+
+        strides = []
+        acc = 1
+        for k in sides:
+            strides.append(acc)
+            acc *= k
+        self._strides = tuple(strides)
+        self._n_switches = acc
+
+        self._coords: list[tuple[int, ...]] = [
+            self._id_to_coords(s) for s in range(self._n_switches)
+        ]
+        self._neighbours: list[list[int]] = [
+            self._build_neighbours(s) for s in range(self._n_switches)
+        ]
+
+    # ------------------------------------------------------------------
+    # Topology interface
+    # ------------------------------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        return self._n_switches
+
+    @property
+    def servers_per_switch(self) -> int:
+        return self._servers_per_switch
+
+    def neighbours(self, s: int) -> list[int]:
+        return self._neighbours[s]
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def _id_to_coords(self, s: int) -> tuple[int, ...]:
+        return tuple((s // st) % k for st, k in zip(self._strides, self.sides))
+
+    def coords(self, s: int) -> tuple[int, ...]:
+        """Coordinate vector of switch ``s``."""
+        return self._coords[s]
+
+    def switch_id(self, coords: Sequence[int]) -> int:
+        """Switch id of a coordinate vector."""
+        if len(coords) != self.n_dims:
+            raise ValueError(f"expected {self.n_dims} coordinates, got {len(coords)}")
+        s = 0
+        for x, st, k in zip(coords, self._strides, self.sides):
+            if not 0 <= x < k:
+                raise ValueError(f"coordinate {x} out of range [0,{k})")
+            s += x * st
+        return s
+
+    def _build_neighbours(self, s: int) -> list[int]:
+        x = self._coords[s]
+        out: list[int] = []
+        for dim, k in enumerate(self.sides):
+            st = self._strides[dim]
+            base = s - x[dim] * st
+            if self.wrap:
+                minus = base + ((x[dim] - 1) % k) * st
+                plus = base + ((x[dim] + 1) % k) * st
+                out.append(minus)
+                if plus != minus:  # side 2: both directions are one link
+                    out.append(plus)
+            else:
+                if x[dim] > 0:
+                    out.append(s - st)
+                if x[dim] < k - 1:
+                    out.append(s + st)
+        return out
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def ring_distance(self, a: int, b: int) -> int:
+        """Graph distance between switches ``a`` and ``b``.
+
+        Per-dimension ring (torus) or path (mesh) distances, summed —
+        the k-ary n-cube analogue of HyperX's Hamming distance.
+        """
+        ca, cb = self._coords[a], self._coords[b]
+        total = 0
+        for u, v, k in zip(ca, cb, self.sides):
+            d = abs(u - v)
+            total += min(d, k - d) if self.wrap else d
+        return total
+
+    def __repr__(self) -> str:
+        kind = "Torus" if self.wrap else "Mesh"
+        return (
+            f"{kind}(sides={self.sides},"
+            f" servers_per_switch={self._servers_per_switch})"
+        )
+
+
+def mesh_ncube(sides: Sequence[int], servers_per_switch: int | None = None) -> Torus:
+    """An n-dimensional mesh — :class:`Torus` without the wraparound links."""
+    return Torus(sides, servers_per_switch, wrap=False)

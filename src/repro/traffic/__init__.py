@@ -33,6 +33,39 @@ TRAFFIC_PATTERNS: tuple[str, ...] = (
     "adversarial",
 )
 
+#: Accepted aliases per registry name (lower-case): the display names
+#: plus historical shorthands.
+_ALIASES: dict[str, tuple[str, ...]] = {
+    "uniform": (),
+    "randperm": ("random server permutation",),
+    "dcr": ("dimension complement reverse",),
+    "rpn": ("regular permutation to neighbour",),
+    "hotspot": (),
+    "tornado": (),
+    "shift": (),
+    "transpose": ("bit transpose",),
+    "bitrev": ("bit reverse",),
+    "shuffle": ("bit shuffle",),
+    "adversarial": ("dragonfly adversarial", "dfly-adv"),
+}
+
+
+def canonical_traffic_name(name: str) -> str:
+    """Resolve a pattern name or alias to its registry short name.
+
+    Every consumer that matches pattern names (the factory below, the
+    sweep validators) goes through this, so an alias can never behave
+    differently from its short name.  Unknown names raise the one
+    "unknown traffic pattern" error — a typo is an error, not an
+    unsupported topology.
+    """
+    from ..registry import resolve_name
+
+    return resolve_name(
+        name, _ALIASES, kind="traffic pattern", expected=TRAFFIC_PATTERNS
+    )
+
+
 #: Display names by short name.
 TRAFFIC_DISPLAY: dict[str, str] = {
     "uniform": "Uniform",
@@ -60,14 +93,14 @@ def make_traffic(
     topology class) or ``ValueError`` (wrong sizing) — use
     :func:`supported_traffics` to filter a pattern list for a network.
     """
-    key = name.strip().lower()
+    key = canonical_traffic_name(name)
     if key == "uniform":
         return UniformTraffic(network)
-    if key in ("randperm", "random server permutation"):
+    if key == "randperm":
         return RandomServerPermutation(network, rng)
-    if key in ("dcr", "dimension complement reverse"):
+    if key == "dcr":
         return DimensionComplementReverse(network)
-    if key in ("rpn", "regular permutation to neighbour"):
+    if key == "rpn":
         return RegularPermutationToNeighbour(network)
     if key == "hotspot":
         return HotspotTraffic(network, rng)
@@ -75,15 +108,20 @@ def make_traffic(
         return TornadoTraffic(network)
     if key == "shift":
         return ShiftTraffic(network)
-    if key in ("transpose", "bit transpose"):
+    if key == "transpose":
         return BitTransposeTraffic(network)
-    if key in ("bitrev", "bit reverse"):
+    if key == "bitrev":
         return BitReverseTraffic(network)
-    if key in ("shuffle", "bit shuffle"):
+    if key == "shuffle":
         return BitShuffleTraffic(network)
-    if key in ("adversarial", "dragonfly adversarial", "dfly-adv"):
+    if key == "adversarial":
         return DragonflyAdversarial(network)
-    raise ValueError(f"unknown traffic pattern {name!r}; expected one of {TRAFFIC_PATTERNS}")
+    # Unreachable unless a name is registered without a dispatch branch.
+    # RuntimeError, not ValueError: supported_traffics swallows the
+    # structural ValueErrors, and registry drift must stay loud there too.
+    raise RuntimeError(
+        f"traffic pattern {key!r} is registered but has no factory branch"
+    )
 
 
 def supported_traffics(
@@ -98,13 +136,10 @@ def supported_traffics(
     """
     out = []
     for name in names:
+        canonical_traffic_name(name)  # a typo raises, even if unsupported
         try:
             make_traffic(name, network, rng=0)
-        except TypeError:
-            continue
-        except ValueError as e:
-            if "unknown traffic pattern" in str(e):
-                raise  # a typo is an error, not an unsupported topology
+        except (TypeError, ValueError):
             continue
         out.append(name)
     return out
@@ -127,6 +162,7 @@ __all__ = [
     "TrafficPattern",
     "UniformTraffic",
     "break_fixed_points",
+    "canonical_traffic_name",
     "gray_cycle",
     "make_traffic",
     "next_in_gray_cycle",

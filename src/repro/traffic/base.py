@@ -18,6 +18,24 @@ import numpy as np
 from ..topology.base import Network
 
 
+def require_topology(pattern: str, network: Network, topology_cls: type):
+    """Structural gate for topology-specific patterns.
+
+    Returns the topology when it is an instance of ``topology_cls``;
+    otherwise raises one clean ``TypeError`` naming the pattern *and* the
+    offending topology class — the error :func:`repro.traffic.supported_traffics`
+    filters on, and the one a user sees instead of an assertion failure
+    deep inside a pool worker.
+    """
+    topo = network.topology
+    if not isinstance(topo, topology_cls):
+        raise TypeError(
+            f"{pattern} requires a {topology_cls.__name__} topology, got "
+            f"{type(topo).__name__}; use supported_traffics() to filter"
+        )
+    return topo
+
+
 class TrafficPattern(ABC):
     """Maps source servers to destination servers."""
 

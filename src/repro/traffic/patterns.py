@@ -16,7 +16,7 @@ import numpy as np
 
 from ..topology.base import Network
 from ..topology.hyperx import HyperX
-from .base import PermutationTraffic, TrafficPattern
+from .base import PermutationTraffic, TrafficPattern, require_topology
 
 
 class UniformTraffic(TrafficPattern):
@@ -72,11 +72,11 @@ class DimensionComplementReverse(PermutationTraffic):
     name = "Dimension Complement Reverse"
 
     def __init__(self, network: Network):
-        topo = network.topology
-        if not isinstance(topo, HyperX):
-            raise TypeError("DCR requires a HyperX topology")
+        topo = require_topology("DCR", network, HyperX)
         if len(set(topo.sides)) != 1:
-            raise ValueError("DCR requires a regular HyperX (equal sides)")
+            raise ValueError(
+                f"DCR requires a regular HyperX (equal sides), got {topo.sides}"
+            )
         k = topo.sides[0]
         sps = topo.servers_per_switch
         n = network.n_servers

@@ -58,9 +58,9 @@ class RegularPermutationToNeighbour(PermutationTraffic):
     name = "Regular Permutation to Neighbour"
 
     def __init__(self, network: Network):
-        topo = network.topology
-        if not isinstance(topo, HyperX):
-            raise TypeError("RPN requires a HyperX topology")
+        from .base import require_topology
+
+        topo = require_topology("RPN", network, HyperX)
         if any(k % 2 for k in topo.sides):
             raise ValueError(f"RPN needs even sides, got {topo.sides}")
         self.hx = topo

@@ -34,7 +34,7 @@ import numpy as np
 from ..topology.base import Network
 from ..topology.dragonfly import Dragonfly
 from ..topology.hyperx import HyperX
-from .base import PermutationTraffic, TrafficPattern
+from .base import PermutationTraffic, TrafficPattern, require_topology
 
 
 def break_fixed_points(perm: np.ndarray) -> np.ndarray:
@@ -115,9 +115,7 @@ class TornadoTraffic(PermutationTraffic):
     name = "Tornado"
 
     def __init__(self, network: Network):
-        topo = network.topology
-        if not isinstance(topo, HyperX):
-            raise TypeError("Tornado requires a HyperX topology")
+        topo = require_topology("Tornado", network, HyperX)
         sps = topo.servers_per_switch
         shifts = tuple(k // 2 for k in topo.sides)
         perm = np.empty(network.n_servers, dtype=np.int64)
@@ -170,7 +168,9 @@ class BitPermutationTraffic(PermutationTraffic):
         n = network.n_servers
         if n < 2 or n & (n - 1):
             raise ValueError(
-                f"{type(self).__name__} needs a power-of-two server count, got {n}"
+                f"{type(self).__name__} needs a power-of-two server count, "
+                f"got {n} on {type(network.topology).__name__}; use "
+                "supported_traffics() to filter"
             )
         self.n_bits = n.bit_length() - 1
         perm = np.fromiter(
@@ -194,7 +194,8 @@ class BitTransposeTraffic(BitPermutationTraffic):
         n = network.n_servers
         if n >= 2 and (n.bit_length() - 1) % 2:
             raise ValueError(
-                f"transpose needs an even number of index bits, got {n} servers"
+                f"Bit Transpose needs an even number of index bits, got {n} "
+                f"servers on {type(network.topology).__name__}"
             )
         super().__init__(network)
 
@@ -244,9 +245,7 @@ class DragonflyAdversarial(PermutationTraffic):
     name = "Dragonfly Adversarial"
 
     def __init__(self, network: Network, *, offset: int = 1):
-        topo = network.topology
-        if not isinstance(topo, Dragonfly):
-            raise TypeError("DragonflyAdversarial requires a Dragonfly topology")
+        topo = require_topology("DragonflyAdversarial", network, Dragonfly)
         if offset % topo.n_groups == 0:
             raise ValueError(
                 f"offset must be nonzero mod {topo.n_groups} groups"

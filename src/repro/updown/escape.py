@@ -99,7 +99,9 @@ class EscapeSubnetwork:
         if not 0 <= root < network.n_switches:
             raise ValueError(f"root {root} out of range")
         if not network.is_connected:
-            raise ValueError(
+            from ..topology.graph import NetworkDisconnected
+
+            raise NetworkDisconnected(
                 "escape subnetwork requires a connected network; "
                 "disconnected fault sets cannot be escaped"
             )
@@ -146,7 +148,9 @@ class EscapeSubnetwork:
         covers every fault set short of disconnection.
         """
         if not self.network.is_connected:
-            raise ValueError(
+            from ..topology.graph import NetworkDisconnected
+
+            raise NetworkDisconnected(
                 "escape subnetwork cannot be rebuilt on a disconnected network"
             )
         self._build()

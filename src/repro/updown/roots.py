@@ -44,7 +44,11 @@ def choose_root(network: Network, strategy: str = "max_live_degree") -> int:
     if strategy in ("min_eccentricity", "central"):
         d = network.distances
         if (d < 0).any():
-            raise ValueError("eccentricity-based roots need a connected network")
+            from ..topology.graph import NetworkDisconnected
+
+            raise NetworkDisconnected(
+                "eccentricity-based roots need a connected network"
+            )
         ecc = d.max(axis=1)
         if strategy == "min_eccentricity":
             return int(np.argmin(ecc))

@@ -14,7 +14,7 @@ class TestParser:
         expected = {
             "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "fig-transient",
-            "fig-workloads", "point",
+            "fig-workloads", "fig-topologies", "point",
         }
         assert expected <= set(sub.choices)
 
@@ -99,6 +99,26 @@ class TestFastCommands:
     def test_fig_workloads_rejects_bad_burst(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig-workloads", "--burst", "0"])
+
+    def test_fig_topologies_runs(self, tmp_path, capsys):
+        json_path = tmp_path / "topologies.json"
+        assert main([
+            "fig-topologies", "--scale", "tiny", "--mechanisms", "PolSP",
+            "--topologies", "torus", "fattree", "random",
+            "--patterns", "uniform", "--loads", "0.3",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # The (mechanism, traffic) x topology matrix plus the record table.
+        assert "PolSP:uniform" in out
+        assert "torus" in out and "fattree" in out and "random" in out
+        records = json.loads(json_path.read_text())
+        assert {r["topology"] for r in records} == {"torus", "fattree", "random"}
+        assert all(not r["deadlocked"] for r in records)
+
+    def test_fig_topologies_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig-topologies", "--topologies", "moebius"])
 
     def test_csv_and_json_output(self, tmp_path, capsys):
         csv_path = tmp_path / "t3.csv"

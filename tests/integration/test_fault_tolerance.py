@@ -34,11 +34,25 @@ class TestLadderFragility:
         assert res.completion_slot is None or res.stalled_packets > 0
         assert res.delivered < 2 * heavy_faulty2d.n_servers
 
-    def test_ladders_fine_when_faults_are_mild(self, faulty2d):
-        """With diameter within budget, ladders still complete."""
-        if faulty2d.diameter > 4:
-            pytest.skip("fault draw stretched diameter beyond the ladder")
-        res = run_batch(faulty2d, "Polarized", n_vcs=2 * faulty2d.diameter)
+    def test_ladders_fine_when_faults_are_mild(self, hx2d):
+        """With diameter within budget, ladders still complete.
+
+        Deterministic retry instead of a skip: the first seeds whose
+        12-fault draw keeps the diameter within the ladder budget is
+        pinned by the loop itself, so the property is *always* checked —
+        a fault draw can no longer green-wash the test by skipping.
+        """
+        from repro.topology.base import Network
+        from repro.topology.faults import random_connected_fault_sequence
+
+        for seed in range(7, 27):
+            seq = random_connected_fault_sequence(hx2d, 12, rng=seed)
+            net = Network(hx2d, seq)
+            if net.diameter <= 4:
+                break
+        else:
+            pytest.fail("no 12-fault draw with diameter <= 4 in 20 seeds")
+        res = run_batch(net, "Polarized", n_vcs=2 * net.diameter)
         assert res.completion_slot is not None
 
 

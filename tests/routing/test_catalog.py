@@ -49,6 +49,73 @@ class TestFactory:
         assert mech.routes.max_deroutes == 1
 
 
+class TestTopologyCompatibility:
+    """The per-mechanism x per-topology compatibility layer."""
+
+    def _families(self):
+        from repro.topology.fattree import FatTree
+        from repro.topology.hyperx import HyperX
+        from repro.topology.random_regular import RandomRegular
+        from repro.topology.torus import Torus
+
+        return {
+            "hyperx": HyperX((4, 4), 2),
+            "torus": Torus((4, 4), 2),
+            "fattree": FatTree(4),
+            "random": RandomRegular(16, 4, 2, seed=0),
+        }
+
+    def test_matrix_shape_and_values(self):
+        from repro.routing.catalog import compatibility_matrix
+
+        rows = compatibility_matrix(self._families())
+        assert [r["mechanism"] for r in rows] == list(MECHANISMS)
+        for r in rows:
+            if r["mechanism"] in ("OmniWAR", "OmniSP"):
+                assert r["hyperx"] and not r["torus"]
+                assert not r["fattree"] and not r["random"]
+            else:
+                assert all(r[label] for label in self._families())
+
+    def test_supported_mechanisms_per_family(self):
+        from repro.routing.catalog import supported_mechanisms
+
+        fams = self._families()
+        assert supported_mechanisms(fams["hyperx"], MECHANISMS) == list(MECHANISMS)
+        for label in ("torus", "fattree", "random"):
+            got = supported_mechanisms(fams[label], MECHANISMS)
+            assert got == [m for m in MECHANISMS if m not in ("OmniWAR", "OmniSP")]
+
+    def test_upfront_rejection_names_both_sides(self):
+        from repro.topology.base import Network
+
+        for label, topo in self._families().items():
+            if label == "hyperx":
+                continue
+            net = Network(topo)
+            with pytest.raises(TypeError, match=f"OmniWAR.*{type(topo).__name__}"):
+                make_mechanism("OmniWAR", net)
+
+    def test_unknown_mechanism_rejected_at_filter_time(self):
+        """A typo fails where the sweep generates jobs, not in a worker."""
+        from repro.routing.catalog import mechanism_supported, supported_mechanisms
+
+        topo = self._families()["torus"]
+        with pytest.raises(ValueError, match="unknown mechanism 'Polarised'"):
+            mechanism_supported("Polarised", topo)
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            supported_mechanisms(topo, ["PolSP", "Polarised"])
+
+    def test_every_supported_mechanism_builds_on_every_family(self):
+        from repro.routing.catalog import supported_mechanisms
+        from repro.topology.base import Network
+
+        for topo in self._families().values():
+            net = Network(topo)
+            for name in supported_mechanisms(topo, MECHANISMS):
+                assert make_mechanism(name, net, n_vcs=4).name == name
+
+
 class TestClassification:
     def test_fault_tolerance_classification(self):
         assert is_fault_tolerant("OmniSP")

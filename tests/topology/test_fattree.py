@@ -1,0 +1,97 @@
+"""Fat-tree (folded Clos) structural properties."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.fattree import FatTree
+
+
+class TestFatTreeStructure:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_switch_counts(self, k):
+        ft = FatTree(k)
+        half = k // 2
+        assert ft.n_edge == ft.n_agg == k * half
+        assert ft.n_core == half * half
+        assert ft.n_switches == k * k + half * half
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_tier_degrees(self, k):
+        ft = FatTree(k)
+        for s in range(ft.n_switches):
+            tier = ft.tier(s)
+            expected = k // 2 if tier == "edge" else k
+            assert ft.degree(s) == expected, (s, tier)
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_adjacency_symmetric_and_duplicate_free(self, k):
+        ft = FatTree(k)
+        for s in range(ft.n_switches):
+            nbrs = ft.neighbours(s)
+            assert len(set(nbrs)) == len(nbrs)
+            assert s not in nbrs
+            for nbr in nbrs:
+                assert s in ft.neighbours(nbr)
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_diameter_four(self, k):
+        assert Network(FatTree(k)).diameter == 4
+
+    def test_edges_connect_only_within_pod(self):
+        ft = FatTree(4)
+        for s in range(ft.n_edge):
+            for nbr in ft.neighbours(s):
+                assert ft.tier(nbr) == "aggregation"
+                assert ft.pod_of(nbr) == ft.pod_of(s)
+
+    def test_core_reaches_every_pod_once(self):
+        ft = FatTree(4)
+        for c in range(ft.n_edge + ft.n_agg, ft.n_switches):
+            pods = [ft.pod_of(nbr) for nbr in ft.neighbours(c)]
+            assert sorted(pods) == list(range(ft.n_pods))
+
+    def test_pod_of_core_rejected(self):
+        ft = FatTree(4)
+        with pytest.raises(ValueError, match="no pod"):
+            ft.pod_of(ft.n_switches - 1)
+
+    def test_link_count_is_full_bisection(self):
+        # edge-agg: k pods x (k/2)^2; agg-core: the same again.
+        k = 4
+        ft = FatTree(k)
+        assert len(ft.links()) == 2 * k * (k // 2) ** 2
+
+    def test_rejects_odd_or_small_arity(self):
+        with pytest.raises(ValueError, match="even"):
+            FatTree(3)
+        with pytest.raises(ValueError, match="even"):
+            FatTree(0)
+
+    def test_servers_default_to_half_k(self):
+        assert FatTree(4).servers_per_switch == 2
+        assert FatTree(4, 5).servers_per_switch == 5
+
+
+class TestFatTreeSimulation:
+    def test_polsp_runs_clean_at_low_load(self):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        net = Network(FatTree(4))
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.25, seed=0)
+        res = sim.run(warmup=100, measure=200)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0
+        assert res.accepted == pytest.approx(0.25, abs=0.06)
+
+    def test_hyperx_only_mechanisms_rejected_by_name(self):
+        from repro.routing.catalog import make_mechanism
+
+        net = Network(FatTree(4))
+        with pytest.raises(TypeError, match="OmniSP.*FatTree"):
+            make_mechanism("OmniSP", net)
+        with pytest.raises(TypeError, match="OmniWAR.*FatTree"):
+            make_mechanism("OmniWAR", net)

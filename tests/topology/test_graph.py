@@ -106,3 +106,45 @@ class TestAverageDistance:
         faults = [link for link in hx2d.links() if 0 in link]
         with pytest.raises(ValueError):
             average_distance(Network(hx2d, faults))
+
+
+class TestDisconnectedTyping:
+    """The disconnection errors are one typed exception, so sweep drivers
+    can catch exactly it (and existing ``except ValueError`` still works)."""
+
+    def _split(self, hx2d):
+        return Network(hx2d, [link for link in hx2d.links() if 0 in link])
+
+    def test_all_metrics_raise_network_disconnected(self, hx2d):
+        from repro.topology.graph import NetworkDisconnected
+
+        net = self._split(hx2d)
+        with pytest.raises(NetworkDisconnected):
+            diameter(net)
+        with pytest.raises(NetworkDisconnected):
+            average_distance(net)
+        with pytest.raises(NetworkDisconnected):
+            eccentricity(net, 1)
+        assert issubclass(NetworkDisconnected, ValueError)
+
+    def test_or_none_variants(self, hx2d, net2d):
+        from repro.topology.graph import average_distance_or_none
+
+        net = self._split(hx2d)
+        assert diameter_or_none(net) is None
+        assert average_distance_or_none(net) is None
+        assert diameter_or_none(net2d) == 2
+        assert average_distance_or_none(net2d) == pytest.approx(
+            average_distance(net2d)
+        )
+
+    def test_escape_and_roots_raise_typed(self, hx2d):
+        from repro.topology.graph import NetworkDisconnected
+        from repro.updown.escape import EscapeSubnetwork
+        from repro.updown.roots import choose_root
+
+        net = self._split(hx2d)
+        with pytest.raises(NetworkDisconnected):
+            EscapeSubnetwork(net, root=1)
+        with pytest.raises(NetworkDisconnected):
+            choose_root(net, "min_eccentricity")

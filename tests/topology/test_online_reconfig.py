@@ -3,7 +3,9 @@
 import pytest
 
 from repro.topology.base import Network
+from repro.topology.fattree import FatTree
 from repro.topology.hyperx import HyperX
+from repro.topology.torus import Torus
 
 
 @pytest.fixture()
@@ -71,3 +73,75 @@ class TestApplyFault:
         assert net.distances[a, b] == 2  # direct hop gone, row detour
         net.restore_link(link)
         assert (net.distances == d0).all()
+
+
+class TestReconfigNewFamilies:
+    """Fail-and-repair on the diversity families (torus, fat-tree).
+
+    The Network-level round trip must restore the exact healthy state,
+    and a full simulated fail-and-repair cycle must leave the credit
+    accounting and the per-link packet counters reconciled — the same
+    invariants the HyperX schedule tests pin, on graphs with rings,
+    tiers and non-uniform degrees instead of row cliques.
+    """
+
+    @pytest.mark.parametrize(
+        "topo", [Torus((4, 4), 2), Torus((3, 4), 2, wrap=False), FatTree(4)],
+        ids=["torus", "mesh", "fattree"],
+    )
+    def test_round_trip_matches_fresh_network(self, topo):
+        net = Network(topo)
+        d0 = net.distances.copy()
+        links = net.live_links()[:3]
+        for link in links:
+            net.apply_fault(link)
+        faulted = Network(topo, links)
+        assert net.port_neighbour == faulted.port_neighbour
+        assert net.live_ports == faulted.live_ports
+        assert (net.distances == faulted.distances).all()
+        for link in links:
+            net.restore_link(link)
+        fresh = Network(topo)
+        assert net.faults == frozenset()
+        assert net.port_neighbour == fresh.port_neighbour
+        assert net.live_ports == fresh.live_ports
+        assert (net.distances == d0).all()
+
+    @pytest.mark.parametrize(
+        "topo", [Torus((4, 4), 2), FatTree(4)], ids=["torus", "fattree"]
+    )
+    def test_simulated_cycle_reconciles_credits_and_counters(self, topo):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.config import PAPER_CONFIG
+        from repro.simulator.engine import Simulator
+        from repro.simulator.schedule import FaultSchedule
+        from repro.topology.faults import random_connected_fault_sequence
+        from repro.traffic import make_traffic
+
+        net = Network(topo)
+        links = random_connected_fault_sequence(topo, 2, rng=4)
+        sched = FaultSchedule.down_then_up(40, 120, links)
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(
+            net, mech, make_traffic("uniform", net, 0), offered=0.5,
+            seed=0, fault_schedule=sched,
+        )
+        res = sim.run(warmup=20, measure=280)
+        assert not res.deadlocked
+        assert net.faults == frozenset()  # repaired
+        # Conservation: every generated packet delivered, dropped or live.
+        assert res.generated == res.delivered + res.dropped_packets + sim.in_flight
+        assert sim.in_flight == sim.buffered_packets()
+        # Credit accounting back within the virtual-cut-through bounds.
+        cap = PAPER_CONFIG.input_buffer_packets
+        for sw in sim.switches:
+            for pv in range(sw.n_ports * sw.n_vcs):
+                assert 0 <= sw.credits[pv] <= cap
+        # Per-link counters: sized per switch degree, repaired links count
+        # traffic again, escape counters never exceed totals.
+        for s in range(net.n_switches):
+            assert len(sim.link_packets[s]) == topo.degree(s)
+            for p in range(topo.degree(s)):
+                assert 0 <= sim.link_escape_packets[s][p] <= sim.link_packets[s][p]
+        a, b = links[0]
+        assert sim.link_packets[a][net.port_of(a, b)] > 0

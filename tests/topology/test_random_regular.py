@@ -1,0 +1,75 @@
+"""Random-regular (Jellyfish-style) structural properties, seed-looped."""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.random_regular import RandomRegular
+
+
+class TestRandomRegularStructure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regular_connected_and_simple(self, seed):
+        t = RandomRegular(16, 4, 1, seed=seed)
+        net = Network(t)
+        assert net.is_connected
+        for s in range(t.n_switches):
+            nbrs = t.neighbours(s)
+            assert len(nbrs) == 4
+            assert len(set(nbrs)) == 4
+            assert s not in nbrs
+            assert nbrs == sorted(nbrs)  # port numbering convention
+            for nbr in nbrs:
+                assert s in t.neighbours(nbr)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_seed_same_graph(self, seed):
+        a = RandomRegular(14, 3, seed=seed)
+        b = RandomRegular(14, 3, seed=seed)
+        assert a.links() == b.links()
+
+    def test_different_seeds_differ(self):
+        draws = {tuple(RandomRegular(16, 4, seed=s).links()) for s in range(5)}
+        assert len(draws) > 1
+
+    def test_link_count(self):
+        t = RandomRegular(16, 4, seed=0)
+        assert len(t.links()) == 16 * 4 // 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="even"):
+            RandomRegular(5, 3)  # odd handshake sum
+        with pytest.raises(ValueError, match="degree"):
+            RandomRegular(4, 5)  # degree >= n
+        with pytest.raises(ValueError, match="degree"):
+            RandomRegular(8, 1)
+        with pytest.raises(ValueError, match="at least 3"):
+            RandomRegular(2, 2)
+
+    def test_servers_default_to_degree(self):
+        assert RandomRegular(12, 3, seed=1).servers_per_switch == 3
+
+    def test_seed_in_repr(self):
+        assert "seed=7" in repr(RandomRegular(12, 3, seed=7))
+
+
+class TestRandomRegularSimulation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_escape_tree_reaches_every_pair(self, seed):
+        from repro.updown.escape import NO_PATH, EscapeSubnetwork
+
+        net = Network(RandomRegular(16, 4, 1, seed=seed))
+        esc = EscapeSubnetwork(net, root=0)
+        assert int(esc.dist_a.max()) < NO_PATH
+
+    def test_polsp_runs_clean_at_low_load(self):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        net = Network(RandomRegular(16, 4, 2, seed=0))
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.3, seed=0)
+        res = sim.run(warmup=100, measure=200)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0

@@ -1,0 +1,152 @@
+"""Torus / mesh (k-ary n-cube) structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.torus import Torus, mesh_ncube
+
+
+class TestTorusStructure:
+    @pytest.mark.parametrize("sides", [(4, 4), (3, 5), (4, 4, 4), (2, 3), (6,)])
+    def test_adjacency_symmetric_and_duplicate_free(self, sides):
+        t = Torus(sides, 1)
+        for s in range(t.n_switches):
+            nbrs = t.neighbours(s)
+            assert len(set(nbrs)) == len(nbrs)
+            assert s not in nbrs
+            for nbr in nbrs:
+                assert s in t.neighbours(nbr)
+
+    @pytest.mark.parametrize("sides", [(4, 4), (5, 5), (4, 4, 4)])
+    def test_regular_degree_2n(self, sides):
+        t = Torus(sides, 1)
+        n_dims = len(sides)
+        assert all(t.degree(s) == 2 * n_dims for s in range(t.n_switches))
+
+    def test_side_two_dimension_has_single_link(self):
+        # In a wrapped side-2 ring the -1 and +1 neighbours coincide; the
+        # neighbour list must hold one port, not a duplicated pair.
+        t = Torus((2, 4), 1)
+        assert all(t.degree(s) == 1 + 2 for s in range(t.n_switches))
+
+    @pytest.mark.parametrize("sides", [(4, 4), (5, 3), (4, 4, 4)])
+    def test_diameter_is_sum_of_half_sides(self, sides):
+        net = Network(Torus(sides, 1))
+        assert net.diameter == sum(k // 2 for k in sides)
+
+    @pytest.mark.parametrize("sides", [(4, 4), (3, 5), (4, 4, 4)])
+    def test_vertex_transitive_eccentricities(self, sides):
+        """A torus is vertex-transitive: every switch has the same view."""
+        net = Network(Torus(sides, 1))
+        ecc = net.distances.max(axis=1)
+        assert len(set(int(e) for e in ecc)) == 1
+        degrees = {net.topology.degree(s) for s in range(net.n_switches)}
+        assert len(degrees) == 1
+
+    @pytest.mark.parametrize("sides", [(4, 4), (3, 5), (4, 4, 4), (2, 3)])
+    def test_ring_distance_matches_graph_distance(self, sides):
+        t = Torus(sides, 1)
+        net = Network(t)
+        d = net.distances
+        for a in range(t.n_switches):
+            for b in range(t.n_switches):
+                assert t.ring_distance(a, b) == int(d[a, b])
+
+    def test_coords_round_trip(self):
+        t = Torus((3, 4, 5), 1)
+        for s in range(t.n_switches):
+            assert t.switch_id(t.coords(s)) == s
+
+    def test_port_numbering_stable_under_faults(self):
+        t = Torus((4, 4), 1)
+        link = t.links()[0]
+        net = Network(t, [link])
+        a, b = link
+        p = t.port_of(a, b)
+        assert net.port_neighbour[a][p] == -1
+        # Every other port keeps its healthy meaning.
+        for q, nbr in enumerate(t.neighbours(a)):
+            if q != p:
+                assert net.port_neighbour[a][q] == nbr
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            Torus(())
+        with pytest.raises(ValueError, match="side must be >= 2"):
+            Torus((1, 4))
+        with pytest.raises(ValueError, match="servers_per_switch"):
+            Torus((4, 4), 0)
+
+
+class TestMeshStructure:
+    def test_boundary_degrees(self):
+        m = mesh_ncube((3, 3), 1)
+        degs = sorted(m.degree(s) for s in range(9))
+        assert degs == [2, 2, 2, 2, 3, 3, 3, 3, 4]  # corners, edges, center
+
+    def test_diameter_is_sum_of_side_minus_one(self):
+        net = Network(mesh_ncube((3, 4), 1))
+        assert net.diameter == (3 - 1) + (4 - 1)
+
+    def test_mesh_distance_matches_manhattan(self):
+        m = mesh_ncube((4, 3), 1)
+        d = Network(m).distances
+        for a in range(m.n_switches):
+            for b in range(m.n_switches):
+                assert m.ring_distance(a, b) == int(d[a, b])
+
+    def test_link_count(self):
+        # cols*(rows-1) + rows*(cols-1) grid edges.
+        m = mesh_ncube((4, 5), 1)
+        assert len(m.links()) == 4 * 4 + 5 * 3
+
+    def test_agrees_with_explicit_mesh_topology(self):
+        """The new family reproduces custom.mesh_topology's graph."""
+        from repro.topology.custom import mesh_topology
+
+        m_new = mesh_ncube((4, 3), 1)
+        m_old = mesh_topology(4, 3, 1)
+        assert m_new.links() == m_old.links()
+
+
+class TestTorusSimulation:
+    def test_polsp_runs_clean_at_low_load(self):
+        from repro.routing.catalog import make_mechanism
+        from repro.simulator.engine import Simulator
+        from repro.traffic import make_traffic
+
+        net = Network(Torus((4, 4), 2))
+        mech = make_mechanism("PolSP", net, n_vcs=4, rng=1)
+        sim = Simulator(net, mech, make_traffic("uniform", net, 0),
+                        offered=0.3, seed=0)
+        res = sim.run(warmup=100, measure=200)
+        assert not res.deadlocked
+        assert res.stalled_packets == 0
+        assert res.accepted == pytest.approx(0.3, abs=0.06)
+
+    def test_traffic_filter_drops_coordinate_patterns(self):
+        from repro.traffic import supported_traffics
+
+        net = Network(Torus((4, 4), 4))  # 64 servers: bit patterns fit
+        names = supported_traffics(net)
+        assert "uniform" in names and "shift" in names
+        assert "dcr" not in names and "tornado" not in names
+        assert "rpn" not in names and "adversarial" not in names
+        assert "bitrev" in names  # 64 = 2^6 servers
+
+    def test_permutation_patterns_admissible(self):
+        from repro.traffic import make_traffic, supported_traffics
+        from repro.traffic.base import validate_permutation
+
+        net = Network(Torus((4, 4), 4))
+        for seed in range(3):
+            for name in supported_traffics(net):
+                t = make_traffic(name, net, rng=seed)
+                if t.is_deterministic:
+                    validate_permutation(t.as_permutation(), net.n_servers)
+                else:
+                    rng = np.random.default_rng(seed)
+                    for src in range(0, net.n_servers, 7):
+                        dst = t.destination(src, rng)
+                        assert 0 <= dst < net.n_servers and dst != src

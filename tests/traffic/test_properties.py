@@ -23,7 +23,10 @@ import pytest
 from repro.topology.base import Network
 from repro.topology.custom import mesh_topology, ring_topology
 from repro.topology.dragonfly import Dragonfly, balanced_dragonfly
+from repro.topology.fattree import FatTree
 from repro.topology.hyperx import HyperX
+from repro.topology.random_regular import RandomRegular
+from repro.topology.torus import Torus
 from repro.traffic import (
     TRAFFIC_PATTERNS,
     make_traffic,
@@ -46,6 +49,10 @@ TOPOLOGIES = [
     pytest.param(Dragonfly(a=2, p=1, h=1), id="dragonfly-min"),  # 6 servers
     pytest.param(ring_topology(6, 2), id="ring-6"),  # 12 servers
     pytest.param(mesh_topology(3, 3, 2), id="mesh-3x3"),  # 18 servers
+    pytest.param(Torus((4, 4), 4), id="torus-4x4"),  # 64 servers, 6 bits
+    pytest.param(Torus((3, 4), 2, wrap=False), id="mesh-ncube-3x4"),  # 24 servers
+    pytest.param(FatTree(4), id="fattree-k4"),  # 40 servers
+    pytest.param(RandomRegular(16, 4, 2, seed=3), id="random-16"),  # 32 servers
 ]
 
 

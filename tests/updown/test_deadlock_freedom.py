@@ -58,8 +58,13 @@ def escape_request_graph(esc: EscapeSubnetwork) -> nx.DiGraph:
 
 
 def topologies():
+    from repro.topology.fattree import FatTree
+    from repro.topology.random_regular import RandomRegular
+    from repro.topology.torus import Torus
+
     hx2 = HyperX((4, 4), 2)
     hx3 = HyperX((2, 3, 4), 1)
+    torus = Torus((4, 4), 1)
     nets = [
         ("healthy-2d", Network(hx2)),
         ("healthy-mixed", Network(hx3)),
@@ -71,6 +76,17 @@ def topologies():
             "heavy-faulty-2d",
             Network(hx2, random_connected_fault_sequence(hx2, 30, rng=4)),
         ),
+        # The diversity families: rings, tiers and irregular graphs have
+        # none of HyperX's row cliques, so the acyclicity argument must
+        # hold structurally, not by accident of the topology.
+        ("torus", Network(torus)),
+        (
+            "faulty-torus",
+            Network(torus, random_connected_fault_sequence(torus, 6, rng=5)),
+        ),
+        ("mesh", Network(Torus((3, 4), 1, wrap=False))),
+        ("fattree", Network(FatTree(4))),
+        ("random-regular", Network(RandomRegular(14, 3, 1, seed=2))),
     ]
     return nets
 

@@ -1,0 +1,88 @@
+"""Escape subnetwork and root selection on the topology-diversity families.
+
+The escape construction claims topology-agnosticism (§7); these tests pin
+it on the families the topology registry adds — torus/mesh (rings, no
+cliques), fat-tree (tiered, bipartite-ish levels) and seeded
+random-regular graphs — including root-policy behaviour and full
+escape-table reachability, seed-looped where the family is randomised.
+"""
+
+import pytest
+
+from repro.topology.base import Network
+from repro.topology.fattree import FatTree
+from repro.topology.random_regular import RandomRegular
+from repro.topology.torus import Torus
+from repro.updown.escape import NO_PATH, PHASE_CLIMB, EscapeSubnetwork
+from repro.updown.roots import ROOT_STRATEGIES, choose_root
+
+
+def family_networks():
+    return [
+        ("torus", Network(Torus((4, 4), 2))),
+        ("mesh", Network(Torus((3, 4), 2, wrap=False))),
+        ("fattree", Network(FatTree(4))),
+        ("random", Network(RandomRegular(16, 4, 2, seed=1))),
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,net", family_networks(), ids=[label for label, _ in family_networks()]
+)
+class TestEscapeOnFamilies:
+    def test_all_root_strategies_give_valid_escapes(self, label, net):
+        for strategy in ROOT_STRATEGIES:
+            root = choose_root(net, strategy)
+            assert 0 <= root < net.n_switches
+            esc = EscapeSubnetwork(net, root)
+            assert int(esc.dist_a.max()) < NO_PATH  # every pair escapable
+
+    def test_candidates_strictly_progress(self, label, net):
+        """From any switch, the climb-phase candidate set is non-empty and
+        every candidate strictly reduces the remaining escape distance."""
+        esc = EscapeSubnetwork(net, choose_root(net, "central"))
+        da = esc.dist_a
+        db = esc.dist_b
+        for target in range(0, net.n_switches, 3):
+            for current in range(net.n_switches):
+                if current == target:
+                    continue
+                cands = esc.candidates(current, target, PHASE_CLIMB)
+                assert cands
+                here = int(da[current, target])
+                for port, nbr, _pen in cands:
+                    nxt = esc.next_phase(current, port, PHASE_CLIMB)
+                    row = da if nxt == PHASE_CLIMB else db
+                    assert int(row[nbr, target]) < here
+
+    def test_black_red_partition_live_links(self, label, net):
+        esc = EscapeSubnetwork(net, 0)
+        assert esc.n_black_links() + esc.n_red_links() == len(net.live_links())
+
+    def test_escape_survives_a_fault_rebuild(self, label, net):
+        from repro.topology.faults import random_connected_fault_sequence
+
+        faults = random_connected_fault_sequence(net.topology, 2, rng=9)
+        faulty = Network(net.topology, faults)
+        esc = EscapeSubnetwork(faulty, choose_root(faulty, "max_live_degree"))
+        assert int(esc.dist_a.max()) < NO_PATH
+
+
+class TestFatTreeEscapeShape:
+    def test_edge_root_layers_match_tiers(self):
+        """Rooted at an edge switch, BFS levels follow the Clos tiers:
+        pod aggregation at 1, cores + same-pod edges at 2."""
+        ft = FatTree(4)
+        net = Network(ft)
+        esc = EscapeSubnetwork(net, root=0)
+        pod = ft.pod_of(0)
+        for j in range(ft.half):
+            assert esc.root_distance[ft.agg_id(pod, j)] == 1
+        for i in range(1, ft.half):
+            assert esc.root_distance[ft.edge_id(pod, i)] == 2
+
+    def test_random_regular_seed_loop(self):
+        for seed in range(4):
+            net = Network(RandomRegular(16, 4, 1, seed=seed))
+            esc = EscapeSubnetwork(net, choose_root(net, "min_eccentricity"))
+            assert int(esc.dist_a.max()) < NO_PATH
