@@ -13,7 +13,11 @@ commit SHA there, so regressions are attributable to a commit):
 * one kernel per workload combination (on-off injection, hotspot
   traffic, split RNG streams), guarding the workload-diversity hot paths;
 * one kernel per topology family (torus, mesh, fat-tree,
-  random-regular), tracking the diversity sweep's per-family cost.
+  random-regular), tracking the diversity sweep's per-family cost;
+* paired slot-vs-event engine-backend kernels — a sparse low-load point
+  and a long-warmup transient point, each run under both backends with
+  identical results required — tracking the event backend's speedup
+  (the sparse kernel must stay >= 3x).
 
 Usage::
 
@@ -34,12 +38,16 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.experiments.executor import ParallelExecutor, SerialExecutor  # noqa: E402
 from repro.experiments.runner import ExperimentRunner  # noqa: E402
 from repro.experiments.sweeps import load_sweep_jobs  # noqa: E402
-from repro.routing.catalog import MECHANISMS  # noqa: E402
+from repro.routing.catalog import MECHANISMS, make_mechanism  # noqa: E402
 from repro.simulator.arbiters import ARBITERS  # noqa: E402
+from repro.simulator.backends import make_simulator  # noqa: E402
 from repro.simulator.config import PAPER_CONFIG  # noqa: E402
+from repro.simulator.schedule import FaultSchedule  # noqa: E402
 from repro.topology.base import Network  # noqa: E402
 from repro.topology.catalog import make_topology  # noqa: E402
+from repro.topology.faults import random_connected_fault_sequence  # noqa: E402
 from repro.topology.hyperx import HyperX  # noqa: E402
+from repro.traffic import make_traffic  # noqa: E402
 
 #: Benchmark presets: (loads, warmup, measure).  Both sweep all six
 #: mechanisms over uniform + randperm traffic on the tiny 2D HyperX.
@@ -168,6 +176,82 @@ def topology_kernels(seed: int = 0) -> dict:
     return out
 
 
+def backend_kernels(seed: int = 0) -> dict:
+    """Paired slot-vs-event engine kernels: same point, both backends.
+
+    Two regimes where the event backend's idle-switch skipping should
+    pay — and where a regression in the agenda bookkeeping would show
+    first:
+
+    * ``sparse``: a big, nearly-idle torus (28x28, one server per
+      switch) at offered load 1.5e-4 — almost every switch is idle in
+      almost every slot, so the slot backend's three full phase scans
+      are nearly pure overhead.  This kernel is the speedup guard: the
+      event backend must hold >= 3x the slot backend's points/sec.
+    * ``transient``: a long warmup at low load with a mid-run
+      fail-then-repair schedule — the regime the transient figures run
+      in, where most of the wall clock is idle warmup slots.
+
+    The timer wraps ``sim.run`` only.  Network, routing tables, traffic
+    and (for ``sparse``) the mechanism are built outside the clock and
+    shared across backends: they are backend-independent by
+    construction, so the ratio isolates the engine loop that the
+    backend actually owns.  Both kernels also assert the backends agree
+    on the results — a cheap differential canary next to the timing.
+    """
+    out = {}
+
+    def _pair(name, build, warmup, measure):
+        seconds, fingerprint = {}, {}
+        for backend in ("slot", "event"):
+            sim = build(backend)
+            t0 = time.perf_counter()
+            res = sim.run(warmup=warmup, measure=measure)
+            seconds[backend] = time.perf_counter() - t0
+            fingerprint[backend] = (
+                res.accepted, res.avg_latency_cycles, res.jain,
+            )
+        slots = warmup + measure
+        out[name] = {
+            "slot_seconds": round(seconds["slot"], 3),
+            "event_seconds": round(seconds["event"], 3),
+            "slot_slots_per_sec": round(slots / seconds["slot"], 1),
+            "event_slots_per_sec": round(slots / seconds["event"], 1),
+            "speedup": round(seconds["slot"] / seconds["event"], 2),
+            "accepted": round(fingerprint["slot"][0], 6),
+            "records_identical": fingerprint["slot"] == fingerprint["event"],
+        }
+
+    sparse_net = Network(make_topology("torus", side=28, servers_per_switch=1))
+    sparse_mech = make_mechanism("Minimal", sparse_net, rng=seed + 1)
+    sparse_traffic = make_traffic("uniform", sparse_net, seed)
+    _pair(
+        "sparse",
+        lambda backend: make_simulator(
+            PAPER_CONFIG.with_(backend=backend), sparse_net, sparse_mech,
+            sparse_traffic, offered=0.00015, seed=seed,
+        ),
+        warmup=200, measure=1000,
+    )
+
+    topo = make_topology("torus", side=16, servers_per_switch=1)
+    trans_net = Network(topo)
+    links = random_connected_fault_sequence(topo, 2, rng=7)
+    schedule = FaultSchedule.down_then_up(1000, 1150, links)
+
+    def _transient(backend):
+        runner = ExperimentRunner(
+            trans_net, config=PAPER_CONFIG.with_(backend=backend)
+        )
+        return runner.build_simulator(
+            "Minimal", "uniform", 0.002, seed=seed,
+            fault_schedule=schedule, series_interval=50,
+        )
+
+    _pair("transient", _transient, warmup=900, measure=400)
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local",
@@ -217,6 +301,13 @@ def main(argv=None) -> int:
     for name, k in topologies.items():
         print(f"topology {name:>10}: {k['seconds']:.2f}s accepted={k['accepted']}")
 
+    backends = backend_kernels(seed=args.seed)
+    backends_identical = all(k["records_identical"] for k in backends.values())
+    for name, k in backends.items():
+        print(f"backend {name:>10}: slot={k['slot_seconds']:.2f}s "
+              f"event={k['event_seconds']:.2f}s speedup={k['speedup']:.2f}x "
+              f"identical={k['records_identical']}")
+
     result = {
         "label": args.label,
         "preset": args.preset,
@@ -232,11 +323,12 @@ def main(argv=None) -> int:
         "arbiter_kernels": arbiters,
         "workload_kernels": workloads,
         "topology_kernels": topologies,
+        "backend_kernels": backends,
     }
     out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out}")
-    return 0 if identical else 1
+    return 0 if identical and backends_identical else 1
 
 
 if __name__ == "__main__":

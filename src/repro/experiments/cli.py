@@ -11,14 +11,18 @@ Examples::
     surepath-sim fig-ablation-arbiter --scale tiny --link-latencies 1 2
     surepath-sim fig-workloads --scale tiny --injections bernoulli onoff
     surepath-sim fig-topologies --scale tiny --topologies torus fattree random
+    surepath-sim fig4 --scale small --backend event
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
 the exact paper topologies (slow in pure Python — see DESIGN.md).  The
 sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient,
 fig-ablation-arbiter, fig-workloads and fig-topologies) accept ``--jobs
-N`` to simulate points on a process pool and ``--cache-dir DIR`` to reuse
-previously simulated points across runs.  ``fig-transient`` goes beyond
+N`` to simulate points on a process pool, ``--cache-dir DIR`` to reuse
+previously simulated points across runs, and ``--backend NAME`` to pick
+the engine backend: ``slot`` (the reference loop) or ``event`` (skips
+idle switches — identical records, faster at low load and through long
+warmups; see the README's "Backends" section).  ``fig-transient`` goes beyond
 the paper's static snapshots: links fail (and optionally come back)
 *mid-run* and the per-interval recovery series is reported.
 ``fig-ablation-arbiter`` sweeps the router microarchitecture itself —
@@ -38,8 +42,12 @@ import argparse
 import json
 import sys
 
+from dataclasses import replace
+
 from ..routing.catalog import MECHANISMS
 from ..simulator.arbiters import ARBITERS
+from ..simulator.backends import ENGINE_BACKENDS
+from ..simulator.config import PAPER_CONFIG
 from ..simulator.flowcontrol import FLOW_CONTROLS
 from ..simulator.injection import INJECTIONS
 from ..topology.base import Network
@@ -119,6 +127,11 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="content-addressed result cache; repeated runs "
                         "reuse already-simulated points")
+    p.add_argument("--backend", default="slot",
+                   choices=sorted(ENGINE_BACKENDS),
+                   help="engine backend: 'slot' visits every switch each "
+                        "slot (reference), 'event' skips idle switches — "
+                        "identical records (default: slot)")
 
 
 def _emit(records, args, columns=None, title=None) -> None:
@@ -255,6 +268,11 @@ def main(argv: list[str] | None = None) -> int:
     executor = make_executor(
         getattr(args, "jobs", None), getattr(args, "cache_dir", None)
     )
+    # The sweep commands' SimConfig; --backend is its only CLI-exposed
+    # field so far (everything else is the paper's Table 2).
+    config = PAPER_CONFIG
+    if getattr(args, "backend", "slot") != PAPER_CONFIG.backend:
+        config = replace(PAPER_CONFIG, backend=args.backend)
 
     if cmd == "table2":
         rows = [{"parameter": k, "value": v} for k, v in figures.table2()]
@@ -288,27 +306,31 @@ def main(argv: list[str] | None = None) -> int:
               f"(aligned-route bound {info['aligned_bound']})")
         print(info["plane"])
     elif cmd == "fig4":
-        recs = figures.fig4_2d_loadsweep(args.scale, seed=args.seed, executor=executor)
+        recs = figures.fig4_2d_loadsweep(args.scale, seed=args.seed,
+                                         config=config, executor=executor)
         print(throughput_matrix(recs))
         _emit(recs, args, SWEEP_COLUMNS, "Figure 4 — 2D load sweep")
     elif cmd == "fig5":
-        recs = figures.fig5_3d_loadsweep(args.scale, seed=args.seed, executor=executor)
+        recs = figures.fig5_3d_loadsweep(args.scale, seed=args.seed,
+                                         config=config, executor=executor)
         print(throughput_matrix(recs))
         _emit(recs, args, SWEEP_COLUMNS, "Figure 5 — 3D load sweep")
     elif cmd == "fig6":
         recs = figures.fig6_random_faults(args.scale, dims=args.dims, seed=args.seed,
-                                          executor=executor)
+                                          config=config, executor=executor)
         _emit(recs, args, ("mechanism", "traffic", "faults", "accepted"),
               f"Figure 6 — {args.dims}D random-fault sweep")
     elif cmd == "fig7":
         _emit(figures.fig7_fault_shapes(args.scale), args,
               title="Figure 7 — 2D fault shapes")
     elif cmd == "fig8":
-        recs = figures.fig8_2d_shape_faults(args.scale, seed=args.seed, executor=executor)
+        recs = figures.fig8_2d_shape_faults(args.scale, seed=args.seed,
+                                            config=config, executor=executor)
         _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
               "Figure 8 — 2D structured faults")
     elif cmd == "fig9":
-        recs = figures.fig9_3d_shape_faults(args.scale, seed=args.seed, executor=executor)
+        recs = figures.fig9_3d_shape_faults(args.scale, seed=args.seed,
+                                            config=config, executor=executor)
         _emit(recs, args, ("shape", "mechanism", "traffic", "accepted"),
               "Figure 9 — 3D structured faults")
     elif cmd == "fig-transient":
@@ -316,7 +338,7 @@ def main(argv: list[str] | None = None) -> int:
             args.scale, dims=args.dims, mechanisms=tuple(args.mechanisms),
             offered=args.offered, n_links=args.links,
             repair_at=0.66 if args.repair else None,
-            seed=args.seed, executor=executor,
+            seed=args.seed, config=config, executor=executor,
         )
         for r in recs:
             pts = [(s["slot"], s["accepted"]) for s in r["series"]]
@@ -332,7 +354,7 @@ def main(argv: list[str] | None = None) -> int:
             flow_controls=tuple(args.flow_controls),
             link_latencies=tuple(args.link_latencies),
             loads=None if args.loads is None else tuple(args.loads),
-            seed=args.seed, executor=executor,
+            seed=args.seed, config=config, executor=executor,
         )
         print(microarch_matrix(recs))
         _emit(recs, args, ABLATION_COLUMNS,
@@ -345,7 +367,7 @@ def main(argv: list[str] | None = None) -> int:
             injections=tuple(args.injections),
             burst_slots=args.burst, idle_slots=args.idle,
             loads=None if args.loads is None else tuple(args.loads),
-            seed=args.seed, executor=executor,
+            seed=args.seed, config=config, executor=executor,
         )
         print(workload_matrix(recs))
         _emit(recs, args, WORKLOAD_COLUMNS,
@@ -357,7 +379,7 @@ def main(argv: list[str] | None = None) -> int:
             traffics=tuple(args.patterns),
             loads=None if args.loads is None else tuple(args.loads),
             root_strategy=args.root_strategy,
-            seed=args.seed, executor=executor,
+            seed=args.seed, config=config, executor=executor,
         )
         print(topology_matrix(recs))
         _emit(recs, args, TOPOLOGY_COLUMNS,

@@ -64,7 +64,11 @@ from .runner import ExperimentRunner, PointSpec
 #: now produce records instead of crashing, and ``avg_hops`` joined the
 #: NaN-able keys; pre-v5 entries for non-HyperX topologies used the
 #: neighbour-list fallback signature and must not alias the compact one.
-CACHE_VERSION = 5
+#: v6: the engine-backend axis — SimConfig grew the ``backend`` field
+#: (slot vs event scheduling).  Backends are record-identical by
+#: contract, but the field enters the payload via ``asdict(config)``, so
+#: pre-v6 entries (no ``backend`` key) must not alias v6 ones.
+CACHE_VERSION = 6
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).

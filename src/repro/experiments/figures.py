@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..routing.catalog import MECHANISMS
-from ..simulator.config import PAPER_CONFIG, table2_rows
+from ..simulator.config import PAPER_CONFIG, SimConfig, table2_rows
 from ..simulator.schedule import FaultSchedule
 from ..topology.base import Network
 from ..topology.faults import (
@@ -215,9 +215,13 @@ def fig4_2d_loadsweep(
     scale: str | Scale = "tiny",
     mechanisms: tuple[str, ...] = MECHANISMS,
     seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """2D HyperX: throughput/latency/Jain vs offered load (Figure 4).
+
+    ``config`` carries the simulator knobs including the engine backend
+    (``--backend`` on the CLI); records are backend-independent.
 
     Expected shape: Valiant saturates ~0.5 everywhere and is optimal on
     DCR; Minimal lags on permutations; OmniSP/PolSP match or beat the
@@ -227,7 +231,8 @@ def fig4_2d_loadsweep(
     net = Network(sc.hyperx_2d())
     return load_sweep(
         net, mechanisms, TRAFFICS_2D, sc.loads,
-        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, config=config,
+        executor=executor,
     )
 
 
@@ -235,6 +240,7 @@ def fig5_3d_loadsweep(
     scale: str | Scale = "tiny",
     mechanisms: tuple[str, ...] = MECHANISMS,
     seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """3D HyperX: Figure 4's sweep plus the RPN pattern (Figure 5).
@@ -246,7 +252,8 @@ def fig5_3d_loadsweep(
     net = Network(sc.hyperx_3d())
     return load_sweep(
         net, mechanisms, TRAFFICS_3D, sc.loads,
-        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, config=config,
+        executor=executor,
     )
 
 
@@ -258,6 +265,7 @@ def fig6_random_faults(
     dims: int = 2,
     seed: int = 0,
     fault_seed: int = 12345,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """Saturation throughput of OmniSP/PolSP vs random fault count.
@@ -277,7 +285,7 @@ def fig6_random_faults(
     return fault_sweep(
         hx, ("OmniSP", "PolSP"), traffics, counts,
         offered=1.0, warmup=sc.warmup, measure=sc.measure,
-        seed=seed, fault_seed=fault_seed, executor=executor,
+        seed=seed, fault_seed=fault_seed, config=config, executor=executor,
     )
 
 
@@ -341,6 +349,7 @@ def _shape_bars(
     traffics: tuple[str, ...],
     sc: Scale,
     seed: int,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     params = shape_parameters(hx)
@@ -352,7 +361,7 @@ def _shape_bars(
         recs = shape_fault_run(
             net, ("OmniSP", "PolSP"), traffics,
             offered=1.0, warmup=sc.warmup, measure=sc.measure,
-            seed=seed, root=root, executor=executor,
+            seed=seed, config=config, root=root, executor=executor,
         )
         for r in recs:
             r["shape"] = shape
@@ -361,7 +370,7 @@ def _shape_bars(
         healthy = shape_fault_run(
             Network(hx), ("OmniSP", "PolSP"), traffics,
             offered=1.0, warmup=sc.warmup, measure=sc.measure,
-            seed=seed, root=root, executor=executor,
+            seed=seed, config=config, root=root, executor=executor,
         )
         for r in healthy:
             r["shape"] = f"{shape}-healthy-ref"
@@ -370,7 +379,8 @@ def _shape_bars(
 
 
 def fig8_2d_shape_faults(
-    scale: str | Scale = "tiny", seed: int = 0, executor=None
+    scale: str | Scale = "tiny", seed: int = 0,
+    config: SimConfig = PAPER_CONFIG, executor=None
 ) -> list[dict]:
     """2D throughput bars under Row/Subplane/Cross faults (Figure 8).
 
@@ -378,11 +388,14 @@ def fig8_2d_shape_faults(
     (~37% drop under Uniform, paper scale); OmniSP ~ PolSP throughout.
     """
     sc = _scale(scale)
-    return _shape_bars(sc.hyperx_2d(), SHAPES_2D, TRAFFICS_2D, sc, seed, executor)
+    return _shape_bars(
+        sc.hyperx_2d(), SHAPES_2D, TRAFFICS_2D, sc, seed, config, executor
+    )
 
 
 def fig9_3d_shape_faults(
-    scale: str | Scale = "tiny", seed: int = 0, executor=None
+    scale: str | Scale = "tiny", seed: int = 0,
+    config: SimConfig = PAPER_CONFIG, executor=None
 ) -> list[dict]:
     """3D throughput bars under Row/Subcube/Star faults + RPN (Figure 9).
 
@@ -391,7 +404,9 @@ def fig9_3d_shape_faults(
     analysis of Figure 10).
     """
     sc = _scale(scale)
-    return _shape_bars(sc.hyperx_3d(), SHAPES_3D, TRAFFICS_3D, sc, seed, executor)
+    return _shape_bars(
+        sc.hyperx_3d(), SHAPES_3D, TRAFFICS_3D, sc, seed, config, executor
+    )
 
 
 # ----------------------------------------------------------------------
@@ -409,6 +424,7 @@ def fig_transient(
     series_interval: int | None = None,
     seed: int = 0,
     fault_seed: int = 12345,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """Transient recovery from a mid-run link failure (and optional repair).
@@ -446,7 +462,8 @@ def fig_transient(
     return transient_run(
         Network(hx), mechanisms, traffics, schedule,
         offered=offered, warmup=sc.warmup, measure=sc.measure,
-        series_interval=series_interval, seed=seed, executor=executor,
+        series_interval=series_interval, seed=seed, config=config,
+        executor=executor,
     )
 
 
@@ -463,6 +480,7 @@ def fig_ablation_arbiter(
     link_latencies: tuple[int, ...] = (1,),
     loads: tuple[float, ...] | None = None,
     seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """Throughput/latency across router microarchitectures.
@@ -489,7 +507,8 @@ def fig_ablation_arbiter(
         Network(hx), mechanisms, traffics, loads,
         arbiters=arbiters, flow_controls=flow_controls,
         link_latencies=link_latencies,
-        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, config=config,
+        executor=executor,
     )
 
 
@@ -513,6 +532,7 @@ def fig_workloads(
     idle_slots: int = 8,
     loads: tuple[float, ...] | None = None,
     seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """Mechanism x pattern x injection-process comparison table.
@@ -543,7 +563,8 @@ def fig_workloads(
     return workload_sweep(
         net, mechanisms, traffics, loads,
         injections=injections, burst_slots=burst_slots, idle_slots=idle_slots,
-        warmup=sc.warmup, measure=sc.measure, seed=seed, executor=executor,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, config=config,
+        executor=executor,
     )
 
 
@@ -568,6 +589,7 @@ def fig_topologies(
     loads: tuple[float, ...] | None = None,
     root_strategy: str = "max_live_degree",
     seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
     executor=None,
 ) -> list[dict]:
     """Mechanism x topology-family comparison sweep.
@@ -595,7 +617,7 @@ def fig_topologies(
         loads = (sc.loads[len(sc.loads) // 2 - 1], sc.loads[-1])
     return topology_sweep(
         networks, mechanisms, traffics, loads,
-        warmup=sc.warmup, measure=sc.measure, seed=seed,
+        warmup=sc.warmup, measure=sc.measure, seed=seed, config=config,
         root_strategy=root_strategy, executor=executor,
     )
 

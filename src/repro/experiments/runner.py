@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..routing.catalog import make_mechanism
+from ..simulator.backends import make_simulator
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..simulator.engine import Simulator
 from ..simulator.injection import BatchInjection
@@ -90,6 +91,11 @@ class ExperimentRunner:
     ) -> Simulator:
         """Assemble a simulator for one point (exposed for batch runs).
 
+        The engine backend comes from ``self.config.backend``, resolved
+        through :func:`repro.simulator.make_simulator` — so a runner
+        built with an ``"event"`` config drives event-scheduled engines
+        everywhere without any caller changing.
+
         With a ``fault_schedule`` the simulation mutates ``self.network``
         in place as events fire — share the runner across such runs only
         when the schedule restores every link it fails.  A
@@ -103,13 +109,13 @@ class ExperimentRunner:
             mechanism, self.network, n_vcs, escape=escape, root=self.root,
             rng=seed + 1,
         )
-        return Simulator(
+        return make_simulator(
+            self.config,
             self.network,
             mech,
             self.traffic(traffic, seed),
             offered=offered,
             injection=injection,
-            config=self.config,
             seed=seed,
             series_interval=series_interval,
             fault_schedule=fault_schedule,

@@ -6,6 +6,12 @@ order), :mod:`~repro.simulator.flowcontrol` (grant admission) and
 :mod:`~repro.simulator.links` (link latency / in-flight transport) —
 selected by :class:`SimConfig` and defaulting to the paper's
 microarchitecture (Q+P, virtual cut-through, 1-slot links).
+
+The *engine backend* — how the loop schedules switch visits each slot —
+is a fourth pluggable axis (:mod:`~repro.simulator.backends`):
+``SimConfig(backend=...)`` selects ``"slot"`` (reference) or ``"event"``
+(idle-switch-skipping agenda), and :func:`make_simulator` is the public
+construction façade that resolves it.
 """
 
 from .arbiters import (
@@ -17,8 +23,10 @@ from .arbiters import (
     RoundRobinArbiter,
     make_arbiter,
 )
+from .backends import ENGINE_BACKENDS, EngineBackend, make_simulator
 from .config import PAPER_CONFIG, SimConfig, table2_rows
 from .engine import DeadlockError, Simulator
+from .event import EventSimulator
 from .flowcontrol import (
     FLOW_CONTROLS,
     FlowControl,
@@ -49,6 +57,9 @@ __all__ = [
     "BatchInjection",
     "BernoulliInjection",
     "DeadlockError",
+    "ENGINE_BACKENDS",
+    "EngineBackend",
+    "EventSimulator",
     "FLOW_CONTROLS",
     "FaultEvent",
     "FaultSchedule",
@@ -83,5 +94,6 @@ __all__ = [
     "make_flow_control",
     "make_injection",
     "make_link_model",
+    "make_simulator",
     "table2_rows",
 ]

@@ -31,12 +31,19 @@ Adding an arbiter: subclass :class:`Arbiter`, implement ``allocate``
 unique ``name``, and register it in :data:`ARBITERS`; it is then
 reachable from ``SimConfig(arbiter=...)``, every sweep, the cache key
 and the CLI.
+
+Arbiters iterate ``sim.alloc_switches()`` — the engine backend's view
+of the switches worth visiting this slot (every switch on the default
+slot backend, the busy agenda on the event backend) — never
+``sim.switches`` directly, so one arbiter implementation serves every
+backend.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..registry import Registry
 from .packet import Packet
 
 
@@ -165,7 +172,7 @@ class QPArbiter(Arbiter):
         n_vcs = sim._n_vcs
         port_neighbour = sim.network.port_neighbour
         slot = sim.slot
-        for sw in sim.switches:
+        for sw in sim.alloc_switches():
             if not sw.active_inputs:
                 continue
             sid = sw.sid
@@ -257,7 +264,7 @@ class RoundRobinArbiter(Arbiter):
 
     def allocate(self, sim) -> int:
         granted = 0
-        for sw in sim.switches:
+        for sw in sim.alloc_switches():
             if not sw.active_inputs:
                 continue
             sid = sw.sid
@@ -299,7 +306,7 @@ class AgeBasedArbiter(Arbiter):
 
     def allocate(self, sim) -> int:
         granted = 0
-        for sw in sim.switches:
+        for sw in sim.alloc_switches():
             if not sw.active_inputs:
                 continue
             requests: dict[int, list[tuple[int, int, int, int, Packet]]] = {}
@@ -333,7 +340,7 @@ class RandomArbiter(Arbiter):
     def allocate(self, sim) -> int:
         granted = 0
         rng = sim.rng
-        for sw in sim.switches:
+        for sw in sim.alloc_switches():
             if not sw.active_inputs:
                 continue
             requests: dict[int, list[tuple[float, int, int, Packet]]] = {}
@@ -354,19 +361,13 @@ class RandomArbiter(Arbiter):
 
 
 #: Registry of arbiters by config name.
-ARBITERS: dict[str, type[Arbiter]] = {
-    cls.name: cls
-    for cls in (QPArbiter, RoundRobinArbiter, AgeBasedArbiter, RandomArbiter)
-}
+ARBITERS = Registry("arbiter")
+for _cls in (QPArbiter, RoundRobinArbiter, AgeBasedArbiter, RandomArbiter):
+    ARBITERS.register(_cls.name, _cls)
+del _cls
 
 
 def make_arbiter(name: str) -> Arbiter:
     """Instantiate a registered arbiter (fresh per simulator — arbiters
     may carry per-switch pointer state)."""
-    try:
-        cls = ARBITERS[name.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown arbiter {name!r}; expected one of {sorted(ARBITERS)}"
-        ) from None
-    return cls()
+    return ARBITERS.make(name)

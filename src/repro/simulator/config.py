@@ -67,6 +67,13 @@ class SimConfig:
         injection model cannot perturb the destination sequence (the
         workload sweeps run split; the default stays shared so the
         golden fingerprint holds bit-for-bit).
+    backend:
+        Engine backend, by registry name (see
+        :data:`repro.simulator.backends.ENGINE_BACKENDS`): ``"slot"``
+        (default) visits every switch every slot; ``"event"`` keeps a
+        busy agenda and skips idle switches entirely — record-identical,
+        faster at low load.  Flows into every sweep job's cache key like
+        any other simulator parameter.
     """
 
     input_buffer_packets: int = 8
@@ -82,6 +89,7 @@ class SimConfig:
     burst_slots: int = 8
     idle_slots: int = 8
     rng_streams: str = "shared"
+    backend: str = "slot"
 
     def __post_init__(self) -> None:
         for name in (
@@ -98,24 +106,19 @@ class SimConfig:
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
         # Late imports: the component registries import this module.
+        # ``require`` (not ``canonical``): config fields travel verbatim
+        # into cache keys, so only exact registry names are accepted —
+        # "QP" and "qp" must never address two cache entries for one
+        # physical configuration.
         from .arbiters import ARBITERS
+        from .backends import ENGINE_BACKENDS
         from .flowcontrol import FLOW_CONTROLS
         from .injection import INJECTIONS
 
-        if self.arbiter not in ARBITERS:
-            raise ValueError(
-                f"unknown arbiter {self.arbiter!r}; expected one of {sorted(ARBITERS)}"
-            )
-        if self.flow_control not in FLOW_CONTROLS:
-            raise ValueError(
-                f"unknown flow control {self.flow_control!r}; "
-                f"expected one of {sorted(FLOW_CONTROLS)}"
-            )
-        if self.injection not in INJECTIONS:
-            raise ValueError(
-                f"unknown injection process {self.injection!r}; "
-                f"expected one of {sorted(INJECTIONS)}"
-            )
+        ARBITERS.require(self.arbiter)
+        FLOW_CONTROLS.require(self.flow_control)
+        INJECTIONS.require(self.injection)
+        ENGINE_BACKENDS.require(self.backend)
         if self.rng_streams not in ("shared", "split"):
             raise ValueError(
                 f"rng_streams must be 'shared' or 'split', got {self.rng_streams!r}"

@@ -45,9 +45,22 @@ deadlock) surfaces.  Packets whose mechanism returns **no candidate at
 all** (e.g. an exhausted ladder after fault-lengthened routes) are counted
 as *stalled packets*; they keep occupying buffers, as they would in
 hardware.
+
+This class is also the ``"slot"`` *engine backend* — the reference
+implementation of the :class:`~repro.simulator.backends.EngineBackend`
+contract, visiting every switch in every phase of every slot.  The
+phase loops iterate the backend's switch view (``_step_agenda`` /
+:meth:`alloc_switches`, the full switch list here) and report
+activations through the :meth:`_wake` hook (a no-op here), so agenda
+backends like :class:`~repro.simulator.event.EventSimulator` override
+*scheduling* without touching any physics.  Construct through
+:func:`~repro.simulator.backends.make_simulator` to resolve the backend
+from ``config.backend``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -128,6 +141,29 @@ class Simulator:
     perturb it — the property the workload sweeps rely on to compare
     injection processes on identical traffic.
     """
+
+    #: Engine-backend registry key (see :mod:`repro.simulator.backends`).
+    backend_name = "slot"
+
+    def __new__(cls, *args, **kwargs):
+        # Deprecation shim: direct ``Simulator(...)`` construction with a
+        # config naming another backend still works — it dispatches to
+        # the registered class — but warns; new code should resolve
+        # backends through ``make_simulator``.
+        if cls is Simulator:
+            config = kwargs.get("config", PAPER_CONFIG)
+            if config.backend != Simulator.backend_name:
+                from .backends import ENGINE_BACKENDS
+
+                warnings.warn(
+                    "constructing Simulator(...) directly with "
+                    f"config.backend={config.backend!r} is deprecated; "
+                    "use repro.simulator.make_simulator(...)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return object.__new__(ENGINE_BACKENDS[config.backend])
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -256,6 +292,36 @@ class Simulator:
         self._sps = sps
         self._n_vcs = n_vcs
         self._phits = config.packet_phits
+        #: The backend's per-step switch view: the phase loops (and the
+        #: arbiters, via :meth:`alloc_switches`) iterate this instead of
+        #: ``self.switches``.  The slot backend visits everything, so it
+        #: aliases the full switch list; agenda backends replace it per
+        #: step in :meth:`_snapshot_active`.
+        self._step_agenda: list[Switch] = self.switches
+
+    # ------------------------------------------------------------------
+    # Backend hooks (no-ops on the slot-synchronous reference backend)
+    # ------------------------------------------------------------------
+    def _wake(self, sid: int) -> None:
+        """Switch ``sid`` just received a packet (injection or link
+        arrival): agenda backends schedule it; the slot backend visits
+        every switch anyway."""
+
+    def _snapshot_active(self) -> None:
+        """Freeze this step's switch view (start of step, after link
+        arrivals land).  Agenda backends snapshot their busy list here so
+        mid-step wakes affect the *next* slot — exactly when a newly
+        delivered packet first becomes eligible."""
+
+    def _end_step(self) -> None:
+        """End-of-step bookkeeping: agenda backends retire switches with
+        no buffered packets and no outstanding credits."""
+
+    def alloc_switches(self) -> list[Switch]:
+        """The switches the allocation phase should visit this slot —
+        the backend's step agenda.  Arbiters iterate this, never
+        ``sim.switches``, so they serve every backend unchanged."""
+        return self._step_agenda
 
     # ------------------------------------------------------------------
     # Phases
@@ -271,7 +337,7 @@ class Simulator:
         """
         ejected = 0
         sps = self._sps
-        for sw in self.switches:
+        for sw in self._step_agenda:
             if not sw.active_sorted:
                 continue
             sid = sw.sid
@@ -328,7 +394,7 @@ class Simulator:
         ``link_latency_slots`` for :class:`PipelinedLink`)."""
         moved = 0
         deliver = self.link.deliver
-        for sw in self.switches:
+        for sw in self._step_agenda:
             sid = sw.sid
             port_load = sw.port_load
             for port in range(sw.n_ports):
@@ -373,6 +439,7 @@ class Simulator:
             self.mechanism.init_packet(pkt)
             sw.in_q[idx].append(pkt)
             sw.activate(idx)
+            self._wake(sid)
             self.injection.on_success(srv)
             self.metrics.on_generated(srv, self.slot)
             self.in_flight += 1
@@ -543,6 +610,7 @@ class Simulator:
             self._apply_scheduled_events()
         if self._link_pipelined:
             self.link.advance(self)
+        self._snapshot_active()
         ejected = self._eject()
         granted = self._allocate()
         self._transmit()
@@ -568,6 +636,7 @@ class Simulator:
                     )
         else:
             self.idle_slots = 0
+        self._end_step()
         self.slot += 1
 
     def _check_schedule_fits(self, end_slot: int) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..registry import Registry
 from .config import SimConfig
 
 
@@ -87,17 +88,12 @@ class StoreAndForward(FlowControl):
 
 
 #: Registry of flow-control policies by config name.
-FLOW_CONTROLS: dict[str, type[FlowControl]] = {
-    cls.name: cls for cls in (VirtualCutThrough, StoreAndForward)
-}
+FLOW_CONTROLS = Registry("flow control")
+for _cls in (VirtualCutThrough, StoreAndForward):
+    FLOW_CONTROLS.register(_cls.name, _cls, display=_cls.label)
+del _cls
 
 
 def make_flow_control(name: str) -> FlowControl:
     """Instantiate a registered flow-control policy (fresh per simulator)."""
-    try:
-        cls = FLOW_CONTROLS[name.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown flow control {name!r}; expected one of {sorted(FLOW_CONTROLS)}"
-        ) from None
-    return cls()
+    return FLOW_CONTROLS.make(name)

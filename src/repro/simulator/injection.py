@@ -42,6 +42,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..registry import Registry
+
 
 class InjectionProcess(ABC):
     """Decides which servers attempt to generate a packet each slot."""
@@ -256,10 +258,9 @@ class BatchInjection(InjectionProcess):
 #: Processes selectable through ``SimConfig.injection``.  Batch and Phased
 #: stay explicit-only: they need per-experiment structure (a packet
 #: budget, a phase list) that does not fit a flat config field.
-INJECTIONS: dict[str, type[InjectionProcess]] = {
-    "bernoulli": BernoulliInjection,
-    "onoff": OnOffInjection,
-}
+INJECTIONS = Registry("injection process")
+INJECTIONS.register("bernoulli", BernoulliInjection)
+INJECTIONS.register("onoff", OnOffInjection)
 
 
 def make_injection(
@@ -276,13 +277,9 @@ def make_injection(
     (and ignored) for ``"bernoulli"`` so callers can thread one config
     through unconditionally.
     """
-    key = name.strip().lower()
-    if key == "bernoulli":
-        return BernoulliInjection(n_servers, offered)
+    key = INJECTIONS.canonical(name)
     if key == "onoff":
         return OnOffInjection(
             n_servers, offered, burst_slots=burst_slots, idle_slots=idle_slots
         )
-    raise ValueError(
-        f"unknown injection process {name!r}; expected one of {sorted(INJECTIONS)}"
-    )
+    return INJECTIONS.make(key, n_servers, offered)

@@ -79,6 +79,7 @@ class UnitSlotLink(LinkModel):
         tidx = tsw.pv(sim.rev_port[src][port], vc)
         tsw.in_q[tidx].append(pkt)
         tsw.activate(tidx)
+        sim._wake(t)  # agenda backends schedule the receiver (no-op on slot)
 
 
 class PipelinedLink(LinkModel):
@@ -121,6 +122,8 @@ class PipelinedLink(LinkModel):
             tidx = tsw.pv(rev_port[src][port], vc)
             tsw.in_q[tidx].append(pkt)
             tsw.activate(tidx)
+            # Wake before this slot's eject: landings are eligible now.
+            sim._wake(dst)
 
     def purge_link(self, sim, link: tuple[int, int]) -> int:
         """Destroy the packets on the wire of a dying link, both ways.

@@ -1,9 +1,9 @@
 """Topology registry: build any supported family by short name.
 
-Mirrors :data:`repro.traffic.TRAFFIC_PATTERNS` / ``make_traffic``: sweeps,
+Mirrors :data:`repro.traffic.TRAFFIC_REGISTRY` / ``make_traffic``: sweeps,
 the CLI and cache keys select topologies by a short string instead of
-importing family classes, so adding a family is one entry here plus its
-module (see the README's "adding a topology" recipe).
+importing family classes, so adding a family is one registration here
+plus its module (see the README's "adding a topology" recipe).
 
 Every family builder takes only keyword parameters with small defaults,
 so ``make_topology("torus")`` alone yields a CI-sized instance; the
@@ -13,6 +13,7 @@ experiment scales pick per-preset sizes through
 
 from __future__ import annotations
 
+from ..registry import Registry
 from .base import Topology
 from .dragonfly import balanced_dragonfly
 from .fattree import FatTree
@@ -20,36 +21,64 @@ from .hyperx import HyperX
 from .random_regular import RandomRegular
 from .torus import Torus
 
-#: Short names accepted by :func:`make_topology`: the paper's evaluation
-#: families first, then the diversity library.
-TOPOLOGIES: tuple[str, ...] = (
-    "hyperx", "hyperx3", "dragonfly",
-    "torus", "torus3", "mesh", "fattree", "random",
-)
 
-#: Display names by short name.
-TOPOLOGY_DISPLAY: dict[str, str] = {
-    "hyperx": "2D HyperX",
-    "hyperx3": "3D HyperX",
-    "dragonfly": "Dragonfly",
-    "torus": "2D Torus",
-    "torus3": "3D Torus",
-    "mesh": "2D Mesh",
-    "fattree": "Fat-tree",
-    "random": "Random Regular",
-}
+def _dragonfly(*, h, servers_per_switch, **_):
+    df = balanced_dragonfly(h)
+    sps = servers_per_switch
+    if sps is not None and sps != df.p:
+        df = type(df)(a=df.a, p=sps, h=df.h)
+    return df
 
-#: Accepted aliases per registry name (lower-case).
-_ALIASES: dict[str, tuple[str, ...]] = {
-    "hyperx": ("hyperx2d", "2d hyperx"),
-    "hyperx3": ("hyperx3d", "3d hyperx"),
-    "dragonfly": (),
-    "torus": ("torus2d", "2d torus"),
-    "torus3": ("torus3d", "3d torus"),
-    "mesh": ("mesh2d", "2d mesh"),
-    "fattree": ("fat-tree", "folded-clos"),
-    "random": ("random-regular", "jellyfish"),
-}
+
+#: The topology axis: canonical name -> keyword-only factory over the
+#: full :func:`make_topology` parameter set (each family picks what it
+#: needs and ignores the rest).  The paper's evaluation families first,
+#: then the diversity library.
+TOPOLOGY_REGISTRY = Registry("topology")
+for _entry in (
+    ("hyperx",
+     lambda *, side, servers_per_switch, **_:
+         HyperX((side, side), servers_per_switch),
+     ("hyperx2d", "2d hyperx"), "2D HyperX"),
+    ("hyperx3",
+     lambda *, side, servers_per_switch, **_:
+         HyperX((side,) * 3, servers_per_switch),
+     ("hyperx3d", "3d hyperx"), "3D HyperX"),
+    ("dragonfly", _dragonfly, (), "Dragonfly"),
+    ("torus",
+     lambda *, side, servers_per_switch, **_:
+         Torus((side, side), servers_per_switch),
+     ("torus2d", "2d torus"), "2D Torus"),
+    ("torus3",
+     lambda *, side, servers_per_switch, **_:
+         Torus((side,) * 3, servers_per_switch),
+     ("torus3d", "3d torus"), "3D Torus"),
+    ("mesh",
+     lambda *, side, servers_per_switch, **_:
+         Torus((side, side), servers_per_switch, wrap=False),
+     ("mesh2d", "2d mesh"), "2D Mesh"),
+    ("fattree",
+     lambda *, k, servers_per_switch, **_:
+         FatTree(k, servers_per_switch),
+     ("fat-tree", "folded-clos"), "Fat-tree"),
+    ("random",
+     lambda *, n_switches, degree, servers_per_switch, seed, **_:
+         RandomRegular(n_switches, degree, servers_per_switch, seed=seed),
+     ("random-regular", "jellyfish"), "Random Regular"),
+):
+    TOPOLOGY_REGISTRY.register(
+        _entry[0], _entry[1], aliases=_entry[2], display=_entry[3]
+    )
+del _entry
+
+#: Short names accepted by :func:`make_topology`, in registration order.
+TOPOLOGIES: tuple[str, ...] = TOPOLOGY_REGISTRY.names
+
+#: Accepted aliases per registry name (compatibility view).
+_ALIASES: dict[str, tuple[str, ...]] = TOPOLOGY_REGISTRY.alias_table()
+
+#: Display names by short name (compatibility view).
+TOPOLOGY_DISPLAY: dict[str, str] = TOPOLOGY_REGISTRY.display_table()
 
 
 def canonical_name(name: str) -> str:
@@ -60,9 +89,7 @@ def canonical_name(name: str) -> str:
     never silently fall into a different code path than its registry
     name.  Unknown names raise the registry's one error.
     """
-    from ..registry import resolve_name
-
-    return resolve_name(name, _ALIASES, kind="topology", expected=TOPOLOGIES)
+    return TOPOLOGY_REGISTRY.canonical(name)
 
 
 def make_topology(
@@ -84,29 +111,13 @@ def make_topology(
     ``n_switches``/``degree``/``seed`` the random-regular draw.
     ``servers_per_switch`` overrides every family's default density.
     """
-    key = canonical_name(name)
-    sps = servers_per_switch
-    if key == "hyperx":
-        return HyperX((side, side), sps)
-    if key == "hyperx3":
-        return HyperX((side,) * 3, sps)
-    if key == "dragonfly":
-        df = balanced_dragonfly(h)
-        if sps is not None and sps != df.p:
-            df = type(df)(a=df.a, p=sps, h=df.h)
-        return df
-    if key == "torus":
-        return Torus((side, side), sps)
-    if key == "torus3":
-        return Torus((side,) * 3, sps)
-    if key == "mesh":
-        return Torus((side, side), sps, wrap=False)
-    if key == "fattree":
-        return FatTree(k, sps)
-    if key == "random":
-        return RandomRegular(n_switches, degree, sps, seed=seed)
-    # Unreachable unless a name is registered without a dispatch branch.
-    # RuntimeError so no ValueError-filtering caller can swallow the drift.
-    raise RuntimeError(
-        f"topology {key!r} is registered but has no factory branch"
+    return TOPOLOGY_REGISTRY.make(
+        name,
+        side=side,
+        servers_per_switch=servers_per_switch,
+        h=h,
+        k=k,
+        n_switches=n_switches,
+        degree=degree,
+        seed=seed,
     )

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..registry import Registry
 from ..topology.base import Network
 from .base import PermutationTraffic, TrafficPattern, validate_permutation
 from .patterns import (
@@ -25,29 +26,48 @@ from .workloads import (
     break_fixed_points,
 )
 
-#: Short names accepted by :func:`make_traffic`: the paper's four first,
-#: then the workload-diversity library.
-TRAFFIC_PATTERNS: tuple[str, ...] = (
-    "uniform", "randperm", "dcr", "rpn",
-    "hotspot", "tornado", "shift", "transpose", "bitrev", "shuffle",
-    "adversarial",
-)
+#: The traffic-pattern axis: canonical name -> ``(network, rng)``
+#: factory.  The paper's four patterns first, then the
+#: workload-diversity library.  Register here to make a pattern
+#: reachable from sweeps, cache keys and the CLI alike.
+TRAFFIC_REGISTRY = Registry("traffic pattern")
+for _entry in (
+    ("uniform", lambda net, rng: UniformTraffic(net),
+     (), "Uniform"),
+    ("randperm", lambda net, rng: RandomServerPermutation(net, rng),
+     ("random server permutation",), "Random Server Permutation"),
+    ("dcr", lambda net, rng: DimensionComplementReverse(net),
+     ("dimension complement reverse",), "Dimension Complement Reverse"),
+    ("rpn", lambda net, rng: RegularPermutationToNeighbour(net),
+     ("regular permutation to neighbour",), "Regular Permutation to Neighbour"),
+    ("hotspot", lambda net, rng: HotspotTraffic(net, rng),
+     (), "Hotspot"),
+    ("tornado", lambda net, rng: TornadoTraffic(net),
+     (), "Tornado"),
+    ("shift", lambda net, rng: ShiftTraffic(net),
+     (), "Shift"),
+    ("transpose", lambda net, rng: BitTransposeTraffic(net),
+     ("bit transpose",), "Bit Transpose"),
+    ("bitrev", lambda net, rng: BitReverseTraffic(net),
+     ("bit reverse",), "Bit Reverse"),
+    ("shuffle", lambda net, rng: BitShuffleTraffic(net),
+     ("bit shuffle",), "Bit Shuffle"),
+    ("adversarial", lambda net, rng: DragonflyAdversarial(net),
+     ("dragonfly adversarial", "dfly-adv"), "Dragonfly Adversarial"),
+):
+    TRAFFIC_REGISTRY.register(
+        _entry[0], _entry[1], aliases=_entry[2], display=_entry[3]
+    )
+del _entry
 
-#: Accepted aliases per registry name (lower-case): the display names
-#: plus historical shorthands.
-_ALIASES: dict[str, tuple[str, ...]] = {
-    "uniform": (),
-    "randperm": ("random server permutation",),
-    "dcr": ("dimension complement reverse",),
-    "rpn": ("regular permutation to neighbour",),
-    "hotspot": (),
-    "tornado": (),
-    "shift": (),
-    "transpose": ("bit transpose",),
-    "bitrev": ("bit reverse",),
-    "shuffle": ("bit shuffle",),
-    "adversarial": ("dragonfly adversarial", "dfly-adv"),
-}
+#: Short names accepted by :func:`make_traffic`, in registration order.
+TRAFFIC_PATTERNS: tuple[str, ...] = TRAFFIC_REGISTRY.names
+
+#: Accepted aliases per registry name (compatibility view).
+_ALIASES: dict[str, tuple[str, ...]] = TRAFFIC_REGISTRY.alias_table()
+
+#: Display names by short name (compatibility view).
+TRAFFIC_DISPLAY: dict[str, str] = TRAFFIC_REGISTRY.display_table()
 
 
 def canonical_traffic_name(name: str) -> str:
@@ -55,31 +75,11 @@ def canonical_traffic_name(name: str) -> str:
 
     Every consumer that matches pattern names (the factory below, the
     sweep validators) goes through this, so an alias can never behave
-    differently from its short name.  Unknown names raise the one
-    "unknown traffic pattern" error — a typo is an error, not an
+    differently from its short name.  Unknown names raise the registry's
+    one "unknown traffic pattern" error — a typo is an error, not an
     unsupported topology.
     """
-    from ..registry import resolve_name
-
-    return resolve_name(
-        name, _ALIASES, kind="traffic pattern", expected=TRAFFIC_PATTERNS
-    )
-
-
-#: Display names by short name.
-TRAFFIC_DISPLAY: dict[str, str] = {
-    "uniform": "Uniform",
-    "randperm": "Random Server Permutation",
-    "dcr": "Dimension Complement Reverse",
-    "rpn": "Regular Permutation to Neighbour",
-    "hotspot": "Hotspot",
-    "tornado": "Tornado",
-    "shift": "Shift",
-    "transpose": "Bit Transpose",
-    "bitrev": "Bit Reverse",
-    "shuffle": "Bit Shuffle",
-    "adversarial": "Dragonfly Adversarial",
-}
+    return TRAFFIC_REGISTRY.canonical(name)
 
 
 def make_traffic(
@@ -93,35 +93,7 @@ def make_traffic(
     topology class) or ``ValueError`` (wrong sizing) — use
     :func:`supported_traffics` to filter a pattern list for a network.
     """
-    key = canonical_traffic_name(name)
-    if key == "uniform":
-        return UniformTraffic(network)
-    if key == "randperm":
-        return RandomServerPermutation(network, rng)
-    if key == "dcr":
-        return DimensionComplementReverse(network)
-    if key == "rpn":
-        return RegularPermutationToNeighbour(network)
-    if key == "hotspot":
-        return HotspotTraffic(network, rng)
-    if key == "tornado":
-        return TornadoTraffic(network)
-    if key == "shift":
-        return ShiftTraffic(network)
-    if key == "transpose":
-        return BitTransposeTraffic(network)
-    if key == "bitrev":
-        return BitReverseTraffic(network)
-    if key == "shuffle":
-        return BitShuffleTraffic(network)
-    if key == "adversarial":
-        return DragonflyAdversarial(network)
-    # Unreachable unless a name is registered without a dispatch branch.
-    # RuntimeError, not ValueError: supported_traffics swallows the
-    # structural ValueErrors, and registry drift must stay loud there too.
-    raise RuntimeError(
-        f"traffic pattern {key!r} is registered but has no factory branch"
-    )
+    return TRAFFIC_REGISTRY.make(name, network, rng)
 
 
 def supported_traffics(
@@ -158,6 +130,7 @@ __all__ = [
     "ShiftTraffic",
     "TRAFFIC_DISPLAY",
     "TRAFFIC_PATTERNS",
+    "TRAFFIC_REGISTRY",
     "TornadoTraffic",
     "TrafficPattern",
     "UniformTraffic",

@@ -1,0 +1,232 @@
+"""Differential suite: the ``"event"`` backend must be *byte-identical*
+to the ``"slot"`` reference — not statistically close.
+
+Every case runs the same job list twice through the serial executor,
+once per backend, and compares the JSON-normalised records (the same
+fingerprint the golden suite uses).  The matrix spans mechanisms
+(table-driven minimal, two-phase Valiant, escape-based PolSP) ×
+topology families (HyperX, torus, fat-tree) × schedules (static,
+mid-run fail-then-repair, phased workload), plus the microarchitecture
+variants whose RNG/wake behaviour differs (pipelined links, on-off
+injection, split RNG streams), each over multiple seeds.
+
+The cache-key tests pin that ``backend`` reaches ``job_key``: slot and
+event results can never alias one cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.executor import (
+    SerialExecutor,
+    encode_json_safe,
+    job_key,
+)
+from repro.experiments.sweeps import (
+    load_sweep_jobs,
+    transient_run_jobs,
+    workload_sweep_jobs,
+)
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.schedule import FaultSchedule
+from repro.simulator.workload import WorkloadSchedule
+from repro.topology.base import Network
+from repro.topology.catalog import make_topology
+from repro.topology.faults import random_connected_fault_sequence
+from repro.topology.hyperx import HyperX
+
+import pytest
+
+SLOT = PAPER_CONFIG
+EVENT = PAPER_CONFIG.with_(backend="event")
+
+#: Mechanisms covering the three routing styles that exercise distinct
+#: engine paths: plain tables, two-phase Valiant, escape-based SurePath.
+MECHANISMS = ("Minimal", "Valiant", "PolSP")
+
+SEEDS = (0, 1)
+
+WARMUP, MEASURE = 60, 120
+
+
+def _families():
+    return {
+        "hyperx": HyperX((4, 4), 2),
+        "torus": make_topology("torus", side=4, servers_per_switch=2),
+        "fattree": make_topology("fattree", k=4, servers_per_switch=2),
+    }
+
+
+def _normalize(records):
+    return json.loads(json.dumps(encode_json_safe(records)))
+
+
+def _run_both(make_jobs):
+    """Run ``make_jobs(config)`` under each backend; return both fingerprints."""
+    slot = SerialExecutor().run(make_jobs(SLOT))
+    event = SerialExecutor().run(make_jobs(EVENT))
+    return _normalize(slot), _normalize(event)
+
+
+def _assert_identical(slot, event):
+    assert len(slot) == len(event)
+    for s, e in zip(slot, event):
+        # The config (and with it the backend name) is not part of the
+        # record payload, so a straight equality is the full fingerprint.
+        assert s == e, (
+            f"backend divergence at {s.get('mechanism')}/{s.get('traffic')}"
+            f"/offered={s.get('offered')}/seed={s.get('seed')}"
+        )
+
+
+@pytest.mark.parametrize("family", sorted(_families()))
+def test_static_sweep_identical(family):
+    topo = _families()[family]
+    net = Network(topo)
+
+    def jobs(config):
+        out = []
+        for seed in SEEDS:
+            out += load_sweep_jobs(
+                net, MECHANISMS, ("uniform",), (0.3, 0.7),
+                warmup=WARMUP, measure=MEASURE, seed=seed, config=config,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs))
+
+
+@pytest.mark.parametrize("family", sorted(_families()))
+def test_midrun_fault_schedule_identical(family):
+    topo = _families()[family]
+    net = Network(topo)
+    link = random_connected_fault_sequence(topo, 1, rng=7)[0]
+    schedule = FaultSchedule.down_then_up(
+        WARMUP + 20, WARMUP + 80, [link]
+    )
+
+    def jobs(config):
+        out = []
+        for seed in SEEDS:
+            out += transient_run_jobs(
+                net, MECHANISMS, ("uniform",), schedule,
+                offered=0.5, warmup=WARMUP, measure=MEASURE,
+                series_interval=20, seed=seed, config=config,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs))
+
+
+@pytest.mark.parametrize("family", sorted(_families()))
+def test_phased_workload_identical(family):
+    topo = _families()[family]
+    net = Network(topo)
+    # Load dips then spikes mid-measurement: agenda drains, then refills.
+    workload = WorkloadSchedule.load_steps(
+        [(WARMUP + 30, 0.05), (WARMUP + 80, 0.8)]
+    )
+
+    def jobs(config):
+        out = []
+        for seed in SEEDS:
+            out += workload_sweep_jobs(
+                net, MECHANISMS, ("uniform",), (0.4,),
+                injections=("bernoulli",), workload=workload,
+                warmup=WARMUP, measure=MEASURE, seed=seed, config=config,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs))
+
+
+def test_pattern_swap_workload_identical():
+    net = Network(HyperX((4, 4), 2))
+    workload = WorkloadSchedule.pattern_steps([(WARMUP + 40, "randperm")])
+
+    def jobs(config):
+        return workload_sweep_jobs(
+            net, ("PolSP",), ("uniform",), (0.5,),
+            injections=("bernoulli",), workload=workload,
+            warmup=WARMUP, measure=MEASURE, seed=0, config=config,
+        )
+
+    _assert_identical(*_run_both(jobs))
+
+
+def test_pipelined_links_identical():
+    net = Network(HyperX((4, 4), 2))
+
+    def jobs(config):
+        cfg = config.with_(link_latency_slots=2)
+        out = []
+        for seed in SEEDS:
+            out += load_sweep_jobs(
+                net, ("Minimal", "PolSP"), ("uniform",), (0.3, 0.7),
+                warmup=WARMUP, measure=MEASURE, seed=seed, config=cfg,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs))
+
+
+def test_onoff_injection_and_split_streams_identical():
+    net = Network(HyperX((4, 4), 2))
+
+    def jobs(config):
+        out = []
+        for streams in ("shared", "split"):
+            cfg = config.with_(rng_streams=streams)
+            out += workload_sweep_jobs(
+                net, ("PolSP",), ("randperm",), (0.5,),
+                injections=("onoff",), burst_slots=4, idle_slots=4,
+                warmup=WARMUP, measure=MEASURE, seed=0, config=cfg,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs))
+
+
+def test_random_arbiter_identical():
+    # The random arbiter draws RNG per *visited* switch with head-of-line
+    # work — the sharpest probe that the agenda visits exactly the
+    # acting switches in the reference order.
+    net = Network(HyperX((4, 4), 2))
+
+    def jobs(config):
+        cfg = config.with_(arbiter="random")
+        out = []
+        for seed in SEEDS:
+            out += load_sweep_jobs(
+                net, ("PolSP",), ("uniform",), (0.3, 0.7),
+                warmup=WARMUP, measure=MEASURE, seed=seed, config=cfg,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs))
+
+
+class TestBackendInCacheKey:
+    def _job(self, config):
+        return load_sweep_jobs(
+            Network(HyperX((4, 4), 2)), ("Minimal",), ("uniform",), (0.5,),
+            warmup=WARMUP, measure=MEASURE, seed=0, config=config,
+        )[0]
+
+    def test_backend_changes_job_key(self):
+        assert job_key(self._job(SLOT)) != job_key(self._job(EVENT))
+
+    def test_same_backend_same_key(self):
+        assert job_key(self._job(EVENT)) == job_key(
+            self._job(PAPER_CONFIG.with_(backend="event"))
+        )
+
+    def test_backends_cache_separately(self, tmp_path):
+        cache = tmp_path / "cache"
+        slot = SerialExecutor(cache_dir=cache).run([self._job(SLOT)])
+        n_after_slot = len(list(cache.rglob("*.json")))
+        event = SerialExecutor(cache_dir=cache).run([self._job(EVENT)])
+        n_after_event = len(list(cache.rglob("*.json")))
+        assert n_after_event == n_after_slot + 1
+        assert _normalize(slot) == _normalize(event)
