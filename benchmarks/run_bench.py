@@ -17,7 +17,19 @@ commit SHA there, so regressions are attributable to a commit):
 * paired slot-vs-event engine-backend kernels — a sparse low-load point
   and a long-warmup transient point, each run under both backends with
   identical results required — tracking the event backend's speedup
-  (the sparse kernel must stay >= 3x).
+  (the sparse kernel must stay >= 3x);
+* paired slot-vs-array engine-backend kernels — a dense medium-load
+  congestion point (hotspot on a 144-switch HyperX) and an
+  allocate-heavy mesh point, each run under both backends with
+  byte-identical end state required, plus a per-phase breakdown of the
+  array backend.  The dense kernel is the array speedup guard: the
+  vectorized backend must hold >= 3x the slot backend's slots/sec.
+
+The exit status gates regressions: end-state/record identity on every
+paired kernel, the event sparse and array dense speedup floors, and —
+on machines with more than one CPU — parallel-executor speedup >= 1x
+over serial on the multi-point sweep (single-CPU hosts record the
+ratio but cannot meaningfully gate it).
 
 Usage::
 
@@ -29,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -57,6 +70,10 @@ PRESETS = {
 }
 
 PHASES = ("eject", "allocate", "transmit", "inject")
+
+#: Speedup floors enforced through the exit status.
+MIN_EVENT_SPARSE_SPEEDUP = 3.0
+MIN_ARRAY_DENSE_SPEEDUP = 3.0
 
 
 def build_jobs(preset: str, seed: int):
@@ -252,6 +269,127 @@ def backend_kernels(seed: int = 0) -> dict:
     return out
 
 
+def array_backend_kernels(seed: int = 0) -> dict:
+    """Paired slot-vs-array engine kernels: same point, both backends.
+
+    Two regimes chosen for the array backend's vectorized phase scans
+    and request-derivation cache:
+
+    * ``dense``: hotspot traffic at medium offered load on a 144-switch
+      HyperX ((12,12), 12 servers/switch) — the congestion-tree regime.
+      Most heads sit blocked behind exhausted hotspot credits, so the
+      slot backend re-scores every active head every slot while the
+      array backend's head cache re-derives only changed heads and
+      scores the rest in one broadcast-add over the penalty matrix.
+      This kernel is the speedup guard (>= ``MIN_ARRAY_DENSE_SPEEDUP``).
+    * ``mesh_alloc``: hotspot on an 8x8 mesh — allocation against the
+      central congestion of an unwrapped torus, a smaller point where
+      the scalar grant loop and physical phases bound the speedup.
+      Recorded, not gated: it tracks where the vectorization floor is.
+
+    Timing is *best-of-chunks*: after warmup, each backend runs a few
+    chunks of slots and the fastest chunk is kept — robust against the
+    scheduling noise of shared CI runners, which a single long interval
+    averages in.  Both backends then must agree on the full end state
+    (packets in flight, next packet id, the credit matrix and the RNG
+    stream position) — the same byte-identity the differential suite
+    pins, asserted here on every run of the perf guard itself.
+
+    The array backend's four phases are timed separately on a second,
+    hand-driven simulator (the ``phase_breakdown`` pattern), so the
+    json records where the array backend actually spends its time.
+    """
+    out = {}
+
+    def _probe(sim):
+        return (
+            sim.in_flight,
+            sim.next_pid,
+            float(sim.state.credits.sum()),
+            int(sim.state.packets.live),
+            int(sim.rng.integers(1 << 30)),
+        )
+
+    def _best_rate(sim, warmup, chunks, chunk_slots):
+        for _ in range(warmup):
+            sim.step()
+        best = float("inf")
+        for _ in range(chunks):
+            t0 = time.perf_counter()
+            for _ in range(chunk_slots):
+                sim.step()
+            best = min(best, time.perf_counter() - t0)
+        return chunk_slots / best, _probe(sim)
+
+    def _array_phase_split(build, warmup, slots):
+        sim = build("array")
+        for _ in range(warmup):
+            sim.step()
+        times = dict.fromkeys(PHASES, 0.0)
+        t_all = time.perf_counter()
+        for _ in range(slots):
+            t0 = time.perf_counter()
+            sim._eject()
+            t1 = time.perf_counter()
+            sim._allocate()
+            t2 = time.perf_counter()
+            sim._transmit()
+            t3 = time.perf_counter()
+            sim._inject()
+            t4 = time.perf_counter()
+            sim.slot += 1
+            times["eject"] += t1 - t0
+            times["allocate"] += t2 - t1
+            times["transmit"] += t3 - t2
+            times["inject"] += t4 - t3
+        total = time.perf_counter() - t_all
+        return (
+            {k: round(v, 4) for k, v in times.items()},
+            {k: round(v / total, 3) for k, v in times.items()},
+        )
+
+    def _pair(name, build, warmup, chunks, chunk_slots):
+        rate, fingerprint = {}, {}
+        for backend in ("slot", "array"):
+            rate[backend], fingerprint[backend] = _best_rate(
+                build(backend), warmup, chunks, chunk_slots
+            )
+        phase_seconds, phase_share = _array_phase_split(
+            build, warmup, chunks * chunk_slots
+        )
+        out[name] = {
+            "slot_slots_per_sec": round(rate["slot"], 1),
+            "array_slots_per_sec": round(rate["array"], 1),
+            "speedup": round(rate["array"] / rate["slot"], 2),
+            "records_identical": fingerprint["slot"] == fingerprint["array"],
+            "array_phase_seconds": phase_seconds,
+            "array_phase_share": phase_share,
+        }
+
+    dense_net = Network(HyperX((12, 12), 12))
+    dense_mech = make_mechanism("PolSP", dense_net, rng=seed + 1)
+
+    def _dense(backend):
+        return make_simulator(
+            PAPER_CONFIG.with_(backend=backend), dense_net, dense_mech,
+            make_traffic("hotspot", dense_net, seed), offered=0.7, seed=seed,
+        )
+
+    _pair("dense", _dense, warmup=250, chunks=4, chunk_slots=5)
+
+    mesh_net = Network(make_topology("mesh", side=8, servers_per_switch=8))
+    mesh_mech = make_mechanism("PolSP", mesh_net, rng=seed + 1)
+
+    def _mesh(backend):
+        return make_simulator(
+            PAPER_CONFIG.with_(backend=backend), mesh_net, mesh_mech,
+            make_traffic("hotspot", mesh_net, seed), offered=0.5, seed=seed,
+        )
+
+    _pair("mesh_alloc", _mesh, warmup=250, chunks=3, chunk_slots=8)
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local",
@@ -283,6 +421,17 @@ def main(argv=None) -> int:
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     print(f"speedup: {speedup:.2f}x, records identical: {identical}")
 
+    # Gate: with per-worker chunking the pool must not lose to the
+    # serial loop on a multi-point sweep.  Only meaningful where
+    # hardware parallelism exists — on a single-CPU host the workers
+    # time-share one core and the pool overhead is pure loss.
+    multi_core = (os.cpu_count() or 1) > 1
+    parallel_ok = speedup >= 1.0 or len(jobs) <= 1 or args.jobs <= 1
+    if not multi_core and not parallel_ok:
+        print("note: parallel speedup < 1 on a single-CPU host; "
+              "recording without gating")
+        parallel_ok = True
+
     phases = phase_breakdown(seed=args.seed)
     shares = ", ".join(
         f"{k}={phases['phase_share'][k]:.0%}" for k in PHASES
@@ -307,6 +456,27 @@ def main(argv=None) -> int:
         print(f"backend {name:>10}: slot={k['slot_seconds']:.2f}s "
               f"event={k['event_seconds']:.2f}s speedup={k['speedup']:.2f}x "
               f"identical={k['records_identical']}")
+    event_sparse_ok = backends["sparse"]["speedup"] >= MIN_EVENT_SPARSE_SPEEDUP
+
+    array_kernels = array_backend_kernels(seed=args.seed)
+    array_identical = all(
+        k["records_identical"] for k in array_kernels.values()
+    )
+    for name, k in array_kernels.items():
+        shares = ", ".join(
+            f"{p}={k['array_phase_share'][p]:.0%}" for p in PHASES
+        )
+        print(f"array {name:>11}: slot={k['slot_slots_per_sec']:.1f}/s "
+              f"array={k['array_slots_per_sec']:.1f}/s "
+              f"speedup={k['speedup']:.2f}x "
+              f"identical={k['records_identical']} ({shares})")
+    array_dense_ok = (
+        array_kernels["dense"]["speedup"] >= MIN_ARRAY_DENSE_SPEEDUP
+    )
+    if not array_dense_ok:
+        print(f"FAIL: array dense kernel speedup "
+              f"{array_kernels['dense']['speedup']:.2f}x "
+              f"< {MIN_ARRAY_DENSE_SPEEDUP:.1f}x floor")
 
     result = {
         "label": args.label,
@@ -324,11 +494,20 @@ def main(argv=None) -> int:
         "workload_kernels": workloads,
         "topology_kernels": topologies,
         "backend_kernels": backends,
+        "array_kernels": array_kernels,
     }
     out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out}")
-    return 0 if identical and backends_identical else 1
+    ok = (
+        identical
+        and backends_identical
+        and array_identical
+        and event_sparse_ok
+        and array_dense_ok
+        and parallel_ok
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

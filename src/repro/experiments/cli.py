@@ -20,9 +20,10 @@ sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient,
 fig-ablation-arbiter, fig-workloads and fig-topologies) accept ``--jobs
 N`` to simulate points on a process pool, ``--cache-dir DIR`` to reuse
 previously simulated points across runs, and ``--backend NAME`` to pick
-the engine backend: ``slot`` (the reference loop) or ``event`` (skips
+the engine backend: ``slot`` (the reference loop), ``event`` (skips
 idle switches — identical records, faster at low load and through long
-warmups; see the README's "Backends" section).  ``fig-transient`` goes beyond
+warmups) or ``array`` (vectorized phase kernels — identical records,
+faster on dense loads; see the README's "Backends" section).  ``fig-transient`` goes beyond
 the paper's static snapshots: links fail (and optionally come back)
 *mid-run* and the per-interval recovery series is reported.
 ``fig-ablation-arbiter`` sweeps the router microarchitecture itself —
@@ -130,8 +131,9 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", default="slot",
                    choices=sorted(ENGINE_BACKENDS),
                    help="engine backend: 'slot' visits every switch each "
-                        "slot (reference), 'event' skips idle switches — "
-                        "identical records (default: slot)")
+                        "slot (reference), 'event' skips idle switches, "
+                        "'array' vectorizes the phase scans — identical "
+                        "records (default: slot)")
 
 
 def _emit(records, args, columns=None, title=None) -> None:

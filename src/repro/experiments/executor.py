@@ -68,7 +68,12 @@ from .runner import ExperimentRunner, PointSpec
 #: (slot vs event scheduling).  Backends are record-identical by
 #: contract, but the field enters the payload via ``asdict(config)``, so
 #: pre-v6 entries (no ``backend`` key) must not alias v6 ones.
-CACHE_VERSION = 6
+#: v7: the struct-of-arrays state core + ``"array"`` backend.  The store
+#: refactor is record-identical (golden-pinned), but the backend value
+#: space grew and the state layout underlying every record changed —
+#: entries produced by either generation must not alias the other, and
+#: ``backend="array"`` records must never alias slot/event ones.
+CACHE_VERSION = 7
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).
@@ -491,9 +496,13 @@ class ParallelExecutor(Executor):
         Jobs handed to a worker per dispatch.  Sweeps emit jobs grouped
         by network, so chunks keep a worker on one network long enough to
         amortise its routing-table construction (jobs inside one chunk
-        also share their pickled topology).  Defaults to splitting the
-        work list about four ways per worker — big enough to amortise,
-        small enough to load-balance.
+        also share their pickled topology).  Defaults to one chunk per
+        worker (``ceil(len(jobs) / workers)``): sweep points are
+        near-homogeneous in cost, so rebalancing buys nothing while
+        every extra dispatch re-pays the pool's pickling/IPC round
+        trip — the finer default used to leave short sweeps *slower*
+        than the serial executor.  Pass a smaller value explicitly for
+        heterogeneous job lists that need load balancing.
     """
 
     def __init__(
@@ -522,7 +531,7 @@ class ParallelExecutor(Executor):
         workers = min(self.n_workers, len(jobs))
         chunksize = self.chunksize
         if chunksize is None:
-            chunksize = max(1, len(jobs) // (workers * 4))
+            chunksize = -(-len(jobs) // workers)  # ceil: one chunk per worker
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(run_job, jobs, chunksize=chunksize))
 

@@ -90,6 +90,22 @@ class RoutingMechanism(ABC):
         SurePath's escape phase) override it.
         """
 
+    def candidate_key(self, pkt: "Packet", current: int) -> tuple | None:
+        """A hashable key such that two packets with equal keys get equal
+        :meth:`candidates` lists, or ``None`` when no such key is cheap.
+
+        The contract: between two calls to :meth:`on_topology_change`,
+        ``candidate_key(a, c) == candidate_key(b, c) != None`` implies
+        ``candidates(a, c) == candidates(b, c)`` — i.e. the key captures
+        *every* per-packet field the candidate computation reads.  The
+        array backend uses it to share one candidate list (and its
+        pre-built score arrays) across all packets on the same route
+        situation, instead of recomputing per packet-hop; mechanisms
+        whose candidates depend on unbounded per-packet state simply
+        return ``None`` (the default) and keep per-packet memoisation.
+        """
+        return None
+
     # ------------------------------------------------------------------
     def max_route_length(self) -> int | None:
         """Upper bound on switch-to-switch hops, when one is known."""

@@ -75,6 +75,11 @@ class OmnidimensionalRoutes:
                         out.append((p, nbr, DEROUTE_PENALTY))
         return out
 
+    def ports_key(self, pkt) -> tuple:
+        # ``ports`` reads only (current, dst_switch) and whether the
+        # deroute budget is open; current/dst are keyed by the caller.
+        return (pkt.deroutes < self.max_deroutes,)
+
     def on_hop(self, pkt, new_switch: int) -> None:
         pkt.hops += 1
         # Omnidimensional hops only move within unaligned dimensions, so the
@@ -121,6 +126,12 @@ class OmniWARRouting(RoutingMechanism):
             return []
         vc = vcs[0]
         return [(port, vc, pen) for port, _nbr, pen in self.routes.ports(pkt, current)]
+
+    def candidate_key(self, pkt, current: int) -> tuple:
+        # The one-by-one ladder adds the packet's hop count (saturating:
+        # every exhausted ladder yields the same empty list).
+        hops = pkt.hops if pkt.hops < self.n_vcs else self.n_vcs
+        return (current, pkt.dst_switch, hops) + self.routes.ports_key(pkt)
 
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         self.routes.on_hop(pkt, new_switch)

@@ -91,6 +91,11 @@ class PolarizedRoutes:
             out.append((port, int(nbr), PENALTY_BY_DELTA_MU[int(dmu)]))
         return out
 
+    def ports_key(self, pkt) -> tuple:
+        # ``ports`` reads only (current, src_switch, dst_switch, closer)
+        # and topology tables; current/dst are keyed by the caller.
+        return (pkt.src_switch, pkt.closer)
+
     def on_hop(self, pkt, new_switch: int) -> None:
         pkt.hops += 1
         pkt.closer = bool(
@@ -131,6 +136,12 @@ class PolarizedRouting(RoutingMechanism):
             return []
         vc = vcs[0]
         return [(port, vc, pen) for port, _nbr, pen in self.routes.ports(pkt, current)]
+
+    def candidate_key(self, pkt, current: int) -> tuple:
+        # The one-by-one ladder adds the packet's hop count (saturating:
+        # every exhausted ladder yields the same empty list).
+        hops = pkt.hops if pkt.hops < self.n_vcs else self.n_vcs
+        return (current, pkt.dst_switch, hops) + self.routes.ports_key(pkt)
 
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         self.routes.on_hop(pkt, new_switch)

@@ -49,6 +49,8 @@ class RouteSet(Protocol):
 
     def ports(self, pkt, current: int) -> list[tuple[int, int, int]]: ...
 
+    def ports_key(self, pkt) -> tuple | None: ...
+
     def on_hop(self, pkt, new_switch: int) -> None: ...
 
     def on_topology_change(self) -> None: ...
@@ -126,6 +128,22 @@ class SurePathRouting(RoutingMechanism):
         for port, _nbr, pen in self.escape.candidates(current, pkt.dst_switch, phase):
             out.append((port, self.escape_vc, pen))
         return out
+
+    def candidate_key(self, pkt, current: int) -> tuple | None:
+        """See :meth:`RoutingMechanism.candidate_key`.
+
+        :meth:`candidates` reads, besides ``current``: ``pkt.in_escape``,
+        the base route set's inputs (``dst_switch`` plus whatever
+        ``ports_key`` declares) for rule 1, and ``(dst_switch,
+        escape_phase)`` for rule 2 — packets outside the escape always
+        query the climb phase, so their phase needs no key component.
+        """
+        if pkt.in_escape:
+            return (1, current, pkt.dst_switch, pkt.escape_phase)
+        rk = self.routes.ports_key(pkt)
+        if rk is None:
+            return None
+        return (0, current, pkt.dst_switch) + rk
 
     def on_hop(self, pkt, old_switch: int, new_switch: int, port: int, vc: int) -> None:
         if vc == self.escape_vc:

@@ -76,7 +76,9 @@ class Arbiter(ABC):
         mech = sim.mechanism
         sid = sw.sid
         n_vcs = sw.n_vcs
-        credits = sw.credits
+        # List snapshot (see QPArbiter.allocate): exact until the first
+        # commit, and every commit happens after the request scan.
+        credits = sw.credits.tolist()
         out_q = sw.out_q
         fc = sim.flow_control
         min_cred = fc.min_credits
@@ -109,9 +111,7 @@ class Arbiter(ABC):
         """Grant bookkeeping: move the packet input -> output VC, return
         the freed input credit, advance the routing mechanism."""
         pv = port * sw.n_vcs + vc
-        sw.in_q[idx].popleft()
-        if not sw.in_q[idx]:
-            sw.deactivate(idx)
+        sw.pop_input(idx)
         sim._return_input_credit(sw, idx)
         sw.grant(pv, pkt)
         new_switch = sim.network.port_neighbour[sw.sid][port]
@@ -163,24 +163,27 @@ class QPArbiter(Arbiter):
         granted = 0
         mech = sim.mechanism
         phits = sim._phits
-        speedup = sim.cfg.crossbar_speedup
         fc = sim.flow_control
         min_cred = fc.min_credits
         out_cap = fc.output_capacity
         rng = sim.rng
         metrics = sim.metrics
         n_vcs = sim._n_vcs
-        port_neighbour = sim.network.port_neighbour
         slot = sim.slot
         for sw in sim.alloc_switches():
             if not sw.active_inputs:
                 continue
             sid = sw.sid
             in_q = sw.in_q
-            credits = sw.credits
             out_q = sw.out_q
-            load = sw.load
-            port_load = sw.port_load
+            # Plain-list snapshots of the store rows: nothing mutates
+            # this switch's credit/load state between here and its grant
+            # phase (grants at earlier switches already happened), so
+            # the request loop reads exact values at list-index speed;
+            # the grant phase re-checks the *live* rows.
+            credits = sw.credits.tolist()
+            load = sw.load.tolist()
+            port_load = sw.port_load.tolist()
             # ---- requests -------------------------------------------------
             requests: dict[int, list[tuple[float, float, int, int, Packet]]] = {}
             for idx in sw.active_inputs:
@@ -219,31 +222,54 @@ class QPArbiter(Arbiter):
             if not requests:
                 continue
             # ---- grants ---------------------------------------------------
-            npv = sw.n_ports * n_vcs
-            input_wins: dict[int, int] = {}
-            for port, reqs in requests.items():
-                reqs.sort()
-                grants_here = 0
-                for score, _tie, idx, vc, pkt in reqs:
-                    if grants_here >= speedup:
-                        break
-                    in_port = idx // n_vcs if idx < npv else sw.n_ports + (idx - npv)
-                    if input_wins.get(in_port, 0) >= speedup:
-                        continue
-                    pv = port * n_vcs + vc
-                    if credits[pv] < min_cred or len(out_q[pv]) >= out_cap:
-                        continue  # an earlier grant consumed the last slot
-                    in_q[idx].popleft()
-                    if not in_q[idx]:
-                        sw.deactivate(idx)
-                    sim._return_input_credit(sw, idx)
-                    sw.grant(pv, pkt)
-                    new_switch = port_neighbour[sid][port]
-                    mech.on_hop(pkt, sid, new_switch, port, vc)
-                    pkt.cand_switch = -1
-                    input_wins[in_port] = input_wins.get(in_port, 0) + 1
-                    grants_here += 1
-                    granted += 1
+            granted += self._grant_requests(sim, sw, requests)
+        return granted
+
+    def _grant_requests(self, sim, sw, requests) -> int:
+        """The grant half of :meth:`allocate`: sort each output port's
+        ``(score, tie, idx, vc, pkt)`` requests and grant in ascending
+        order, re-checking flow control live (an earlier grant may have
+        consumed the last slot) and the per-input win cap.
+
+        Shared with the array backend, whose vectorized request phase
+        builds the identical ``requests`` dict (same scores, same RNG
+        tie-breaks, same insertion order) and hands it over here so the
+        grant-side credit feedback stays the reference scalar code.
+        """
+        granted = 0
+        sid = sw.sid
+        n_vcs = sw.n_vcs
+        npv = sw.n_ports * n_vcs
+        credits = sw.credits
+        out_q = sw.out_q
+        mech = sim.mechanism
+        speedup = sim.cfg.crossbar_speedup
+        fc = sim.flow_control
+        min_cred = fc.min_credits
+        out_cap = fc.output_capacity
+        port_neighbour = sim.network.port_neighbour
+        input_wins: dict[int, int] = {}
+        for port, reqs in requests.items():
+            reqs.sort()
+            grants_here = 0
+            for score, _tie, idx, vc, pkt in reqs:
+                if grants_here >= speedup:
+                    break
+                in_port = idx // n_vcs if idx < npv else sw.n_ports + (idx - npv)
+                if input_wins.get(in_port, 0) >= speedup:
+                    continue
+                pv = port * n_vcs + vc
+                if credits[pv] < min_cred or len(out_q[pv]) >= out_cap:
+                    continue  # an earlier grant consumed the last slot
+                sw.pop_input(idx)
+                sim._return_input_credit(sw, idx)
+                sw.grant(pv, pkt)
+                new_switch = port_neighbour[sid][port]
+                mech.on_hop(pkt, sid, new_switch, port, vc)
+                pkt.cand_switch = -1
+                input_wins[in_port] = input_wins.get(in_port, 0) + 1
+                grants_here += 1
+                granted += 1
         return granted
 
 

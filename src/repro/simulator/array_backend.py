@@ -1,0 +1,714 @@
+"""Vectorized engine backend over the ``SimState`` array store.
+
+The ``"array"`` backend replaces the slot reference's per-switch Python
+scans with whole-array numpy kernels on the
+:class:`~repro.simulator.state.SimState` columns, while leaving every
+*decision* — RNG tie-breaks, grant-side credit feedback, routing-
+mechanism calls — on the exact reference code path.  It is therefore
+byte-identical to ``"slot"`` (pinned by the differential suite in
+``tests/experiments/test_backend_equivalence.py`` and by the golden
+fingerprints) and substantially faster on dense, allocation-heavy
+points, where the reference spends most of its time re-scoring blocked
+head-of-line packets.
+
+What is vectorized, and why it is safe
+--------------------------------------
+* **Ejection** — the reference walks every active input of every switch
+  to find heads destined locally.  Here one comparison ``hol_dst ==
+  sid_col`` finds all of them at once; ``np.nonzero`` yields hits in
+  row-major (ascending switch, ascending input) order — exactly the
+  reference's ``active_sorted`` iteration order.  Heads of unvisited
+  FIFOs cannot change during the phase (ejection only pops), so the
+  pre-phase snapshot equals the reference's read-at-visit values.  The
+  per-hit consume (pop, credit return, metrics) stays scalar reference
+  code.
+* **Allocation requests** (the Q+P arbiter's request half) — three
+  layers remove the reference's per-slot re-walk of every head-of-line
+  packet:
+
+  1. *Candidate memo* — mechanisms that implement
+     :meth:`~repro.routing.base.RoutingMechanism.candidate_key` declare
+     their candidate lists pure functions of a small route situation;
+     every packet in the same situation shares one list and one
+     pre-built ``(pv, penalty)`` column pair, so ``mech.candidates``
+     runs once per situation per topology epoch instead of once per
+     packet-hop.
+  2. *Head cache* — per switch, the derived state of every head-of-line
+     packet (its category: routable / stalled / awaiting ejection, and
+     its memo entry) is kept between slots and re-derived only for the
+     inputs in ``Switch.dirty_heads`` (heads that actually changed).
+     Each routable head owns one row of a dense penalty matrix
+     ``pen_mat[input, output_vc]`` — its candidates' penalties at their
+     output VCs, ``+inf`` elsewhere — so deriving a head is one row
+     write and no per-slot data structure is rebuilt at all.
+  3. *Fused kernel* — per switch, a whole-row pass builds the
+     admission-masked Q-term for every output VC once; one broadcast
+     add against ``pen_mat`` and a row-minimum then score every head
+     in a single matrix pass, and the winning (port, VC) of untied
+     heads falls out of the argmin arithmetically.  Scores are
+     bit-exact: the per-element operation order ``(port_load + load) *
+     phits + penalty`` is the scalar expression's, and masked or
+     non-candidate entries are pinned at ``inf`` (never NaN: penalties
+     are finite and non-negative).
+
+  The RNG pass then touches only the heads whose minimum is feasible,
+  reordered into the reference's ``active_inputs`` set-iteration order:
+  one ``integers(n_ties)`` draw exactly when the reference would
+  tie-break, then one ``random()`` per request — same draws, same
+  order, same values.  Vectorizing *across* switches would be unsound —
+  a grant at switch ``s`` returns credits to upstream switches still
+  awaiting their allocation this slot — so switches are processed in
+  the reference's ascending order and the grant half is delegated to
+  the shared scalar
+  :meth:`~repro.simulator.arbiters.QPArbiter._grant_requests`.
+  Mechanisms without candidate keys fall back to a reference-shaped
+  per-switch walk with per-packet candidate caching (still vectorized
+  scoring, see :attr:`ArraySimulator.PROMOTE_AFTER`).
+* **Transmission** — the ``out_occ`` column, summed per port, finds
+  every buffered (switch, port) pair in the reference's visit order;
+  the pop itself (round-robin VC scan, link delivery) is reference
+  code.
+* **Injection** — the capacity pre-check of all attempting servers is
+  one gather ``in_occ[sids, inj_base[sids] + local]``; sound because
+  attempts are distinct servers, each owning its private source queue,
+  so no attempt can alter another's occupancy within the slot.  The
+  per-attempt body (destination draw, packet construction, mechanism
+  init) stays scalar in attempt order — those draws are the RNG
+  contract.
+
+Non-default arbiters fall back to their (backend-agnostic) scalar
+``allocate``; every other phase stays vectorized.  Select with
+``SimConfig(backend="array")`` — the config field flows into the
+executor cache key (CACHE_VERSION 7), so array records never alias
+slot/event cache entries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..routing.base import RoutingMechanism
+from .arbiters import QPArbiter
+from .engine import Simulator
+from .packet import Packet
+
+
+class _SwCache:
+    """Persistent allocation-request state of one switch.
+
+    ``cat`` maps each active input to its derived category (0 routable,
+    1 stalled, 2 awaiting ejection).  Routable heads own one row of
+    ``pen_mat`` (their memo entry's penalty-by-output-VC row) and one
+    ``ent`` slot carrying ``(packet, memo entry)``; stalled heads one
+    ``stall`` slot.
+    Only inputs named by ``Switch.dirty_heads`` are re-derived — a
+    derive is a dict update plus one ``pen_mat`` row write, so there is
+    no per-slot rebuild step at all.  ``sbuf`` is the kernel's
+    preallocated score scratch (same shape as ``pen_mat``).
+    ``generic`` pins the switch to the keyless fallback path after a
+    head without a candidate key was seen.
+    """
+
+    __slots__ = ("generic", "cat", "ent", "stall", "pen_mat", "sbuf")
+
+    def __init__(self, n_inputs: int, npv: int) -> None:
+        self.generic = False
+        self.cat: dict[int, int] = {}
+        self.ent: dict[int, tuple] = {}
+        self.stall: dict[int, Packet] = {}
+        self.pen_mat = np.full((n_inputs, npv), math.inf)
+        self.sbuf = np.empty((n_inputs, npv))
+
+
+class ArraySimulator(Simulator):
+    """The ``"array"`` engine backend (see module docstring).
+
+    Same constructor, same physics, same records as
+    :class:`~repro.simulator.engine.Simulator` — only the phase *scans*
+    are whole-array kernels.  Select it with
+    ``SimConfig(backend="array")`` through
+    :func:`~repro.simulator.backends.make_simulator`.
+    """
+
+    backend_name = "array"
+
+    #: Keyless-fallback knob: a head-of-line packet is scored the
+    #: reference scalar way until it has been seen blocked at the same
+    #: switch this many times; then its candidate arrays are built once
+    #: and every further re-score rides the vector kernel.  Short-lived
+    #: packets never pay the array build, long-blocked ones (the dense-
+    #: congestion common case) amortize it across every blocked slot.
+    #: Both paths are byte-identical, so this is purely a performance
+    #: knob.
+    PROMOTE_AFTER = 1
+
+    def __init__(self, *args, **kwargs):
+        # The request-phase caches must exist before super().__init__
+        # finishes (nothing touches them there, but hooks must be safe).
+        #: sid -> :class:`_SwCache`: the per-switch head cache.
+        self._qp_cache: dict[int, _SwCache] = {}
+        #: candidate_key -> memo entry (see :meth:`_memo_entry`): one
+        #: shared candidate list + pre-built score columns and penalty
+        #: row per route situation (see
+        #: :meth:`RoutingMechanism.candidate_key`).  Cleared on
+        #: topology events — the lists would be recomputed differently.
+        self._cand_memo: dict[tuple, tuple] = {}
+        super().__init__(*args, **kwargs)
+        self._use_qp_kernel = type(self.arbiter) is QPArbiter
+        #: Mechanisms that never override ``candidate_key`` go straight
+        #: to the keyless fallback — no per-head probing.
+        self._keyed = (
+            type(self.mechanism).candidate_key
+            is not RoutingMechanism.candidate_key
+        )
+
+    def _refresh_inflight_packets(self) -> None:
+        # Candidate memos (and every per-switch head cache built on
+        # them) are invalidated wholesale on topology events.
+        self._cand_memo.clear()
+        self._qp_cache.clear()
+        super()._refresh_inflight_packets()
+
+    # ------------------------------------------------------------------
+    # Phase 1: ejection
+    # ------------------------------------------------------------------
+    def _eject(self) -> int:
+        state = self.state
+        rows, idxs = np.nonzero(state.hol_dst == state.sid_col)
+        if rows.size == 0:
+            return 0
+        ejected = 0
+        sps = self._sps
+        slot = self.slot
+        metrics = self.metrics
+        release = state.packets.release
+        switches = self.switches
+        sw = None
+        cur = -1
+        served = 0
+        for s, idx in zip(rows.tolist(), idxs.tolist()):
+            if s != cur:
+                cur = s
+                sw = switches[s]
+                served = 0  # bitmask over local servers
+            pkt = sw.in_q[idx][0]
+            bit = 1 << (pkt.dst_server - s * sps)
+            if served & bit:
+                continue  # this server already consumed its packet
+            served |= bit
+            sw.pop_input(idx)
+            self._return_input_credit(sw, idx)
+            pkt.eject_slot = slot
+            metrics.on_ejected(pkt, slot)
+            release(pkt)
+            self.in_flight -= 1
+            ejected += 1
+        return ejected
+
+    # ------------------------------------------------------------------
+    # Phase 2: allocation (vectorized Q+P request building)
+    # ------------------------------------------------------------------
+    def _memo_entry(self, pkt, sid: int, key: tuple, npv: int) -> tuple:
+        """Build (and memoise) the candidate-key entry for one route
+        situation: ``(cands, pv column, penalty column, penalty-by-
+        output-VC row, has-duplicate-pv flag)``.
+
+        The penalty row is the dense form consumed by the matrix
+        kernel: the candidate's penalty at its output-VC index, ``inf``
+        elsewhere.  Should a mechanism ever offer the same (port, vc)
+        twice, the row keeps the *minimum* penalty (the score minimum
+        is then still exact) and the ``dup`` flag routes the head's
+        tie-break through the list-order gather, where the reference's
+        per-entry tie counting is reproduced exactly.
+        """
+        cands = self.mechanism.candidates(pkt, sid)
+        if cands:
+            carr = np.asarray(cands, dtype=np.float64)
+            pvi = carr[:, :2].astype(np.int64)
+            pv_a = pvi[:, 0] * self._n_vcs + pvi[:, 1]
+            pen_a = np.ascontiguousarray(carr[:, 2])
+            pen_row = np.full(npv, math.inf)
+            pen_row[pv_a] = pen_a
+            #: output-VC index -> candidate-list position, for mapping
+            #: the kernel's tied columns back to the reference's
+            #: list-order tie indices without touching numpy per head.
+            pos_map = {int(p): i for i, p in enumerate(pv_a.tolist())}
+            dup = len(pos_map) < pv_a.size
+            if dup:
+                np.minimum.at(pen_row, pv_a, pen_a)
+            ent = (cands, pv_a, pen_a, pen_row, pos_map, dup)
+        else:
+            ent = (cands, None, None, None, None, False)
+        self._cand_memo[key] = ent
+        return ent
+
+    def _derive_head(self, sc: _SwCache, sw, sid: int, idx: int) -> bool:
+        """Re-derive the cache entry of one (possibly changed) head.
+
+        Handles every transition: a new head, a head that changed
+        category, a vanished input (popped empty).  A derive is a dict
+        update plus at most one ``pen_mat`` row write, so membership
+        churn elsewhere in the switch never invalidates anything.
+        Returns ``False`` when the head's mechanism offers no candidate
+        key — the caller pins the switch to the keyless fallback.
+        """
+        cat_map = sc.cat
+        old = cat_map.get(idx, -1)
+        q = sw.in_q[idx]
+        if not q:
+            # Input drained (pop to empty): drop its entry, if any.
+            if old == 0:
+                sc.pen_mat[idx] = math.inf
+                del sc.ent[idx]
+            elif old == 1:
+                del sc.stall[idx]
+            if old >= 0:
+                del cat_map[idx]
+            return True
+        pkt = q[0]
+        if pkt.dst_switch == sid:
+            cat = 2
+        else:
+            key = self.mechanism.candidate_key(pkt, sid)
+            if key is None:
+                return False
+            ent = self._cand_memo.get(key)
+            if ent is None:
+                ent = self._memo_entry(pkt, sid, key, sw.n_ports * self._n_vcs)
+            # The reference's per-packet ``pkt.cand_*`` cache is left
+            # untouched: the keyed kernel reads the memo entry instead,
+            # and the only other consumers (the reference arbiter and
+            # the keyless fallback) re-derive identical lists from the
+            # same memo if this switch ever leaves the keyed path.
+            cands = ent[0]
+            if cands:
+                sc.pen_mat[idx] = ent[3]
+                sc.ent[idx] = (pkt, ent)
+                if old == 1:
+                    del sc.stall[idx]
+                cat_map[idx] = 0
+                return True
+            cat = 1
+        # cat is 1 (stalled) or 2 (awaiting ejection).
+        if old == 0:
+            sc.pen_mat[idx] = math.inf
+            del sc.ent[idx]
+        if cat == 1:
+            sc.stall[idx] = pkt
+        elif old == 1:
+            del sc.stall[idx]
+        cat_map[idx] = cat
+        return True
+
+    def _allocate(self) -> int:
+        if not self._use_qp_kernel:
+            return self.arbiter.allocate(self)
+        granted = 0
+        arb = self.arbiter
+        phits = float(self._phits)
+        fc = self.flow_control
+        rng = self.rng
+        metrics = self.metrics
+        n_vcs = self._n_vcs
+        slot = self.slot
+        inf = math.inf
+        state = self.state
+        credits_all = state.credits
+        out_occ_all = state.out_occ
+        load_all = state.load
+        port_load_all = state.port_load
+        full_row = slice(None)
+        cache = self._qp_cache
+        keyed = self._keyed
+        derive = self._derive_head
+        for sw in self.alloc_switches():
+            if not sw.active_inputs:
+                continue
+            sid = sw.sid
+            # ---- head-cache maintenance: changed heads only ----------
+            if keyed:
+                sc = cache.get(sid)
+                if sc is None:
+                    sc = _SwCache(sw.n_inputs, sw.n_ports * n_vcs)
+                    cache[sid] = sc
+                    sw.dirty_heads.clear()
+                    for idx in sw.active_sorted:
+                        if not derive(sc, sw, sid, idx):
+                            sc.generic = True
+                            break
+                elif not sc.generic:
+                    dirty = sw.dirty_heads
+                    if dirty:
+                        for idx in dirty:
+                            if not derive(sc, sw, sid, idx):
+                                sc.generic = True
+                                break
+                        dirty.clear()
+                generic = sc.generic
+            else:
+                generic = True
+            if generic:
+                sw.dirty_heads.clear()
+                granted += self._allocate_generic(sw)
+                continue
+            # Stalled heads are counted every slot, like the reference.
+            if sc.stall:
+                metrics.on_stalled_many(sc.stall.values(), slot)
+            ent_map = sc.ent
+            if not ent_map:
+                continue
+            # ---- matrix kernel: admission, score, row-minimise -------
+            r = sw.row
+            npv = sw.n_ports * n_vcs
+            # Whole-row precomputes (one pass over ~n_ports*n_vcs
+            # entries): the flow-control admission and the Q-term
+            # ``(port_load[port] + load[pv]) * phits`` (port_load
+            # broadcast across each port's VCs), with inadmissible
+            # output VCs already pinned at +inf.  Broadcast-adding the
+            # persistent penalty matrix then scores every (head,
+            # output VC) pair at once; a head's row minimum is the
+            # reference's best admissible candidate score.  Bit-exact:
+            # the per-element operation order ``(q) * phits + pen`` is
+            # unchanged, and ``inf + pen`` / ``q + inf`` stay inf.
+            ok = fc.admission_mask(
+                credits_all[r, :npv], out_occ_all[r, :npv], full_row
+            )
+            combined = np.where(
+                ok,
+                (
+                    load_all[r, :npv]
+                    + np.repeat(port_load_all[r, : sw.n_ports], n_vcs)
+                )
+                * phits,
+                inf,
+            )
+            sbuf = sc.sbuf
+            np.add(sc.pen_mat, combined, out=sbuf)
+            mins = sbuf.min(axis=1)
+            live = np.nonzero(mins != inf)[0]
+            if live.size == 0:
+                continue  # every head flow-control blocked this slot
+            live_l = live.tolist()
+            lmins = mins[live]
+            # Tie extraction stays in matrix space, one pass for the
+            # whole switch: the tied columns of row ``j`` are the
+            # contiguous slice ``tie_cols[tie_start[j] : +tc[j]]`` (in
+            # ascending output-VC order), mapped back to candidate-list
+            # positions per head through the memo's ``pos_map``.
+            ties_mat = sbuf[live] == lmins[:, None]
+            tcounts = np.count_nonzero(ties_mat, axis=1)
+            tie_cols = np.nonzero(ties_mat)[1].tolist()
+            tie_start = (np.cumsum(tcounts) - tcounts).tolist()
+            tc_l = tcounts.tolist()
+            mins_l = lmins.tolist()
+            # ---- the RNG pass: feasible heads only, reference order --
+            if len(live_l) > 1:
+                # The reference visits heads in ``active_inputs`` set-
+                # iteration order; ``live`` is in ascending-input
+                # order.  Re-rank so draws (and the requests dict's
+                # insertion order) match the reference exactly.
+                rank = {
+                    idx: i for i, idx in enumerate(sw.active_inputs)
+                }
+                order = sorted(
+                    range(len(live_l)), key=lambda j: rank[live_l[j]]
+                )
+            else:
+                order = (0,)
+            requests: dict[int, list[tuple[float, float, int, int, Packet]]] = {}
+            for j in order:
+                idx = live_l[j]
+                pkt, e = ent_map[idx]
+                if not e[5]:
+                    t = tc_l[j]
+                    base = tie_start[j]
+                    pos_map = e[4]
+                    if t == 1:
+                        ci = pos_map[tie_cols[base]]
+                    else:
+                        # The reference tie-breaks over the tied
+                        # candidates in list order: sorted list
+                        # positions reproduce it exactly.
+                        poss = [
+                            pos_map[c] for c in tie_cols[base : base + t]
+                        ]
+                        poss.sort()
+                        ci = poss[int(rng.integers(t))]
+                else:
+                    # Duplicate-pv head (no current mechanism emits
+                    # one): the row collapsed the duplicates, so
+                    # reproduce the reference's list-order tie
+                    # positions with one small gather, then draw.
+                    tied = np.nonzero(
+                        combined[e[1]] + e[2] == mins_l[j]
+                    )[0]
+                    t = tied.shape[0]
+                    ci = int(tied[0]) if t == 1 else int(
+                        tied[int(rng.integers(t))]
+                    )
+                port, vc, _pen = e[0][ci]
+                requests.setdefault(port, []).append(
+                    (mins_l[j], rng.random(), idx, vc, pkt)
+                )
+            granted += arb._grant_requests(self, sw, requests)
+        return granted
+
+    def _allocate_generic(self, sw) -> int:
+        """Request+grant pass for one switch of a keyless mechanism.
+
+        The reference-shaped walk over every active head with per-packet
+        candidate caching: fresh heads are scored the scalar way,
+        long-blocked ones are promoted to per-packet score arrays (see
+        :attr:`PROMOTE_AFTER`) and ride the same fused kernel.  Packets
+        that do carry a candidate key (mixed-key mechanisms) still share
+        the global memo.  Byte-identical to the reference, like the
+        keyed path — just O(active heads) per slot.
+        """
+        mech = self.mechanism
+        phits = self._phits
+        fc = self.flow_control
+        min_cred = fc.min_credits
+        out_cap = fc.output_capacity
+        rng = self.rng
+        metrics = self.metrics
+        n_vcs = self._n_vcs
+        slot = self.slot
+        promote_after = self.PROMOTE_AFTER
+        inf = math.inf
+        state = self.state
+        memo = self._cand_memo
+        cand_key = mech.candidate_key
+        sid = sw.sid
+        in_q = sw.in_q
+        out_q = sw.out_q
+        # Per-packet results in set-iteration order.  Scalar-scored
+        # packets carry their (best_score, best) directly; promoted
+        # packets carry a placeholder and consume the vector kernel's
+        # segments in order during the RNG pass.
+        pending = []
+        counts: list[int] = []
+        chunk_pv: list = []
+        chunk_pen: list = []
+        # Plain-list snapshots for the scalar scorings (same argument as
+        # QPArbiter.allocate: nothing mutates this switch's state
+        # between here and its grant phase), built lazily — an
+        # all-promoted switch never pays them.
+        credits = load = port_load = None
+        # ---- phase A: gather + score (no RNG) ----------------------------
+        for idx in sw.active_inputs:
+            pkt = in_q[idx][0]
+            if pkt.dst_switch == sid:
+                continue  # waiting for ejection
+            if pkt.cand_switch == sid:
+                cands = pkt.cand_list
+                if not cands:
+                    metrics.on_stalled(pkt, slot)
+                    continue
+            else:
+                key = cand_key(pkt, sid)
+                if key is not None:
+                    ent = memo.get(key)
+                    if ent is None:
+                        ent = self._memo_entry(
+                            pkt, sid, key, sw.n_ports * n_vcs
+                        )
+                    cands = ent[0]
+                    pkt.cand_switch = sid
+                    pkt.cand_list = cands
+                    pkt.cand_port = None
+                    pkt.cand_pv = ent[1]
+                    pkt.cand_pen = ent[2]
+                else:
+                    cands = mech.candidates(pkt, sid)
+                    pkt.cand_switch = sid
+                    pkt.cand_list = cands
+                    pkt.cand_port = None
+                    pkt.cand_pv = None
+                if not cands:
+                    metrics.on_stalled(pkt, slot)
+                    continue
+            if pkt.cand_pv is None:
+                cp = pkt.cand_port
+                if cp is not None and cp >= promote_after:
+                    # Blocked long enough to earn cached candidate
+                    # arrays: one C-level conversion, reused every slot
+                    # the packet stays at this switch.
+                    carr = np.asarray(cands, dtype=np.float64)
+                    pvi = carr[:, :2].astype(np.int64)
+                    pkt.cand_pv = pvi[:, 0] * n_vcs + pvi[:, 1]
+                    pkt.cand_pen = np.ascontiguousarray(carr[:, 2])
+                else:
+                    # Fresh (or short-lived) head-of-line packet: score
+                    # it the reference scalar way — cheaper than
+                    # building numpy arrays it may never reuse.
+                    pkt.cand_port = 0 if cp is None else cp + 1
+                    if credits is None:
+                        credits = sw.credits.tolist()
+                        load = sw.load.tolist()
+                        port_load = sw.port_load.tolist()
+                    best_score = None
+                    best: list[tuple[int, int]] = []
+                    for port, vc, pen_ in cands:
+                        pv_ = port * n_vcs + vc
+                        if (
+                            credits[pv_] < min_cred
+                            or len(out_q[pv_]) >= out_cap
+                        ):
+                            continue
+                        score = (port_load[port] + load[pv_]) * phits + pen_
+                        if best_score is None or score < best_score:
+                            best_score = score
+                            best = [(port, vc)]
+                        elif score == best_score:
+                            best.append((port, vc))
+                    if best:
+                        pending.append((idx, pkt, best_score, best))
+                    # else: flow-control blocked this slot (no draw)
+                    continue
+            pending.append((idx, pkt, None, None))
+            counts.append(len(cands))
+            chunk_pv.append(pkt.cand_pv)
+            chunk_pen.append(pkt.cand_pen)
+        if not pending:
+            return 0
+        requests: dict[int, list[tuple[float, float, int, int, Packet]]] = {}
+        # ---- vector kernel: admission, score, segment-minimise -----------
+        if counts:
+            r = sw.row
+            npv = sw.n_ports * n_vcs
+            ok = fc.admission_mask(
+                state.credits[r, :npv], state.out_occ[r, :npv], slice(None)
+            )
+            combined = np.where(
+                ok,
+                (
+                    state.load[r, :npv]
+                    + np.repeat(state.port_load[r, : sw.n_ports], n_vcs)
+                )
+                * float(phits),
+                inf,
+            )
+            pv = np.concatenate(chunk_pv)
+            pen = np.concatenate(chunk_pen)
+            counts_a = np.asarray(counts)
+            starts = np.zeros(len(counts) + 1, np.int64)
+            np.cumsum(counts_a, out=starts[1:])
+            seg = starts[:-1]
+            starts_l = starts.tolist()
+            score = combined[pv] + pen
+            mins = np.minimum.reduceat(score, seg)
+            ties = score == np.repeat(mins, counts_a)
+            tie_counts = np.add.reduceat(ties, seg, dtype=np.int64)
+            tie_pos = np.nonzero(ties)[0].tolist()
+            tie_start = (np.cumsum(tie_counts) - tie_counts).tolist()
+            mins_l = mins.tolist()
+            tie_counts_l = tie_counts.tolist()
+        # ---- phase B: the RNG pass, reference draw order -----------------
+        p = 0  # vector segment cursor
+        for idx, pkt, best_score, best in pending:
+            if best is None:
+                m = mins_l[p]
+                if m == inf:
+                    p += 1
+                    continue  # flow-control blocked this slot
+                t = tie_counts_l[p]
+                ci = tie_pos[tie_start[p]] if t == 1 else tie_pos[
+                    tie_start[p] + int(rng.integers(t))
+                ]
+                port, vc, _pen = pkt.cand_list[ci - starts_l[p]]
+                best_score = m
+                p += 1
+            else:
+                port, vc = best[0] if len(best) == 1 else best[
+                    int(rng.integers(len(best)))
+                ]
+            requests.setdefault(port, []).append(
+                (best_score, rng.random(), idx, vc, pkt)
+            )
+        if not requests:
+            return 0
+        return self.arbiter._grant_requests(self, sw, requests)
+
+    # ------------------------------------------------------------------
+    # Phase 3: transmission
+    # ------------------------------------------------------------------
+    def _transmit(self) -> int:
+        state = self.state
+        # Scan *buffered* output ports (out_occ), not loaded ones:
+        # ``port_load`` also counts consumed credits, so it flags ports
+        # whose ``transmit`` would pop nothing.  Skipping those is exact —
+        # an empty-port ``transmit`` mutates nothing (not even the
+        # round-robin pointer) and draws no RNG.
+        n_vcs = state.n_vcs
+        occ = state.out_occ[:, : state.max_ports * n_vcs]
+        busy = occ.reshape(occ.shape[0], state.max_ports, n_vcs).sum(axis=2)
+        rows, ports = np.nonzero(busy)
+        if rows.size == 0:
+            return 0
+        moved = 0
+        deliver = self.link.deliver
+        link_tx = state.link_tx
+        link_escape_tx = state.link_escape_tx
+        escape_vc = self._escape_vc
+        switches = self.switches
+        sw = None
+        cur = -1
+        for s, port in zip(rows.tolist(), ports.tolist()):
+            if s != cur:
+                cur = s
+                sw = switches[s]
+            res = sw.transmit(port)
+            if res is None:
+                continue  # consumed credits only, nothing buffered
+            vc, pkt = res
+            link_tx[s, port] += 1
+            if vc == escape_vc:
+                link_escape_tx[s, port] += 1
+            deliver(self, s, port, vc, pkt)
+            moved += 1
+        return moved
+
+    # ------------------------------------------------------------------
+    # Phase 4: injection
+    # ------------------------------------------------------------------
+    def _inject(self) -> int:
+        attempts = np.asarray(
+            self.injection.attempts(self.slot, self.inject_rng)
+        )
+        if attempts.size == 0:
+            return 0
+        state = self.state
+        sps = self._sps
+        cap = self.cfg.source_queue_packets
+        sids = attempts // sps
+        idxs = state.inj_base[sids] + (attempts - sids * sps)
+        full = state.in_occ[sids, idxs] >= cap
+        injected = 0
+        traffic = self.traffic
+        trng = self.traffic_rng
+        mech = self.mechanism
+        metrics = self.metrics
+        injection = self.injection
+        register = state.packets.register
+        switches = self.switches
+        slot = self.slot
+        for srv, sid, idx, blocked in zip(
+            attempts.tolist(), sids.tolist(), idxs.tolist(), full.tolist()
+        ):
+            if blocked:
+                injection.on_blocked(srv)
+                continue
+            dst = int(traffic.destination(srv, trng))
+            pkt = Packet(self.next_pid, srv, dst, sid, dst // sps, slot)
+            self.next_pid += 1
+            mech.init_packet(pkt)
+            register(pkt)
+            switches[sid].push_input(idx, pkt)
+            self._wake(sid)
+            injection.on_success(srv)
+            metrics.on_generated(srv, slot)
+            self.in_flight += 1
+            injected += 1
+        return injected

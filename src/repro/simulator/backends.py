@@ -8,7 +8,7 @@ like arbiters and topologies.  A backend is selected by the validated
 content-addressed cache key, and is constructed via
 :func:`make_simulator`.
 
-The :class:`EngineBackend` protocol documents the contract; the two
+The :class:`EngineBackend` protocol documents the contract; the three
 shipped implementations are
 
 * ``"slot"`` — :class:`~repro.simulator.engine.Simulator`: the paper's
@@ -22,6 +22,13 @@ shipped implementations are
   :mod:`repro.simulator.event` for the argument, and
   ``tests/experiments/test_backend_equivalence.py`` for the proof by
   differential fingerprint).
+* ``"array"`` — :class:`~repro.simulator.array_backend.ArraySimulator`:
+  whole-array numpy kernels over the
+  :class:`~repro.simulator.state.SimState` columns for the phase scans
+  (ejection matches, busy ports, injection admission, and the Q+P
+  request scoring), with every RNG draw and grant kept on the reference
+  scalar path.  Record-identical to ``"slot"`` (same differential
+  suite), fastest on dense allocation-bound points.
 
 Adding a backend: subclass :class:`~repro.simulator.engine.Simulator`
 (or implement :class:`EngineBackend` from scratch), override the hooks
@@ -97,6 +104,10 @@ ENGINE_BACKENDS.register_lazy(
 ENGINE_BACKENDS.register_lazy(
     "event", "repro.simulator.event", "EventSimulator",
     display="Event-driven (busy agenda)",
+)
+ENGINE_BACKENDS.register_lazy(
+    "array", "repro.simulator.array_backend", "ArraySimulator",
+    display="Vectorized (struct-of-arrays kernels)",
 )
 
 

@@ -72,8 +72,10 @@ class SimConfig:
         :data:`repro.simulator.backends.ENGINE_BACKENDS`): ``"slot"``
         (default) visits every switch every slot; ``"event"`` keeps a
         busy agenda and skips idle switches entirely — record-identical,
-        faster at low load.  Flows into every sweep job's cache key like
-        any other simulator parameter.
+        faster at low load; ``"array"`` vectorizes the phase scans over
+        the struct-of-arrays state store — record-identical, faster on
+        dense allocation-bound points.  Flows into every sweep job's
+        cache key like any other simulator parameter.
     """
 
     input_buffer_packets: int = 8

@@ -75,6 +75,7 @@ from .links import LinkModel, make_link_model
 from .metrics import MetricsCollector, SimResult
 from .packet import Packet
 from .schedule import LINK_DOWN, FaultSchedule
+from .state import SimState
 from .switch import Switch
 from .workload import SET_OFFERED, WorkloadSchedule
 
@@ -233,8 +234,16 @@ class Simulator:
 
         n_vcs = mechanism.n_vcs
         sps = network.servers_per_switch
+        #: The struct-of-arrays store of all mutable numeric state; the
+        #: switches below are views into its rows (see
+        #: :mod:`repro.simulator.state`).
+        self.state = SimState(
+            [network.topology.degree(s) for s in range(network.n_switches)],
+            n_vcs, sps, config,
+        )
         self.switches: list[Switch] = [
-            Switch(s, network.topology.degree(s), n_vcs, sps, config)
+            Switch(s, network.topology.degree(s), n_vcs, sps, config,
+                   state=self.state)
             for s in range(network.n_switches)
         ]
         # rev_port[s][p]: the port index on the neighbour reached through
@@ -253,12 +262,18 @@ class Simulator:
         )
         #: Packets transmitted per (switch, port) and, of those, how many
         #: rode the escape VC — the observability behind the paper's
-        #: root-congestion discussion (§3.2).
-        self.link_packets: list[list[int]] = [
-            [0] * network.topology.degree(s) for s in range(network.n_switches)
+        #: root-congestion discussion (§3.2).  Per-switch views into the
+        #: store's dense counter matrices, trimmed to the switch degree
+        #: so ``len(link_packets[s])`` keeps its historical meaning on
+        #: irregular topologies (``[sid][port]`` indexing unchanged, and
+        #: writes land in ``state.link_tx`` — they are views, not copies).
+        self.link_packets = [
+            self.state.link_tx[s, : topo.degree(s)]
+            for s in range(network.n_switches)
         ]
-        self.link_escape_packets: list[list[int]] = [
-            [0] * network.topology.degree(s) for s in range(network.n_switches)
+        self.link_escape_packets = [
+            self.state.link_escape_tx[s, : topo.degree(s)]
+            for s in range(network.n_switches)
         ]
         self._escape_vc = getattr(mechanism, "escape_vc", None)
         self.fault_schedule = fault_schedule
@@ -337,6 +352,7 @@ class Simulator:
         """
         ejected = 0
         sps = self._sps
+        release = self.state.packets.release
         for sw in self._step_agenda:
             if not sw.active_sorted:
                 continue
@@ -351,12 +367,11 @@ class Simulator:
                 if served & bit:
                     continue  # this server already consumed its packet
                 served |= bit
-                sw.in_q[idx].popleft()
-                if not sw.in_q[idx]:
-                    sw.deactivate(idx)
+                sw.pop_input(idx)
                 self._return_input_credit(sw, idx)
                 pkt.eject_slot = self.slot
                 self.metrics.on_ejected(pkt, self.slot)
+                release(pkt)
                 self.in_flight -= 1
                 ejected += 1
         return ejected
@@ -423,6 +438,7 @@ class Simulator:
         sps = self._sps
         traffic = self.traffic
         trng = self.traffic_rng
+        register = self.state.packets.register
         for srv in self.injection.attempts(self.slot, self.inject_rng):
             srv = int(srv)
             sid = srv // sps
@@ -437,8 +453,8 @@ class Simulator:
             )
             self.next_pid += 1
             self.mechanism.init_packet(pkt)
-            sw.in_q[idx].append(pkt)
-            sw.activate(idx)
+            register(pkt)
+            sw.push_input(idx, pkt)
             self._wake(sid)
             self.injection.on_success(srv)
             self.metrics.on_generated(srv, self.slot)
@@ -464,19 +480,17 @@ class Simulator:
         from there.
         """
         a, b = link
+        release = self.state.packets.release
         for s, t in ((a, b), (b, a)):
             sw = self.switches[s]
             p = self.network.port_of(s, t)
             for vc in range(self._n_vcs):
                 pv = p * self._n_vcs + vc
-                q = sw.out_q[pv]
-                while q:
-                    pkt = q.popleft()
+                while sw.out_q[pv]:
+                    pkt = sw.unqueue_output(pv)
                     self.metrics.on_dropped(pkt, self.slot)
+                    release(pkt)
                     self.in_flight -= 1
-                    sw.credits[pv] += 1
-                    sw.load[pv] -= 2
-                    sw.port_load[p] -= 2
         self.link.purge_link(self, link)
 
     def _reconcile_restored_link(self, link: tuple[int, int]) -> None:
@@ -730,13 +744,13 @@ class Simulator:
         out: dict[tuple[int, int], float] = {}
         for s in range(self.network.n_switches):
             for port, t in self.network.live_ports[s]:
-                out[(s, t)] = self.link_packets[s][port] / slots
+                out[(s, t)] = int(self.link_packets[s][port]) / slots
         return out
 
     def switch_escape_share(self, s: int) -> float:
         """Fraction of the packets through switch ``s``'s output links
         that travelled on the escape VC."""
-        total = sum(self.link_packets[s])
+        total = int(self.link_packets[s].sum())
         if total == 0:
             return 0.0
-        return sum(self.link_escape_packets[s]) / total
+        return int(self.link_escape_packets[s].sum()) / total

@@ -87,7 +87,7 @@ class EventSimulator(Simulator):
         # Adopt any pre-existing work (tests or tools that hand-place
         # packets before the first step).
         for sw in self.switches:
-            if sw.active_inputs or any(sw.port_load):
+            if sw.active_inputs or sw.port_load.any():
                 self._wake(sw.sid)
 
     # ------------------------------------------------------------------
@@ -105,12 +105,14 @@ class EventSimulator(Simulator):
         self._step_agenda = [switches[s] for s in self._busy_sorted]
 
     def _end_step(self) -> None:
+        # The store's 2D port_load row view makes the retirement probe a
+        # single vectorized ``.any()`` per busy switch.
         switches = self.switches
         retire = [
             s
             for s in self._busy_sorted
             if not switches[s].active_inputs
-            and not any(switches[s].port_load)
+            and not switches[s].port_load.any()
         ]
         if retire:
             self._busy_set.difference_update(retire)

@@ -55,7 +55,17 @@ class InjectionProcess(ABC):
 
     @abstractmethod
     def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
-        """Server ids attempting generation this slot (ascending order)."""
+        """Server ids attempting generation this slot.
+
+        Contract (every engine backend relies on it): an ``int64``
+        ndarray, strictly ascending, no duplicates.  The order is
+        load-bearing — the engine draws one traffic destination per
+        attempting server in array order, so any reordering would shift
+        the shared RNG stream and break backend byte-identity.  The
+        array backend additionally feeds the ids straight into SimState
+        index arithmetic (``server // servers_per_switch`` into the
+        store's injection-queue columns) without re-validating them.
+        """
 
     def on_success(self, server: int) -> None:
         """The attempt of ``server`` was enqueued."""

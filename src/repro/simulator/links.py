@@ -31,6 +31,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from .packet import Packet
+from .state import POS_WIRE
 
 
 class LinkModel(ABC):
@@ -76,9 +77,7 @@ class UnitSlotLink(LinkModel):
     def deliver(self, sim, src: int, port: int, vc: int, pkt: Packet) -> None:
         t = sim.network.port_neighbour[src][port]
         tsw = sim.switches[t]
-        tidx = tsw.pv(sim.rev_port[src][port], vc)
-        tsw.in_q[tidx].append(pkt)
-        tsw.activate(tidx)
+        tsw.push_input(tsw.pv(sim.rev_port[src][port], vc), pkt)
         sim._wake(t)  # agenda backends schedule the receiver (no-op on slot)
 
 
@@ -109,6 +108,10 @@ class PipelinedLink(LinkModel):
             (src, dst, port, vc, pkt)
         )
         self._in_flight += 1
+        state = sim.state
+        state.wire[src, port] += 1
+        if pkt.row >= 0:
+            state.packets.pos[pkt.row] = state.pos_code(POS_WIRE, src, port)
 
     def advance(self, sim) -> None:
         bucket = self._buckets.pop(sim.slot, None)
@@ -116,12 +119,12 @@ class PipelinedLink(LinkModel):
             return
         rev_port = sim.rev_port
         switches = sim.switches
+        wire = sim.state.wire
         for src, dst, port, vc, pkt in bucket:
             self._in_flight -= 1
+            wire[src, port] -= 1
             tsw = switches[dst]
-            tidx = tsw.pv(rev_port[src][port], vc)
-            tsw.in_q[tidx].append(pkt)
-            tsw.activate(tidx)
+            tsw.push_input(tsw.pv(rev_port[src][port], vc), pkt)
             # Wake before this slot's eject: landings are eligible now.
             sim._wake(dst)
 
@@ -137,6 +140,8 @@ class PipelinedLink(LinkModel):
         a, b = link
         ends = {(a, b), (b, a)}
         dropped = 0
+        release = sim.state.packets.release
+        wire = sim.state.wire
         for slot, bucket in self._buckets.items():
             kept = []
             for entry in bucket:
@@ -145,8 +150,10 @@ class PipelinedLink(LinkModel):
                     kept.append(entry)
                     continue
                 self._in_flight -= 1
+                wire[src, port] -= 1
                 sim.switches[src].return_credit(port, vc)
                 sim.metrics.on_dropped(pkt, sim.slot)
+                release(pkt)
                 sim.in_flight -= 1
                 dropped += 1
             if len(kept) != len(bucket):

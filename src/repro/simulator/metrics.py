@@ -187,6 +187,22 @@ class MetricsCollector:
             b = slot // self.series_interval
             self._series_stalls[b] = self._series_stalls.get(b, 0) + 1
 
+    def on_stalled_many(self, pkts, slot: int | None = None) -> None:
+        """Batch form of :meth:`on_stalled` (``pkts`` must be sized).
+
+        The array backend replays its cached stalled-head set in one
+        call per switch instead of per packet.  Equivalent to the loop
+        by construction — and only because both accumulators are
+        order-insensitive: the pid set deduplicates and the series bin
+        is a plain count.  Any future per-stall metric that depends on
+        visit order would break backend equivalence; add it as ordered
+        state here and the differential suite will catch the divergence.
+        """
+        self.stalled_pids.update(pkt.pid for pkt in pkts)
+        if self.series_interval and self.measuring and slot is not None:
+            b = slot // self.series_interval
+            self._series_stalls[b] = self._series_stalls.get(b, 0) + len(pkts)
+
     def on_dropped(self, pkt, slot: int) -> None:
         """A scheduled link failure destroyed a packet buffered on it."""
         self.dropped_total += 1

@@ -6,6 +6,13 @@ per-packet state on the slots reserved here (``hops``, ``deroutes``,
 ``mid``/``phase`` for Valiant, ``closer`` for Polarized, ``in_escape`` &
 friends for SurePath).  ``__slots__`` keeps the millions of packets a
 saturation sweep creates cheap.
+
+A packet injected by an engine is also a *row* of the simulator's
+:class:`~repro.simulator.state.PacketStore` (``pkt.row``): its identity
+fields are written once into the store's columns at registration (kept
+here too for the scalar hot paths), and its position column is
+maintained by the switch/link methods that move it.  ``row == -1``
+marks a standalone packet (component tests) with no store behind it.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ class Packet:
 
     __slots__ = (
         "pid",
+        "row",
         "src_server",
         "dst_server",
         "src_switch",
@@ -36,6 +44,9 @@ class Packet:
         # --- engine-managed candidate cache ---
         "cand_switch",
         "cand_list",
+        "cand_port",
+        "cand_pv",
+        "cand_pen",
     )
 
     def __init__(
@@ -48,6 +59,7 @@ class Packet:
         birth_slot: int,
     ):
         self.pid = pid
+        self.row = -1
         self.src_server = src_server
         self.dst_server = dst_server
         self.src_switch = src_switch
@@ -67,8 +79,14 @@ class Packet:
         # Routing candidates computed at switch ``cand_switch`` — valid
         # until the packet hops (candidates depend only on per-packet
         # routing state, which changes in on_hop, never between slots).
+        # The array backend additionally caches the candidates' flat
+        # (port, pv, penalty) columns as numpy arrays, built lazily
+        # under the same ``cand_switch`` guard.
         self.cand_switch = -1
         self.cand_list: list | None = None
+        self.cand_port = None
+        self.cand_pv = None
+        self.cand_pen = None
 
     @property
     def delivered(self) -> bool:

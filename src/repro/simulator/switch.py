@@ -20,6 +20,19 @@ O(1) per event, the per-output-VC load ``load[pv] = output-FIFO occupancy +
 consumed credits`` and its per-port sum ``port_load[port]`` — both in
 packets; the engine scales by ``packet_phits`` when combining with the
 penalty ``P``.
+
+Since the :class:`~repro.simulator.state.SimState` refactor the numeric
+state is *owned by the store*: ``credits`` / ``load`` / ``port_load`` /
+``rr`` are numpy row views into the simulator-wide 2D arrays (same
+indexing, same semantics — mutating the view mutates the store), while
+the FIFOs stay ``deque`` objects here with their derived columns
+(``in_occ`` / ``out_occ`` / ``hol_dst`` / packet positions) maintained
+by the queue methods :meth:`push_input`, :meth:`pop_input`,
+:meth:`grant`, :meth:`transmit` and :meth:`unqueue_output`.  Engine code
+moves packets through these methods only, so the array backend's
+vectorized phase kernels can trust the columns without rescanning any
+queue.  A standalone ``Switch(...)`` (component tests) owns a private
+single-switch store.
 """
 
 from __future__ import annotations
@@ -30,10 +43,12 @@ from typing import Deque
 
 from .config import SimConfig
 from .packet import Packet
+from .state import POS_INPUT, POS_OUTPUT, SimState
 
 
 class Switch:
-    """Buffers and credit state of one switch."""
+    """Buffers and credit state of one switch (a view into a
+    :class:`~repro.simulator.state.SimState`)."""
 
     __slots__ = (
         "sid",
@@ -41,6 +56,8 @@ class Switch:
         "n_vcs",
         "n_servers",
         "cfg",
+        "state",
+        "row",
         "in_q",
         "active_inputs",
         "active_sorted",
@@ -50,9 +67,24 @@ class Switch:
         "port_load",
         "rr",
         "n_inputs",
+        "dirty_heads",
+        "_in_occ",
+        "_out_occ",
+        "_hol_dst",
+        "_pos_in",
+        "_pos_out",
     )
 
-    def __init__(self, sid: int, n_ports: int, n_vcs: int, n_servers: int, cfg: SimConfig):
+    def __init__(
+        self,
+        sid: int,
+        n_ports: int,
+        n_vcs: int,
+        n_servers: int,
+        cfg: SimConfig,
+        state: SimState | None = None,
+        row: int | None = None,
+    ):
         self.sid = sid
         self.n_ports = n_ports
         self.n_vcs = n_vcs
@@ -60,6 +92,13 @@ class Switch:
         self.cfg = cfg
         npv = n_ports * n_vcs
         self.n_inputs = npv + n_servers
+        if state is None:
+            # Standalone construction (component tests): a private
+            # single-switch store, indistinguishable through the view.
+            state = SimState.for_switch(n_ports, n_vcs, n_servers, cfg)
+            row = 0
+        self.state = state
+        r = self.row = sid if row is None else row
         #: Input FIFOs: network inputs then injection queues.
         self.in_q: list[Deque[Packet]] = [deque() for _ in range(self.n_inputs)]
         #: Indices of non-empty input FIFOs (maintained via
@@ -69,16 +108,29 @@ class Switch:
         #: so the ejection phase never re-sorts per slot.
         self.active_inputs: set[int] = set()
         self.active_sorted: list[int] = []
+        #: Inputs whose head-of-line packet changed since the consumer
+        #: last looked: every pop (the next packet — or nothing — becomes
+        #: the head) and every push into an empty FIFO lands here.  The
+        #: array backend's request-phase cache re-derives exactly these
+        #: entries instead of rescanning every active input.  Bounded by
+        #: ``n_inputs``; the consumer clears it.
+        self.dirty_heads: set[int] = set()
         #: Output FIFOs per (port, vc).
         self.out_q: list[Deque[Packet]] = [deque() for _ in range(npv)]
-        #: Free downstream input slots per output VC.
-        self.credits: list[int] = [cfg.input_buffer_packets] * npv
+        #: Free downstream input slots per output VC (store row view).
+        self.credits = state.credits[r, :npv]
         #: Q-rule load per output VC: output occupancy + consumed credits.
-        self.load: list[int] = [0] * npv
+        self.load = state.load[r, :npv]
         #: Sum of ``load`` over the VCs of each port.
-        self.port_load: list[int] = [0] * n_ports
+        self.port_load = state.port_load[r, :n_ports]
         #: Round-robin pointer per port for link transmission.
-        self.rr: list[int] = [0] * n_ports
+        self.rr = state.rr[r, :n_ports]
+        # Derived-column row views + position-code bases (hot-path use).
+        self._in_occ = state.in_occ[r]
+        self._out_occ = state.out_occ[r]
+        self._hol_dst = state.hol_dst[r]
+        self._pos_in = state.pos_code(POS_INPUT, r, 0)
+        self._pos_out = state.pos_code(POS_OUTPUT, r, 0)
 
     # ------------------------------------------------------------------
     # Index helpers
@@ -117,6 +169,37 @@ class Switch:
         self.active_sorted.remove(idx)
 
     # ------------------------------------------------------------------
+    # Queue mutation (keeps the SimState derived columns exact)
+    # ------------------------------------------------------------------
+    def push_input(self, idx: int, pkt: Packet) -> None:
+        """Append ``pkt`` to input FIFO ``idx`` (injection or link
+        arrival) and activate the input."""
+        q = self.in_q[idx]
+        if not q:
+            self._hol_dst[idx] = pkt.dst_switch
+            self.dirty_heads.add(idx)  # new head (push to a backlog isn't one)
+        q.append(pkt)
+        self.activate(idx)
+        self._in_occ[idx] += 1
+        if pkt.row >= 0:
+            self.state.packets.pos[pkt.row] = self._pos_in + idx
+
+    def pop_input(self, idx: int) -> Packet:
+        """Pop the head of input FIFO ``idx`` (ejection or grant); the
+        caller decides the packet's next position (output FIFO via
+        :meth:`grant`, or release on ejection)."""
+        q = self.in_q[idx]
+        pkt = q.popleft()
+        self.dirty_heads.add(idx)
+        if q:
+            self._hol_dst[idx] = q[0].dst_switch
+        else:
+            self._hol_dst[idx] = -1
+            self.deactivate(idx)
+        self._in_occ[idx] -= 1
+        return pkt
+
+    # ------------------------------------------------------------------
     # Q+P bookkeeping (packets; engine scales to phits)
     # ------------------------------------------------------------------
     def q_value(self, port: int, vc: int) -> int:
@@ -131,16 +214,20 @@ class Switch:
         self.credits[pv] -= 1
         self.load[pv] += 2  # +1 occupancy, +1 consumed credit
         self.port_load[pv // self.n_vcs] += 2
+        self._out_occ[pv] += 1
+        if pkt.row >= 0:
+            self.state.packets.pos[pkt.row] = self._pos_out + pv
 
     def transmit(self, port: int) -> tuple[int, Packet] | None:
         """Pop one packet from the port's output VCs, round-robin.
 
         Returns ``(vc, packet)`` or ``None`` when the port is idle.  The
         consumed-credit half of the load stays until the downstream FIFO
-        slot is freed.
+        slot is freed.  The popped packet's position is written by the
+        link model's ``deliver`` (wire or downstream input).
         """
         base = port * self.n_vcs
-        start = self.rr[port]
+        start = int(self.rr[port])
         for off in range(self.n_vcs):
             vc = (start + off) % self.n_vcs
             q = self.out_q[base + vc]
@@ -149,8 +236,20 @@ class Switch:
                 pkt = q.popleft()
                 self.load[base + vc] -= 1
                 self.port_load[port] -= 1
+                self._out_occ[base + vc] -= 1
                 return vc, pkt
         return None
+
+    def unqueue_output(self, pv: int) -> Packet:
+        """Remove the head of output FIFO ``pv`` *without* transmitting
+        it (fault purge): the FIFO slot frees and the downstream credit
+        reservation returns, keeping the Q-rule accounting exact."""
+        pkt = self.out_q[pv].popleft()
+        self.credits[pv] += 1
+        self.load[pv] -= 2
+        self.port_load[pv // self.n_vcs] -= 2
+        self._out_occ[pv] -= 1
+        return pkt
 
     def return_credit(self, port: int, vc: int) -> None:
         """Downstream freed the input slot reserved by :meth:`grant`."""
@@ -161,7 +260,8 @@ class Switch:
 
     # ------------------------------------------------------------------
     def occupancy_packets(self) -> int:
-        """Packets buffered in this switch (inputs + outputs)."""
+        """Packets buffered in this switch (inputs + outputs), counted
+        from the FIFO ground truth (the store columns mirror it)."""
         return sum(len(q) for q in self.in_q) + sum(len(q) for q in self.out_q)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,17 +1,19 @@
-"""Differential suite: the ``"event"`` backend must be *byte-identical*
-to the ``"slot"`` reference — not statistically close.
+"""Differential suite: the ``"event"`` and ``"array"`` backends must
+be *byte-identical* to the ``"slot"`` reference — not statistically
+close.
 
-Every case runs the same job list twice through the serial executor,
-once per backend, and compares the JSON-normalised records (the same
-fingerprint the golden suite uses).  The matrix spans mechanisms
+Every case runs the same job list once per backend through the serial
+executor — the slot reference plus each alternate backend — and
+compares the JSON-normalised records (the same fingerprint the golden
+suite uses).  The matrix spans mechanisms
 (table-driven minimal, two-phase Valiant, escape-based PolSP) ×
 topology families (HyperX, torus, fat-tree) × schedules (static,
 mid-run fail-then-repair, phased workload), plus the microarchitecture
 variants whose RNG/wake behaviour differs (pipelined links, on-off
 injection, split RNG streams), each over multiple seeds.
 
-The cache-key tests pin that ``backend`` reaches ``job_key``: slot and
-event results can never alias one cache entry.
+The cache-key tests pin that ``backend`` reaches ``job_key``: no two
+backends' results can ever alias one cache entry.
 """
 
 from __future__ import annotations
@@ -40,6 +42,14 @@ import pytest
 
 SLOT = PAPER_CONFIG
 EVENT = PAPER_CONFIG.with_(backend="event")
+ARRAY = PAPER_CONFIG.with_(backend="array")
+
+#: The non-reference backends, each diffed against ``"slot"``.
+ALT_BACKENDS = ("event", "array")
+
+
+def _alt_config(backend):
+    return PAPER_CONFIG.with_(backend=backend)
 
 #: Mechanisms covering the three routing styles that exercise distinct
 #: engine paths: plain tables, two-phase Valiant, escape-based SurePath.
@@ -62,11 +72,12 @@ def _normalize(records):
     return json.loads(json.dumps(encode_json_safe(records)))
 
 
-def _run_both(make_jobs):
-    """Run ``make_jobs(config)`` under each backend; return both fingerprints."""
+def _run_both(make_jobs, alt):
+    """Run ``make_jobs(config)`` under slot and the ``alt`` backend;
+    return both fingerprints."""
     slot = SerialExecutor().run(make_jobs(SLOT))
-    event = SerialExecutor().run(make_jobs(EVENT))
-    return _normalize(slot), _normalize(event)
+    other = SerialExecutor().run(make_jobs(_alt_config(alt)))
+    return _normalize(slot), _normalize(other)
 
 
 def _assert_identical(slot, event):
@@ -80,8 +91,9 @@ def _assert_identical(slot, event):
         )
 
 
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
 @pytest.mark.parametrize("family", sorted(_families()))
-def test_static_sweep_identical(family):
+def test_static_sweep_identical(family, alt):
     topo = _families()[family]
     net = Network(topo)
 
@@ -94,11 +106,12 @@ def test_static_sweep_identical(family):
             )
         return out
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
 @pytest.mark.parametrize("family", sorted(_families()))
-def test_midrun_fault_schedule_identical(family):
+def test_midrun_fault_schedule_identical(family, alt):
     topo = _families()[family]
     net = Network(topo)
     link = random_connected_fault_sequence(topo, 1, rng=7)[0]
@@ -116,11 +129,12 @@ def test_midrun_fault_schedule_identical(family):
             )
         return out
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
 @pytest.mark.parametrize("family", sorted(_families()))
-def test_phased_workload_identical(family):
+def test_phased_workload_identical(family, alt):
     topo = _families()[family]
     net = Network(topo)
     # Load dips then spikes mid-measurement: agenda drains, then refills.
@@ -138,10 +152,11 @@ def test_phased_workload_identical(family):
             )
         return out
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
-def test_pattern_swap_workload_identical():
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+def test_pattern_swap_workload_identical(alt):
     net = Network(HyperX((4, 4), 2))
     workload = WorkloadSchedule.pattern_steps([(WARMUP + 40, "randperm")])
 
@@ -152,10 +167,11 @@ def test_pattern_swap_workload_identical():
             warmup=WARMUP, measure=MEASURE, seed=0, config=config,
         )
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
-def test_pipelined_links_identical():
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+def test_pipelined_links_identical(alt):
     net = Network(HyperX((4, 4), 2))
 
     def jobs(config):
@@ -168,10 +184,11 @@ def test_pipelined_links_identical():
             )
         return out
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
-def test_onoff_injection_and_split_streams_identical():
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+def test_onoff_injection_and_split_streams_identical(alt):
     net = Network(HyperX((4, 4), 2))
 
     def jobs(config):
@@ -185,10 +202,11 @@ def test_onoff_injection_and_split_streams_identical():
             )
         return out
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
-def test_random_arbiter_identical():
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+def test_random_arbiter_identical(alt):
     # The random arbiter draws RNG per *visited* switch with head-of-line
     # work — the sharpest probe that the agenda visits exactly the
     # acting switches in the reference order.
@@ -204,7 +222,7 @@ def test_random_arbiter_identical():
             )
         return out
 
-    _assert_identical(*_run_both(jobs))
+    _assert_identical(*_run_both(jobs, alt))
 
 
 class TestBackendInCacheKey:
@@ -215,7 +233,10 @@ class TestBackendInCacheKey:
         )[0]
 
     def test_backend_changes_job_key(self):
-        assert job_key(self._job(SLOT)) != job_key(self._job(EVENT))
+        keys = {
+            job_key(self._job(cfg)) for cfg in (SLOT, EVENT, ARRAY)
+        }
+        assert len(keys) == 3
 
     def test_same_backend_same_key(self):
         assert job_key(self._job(EVENT)) == job_key(
@@ -224,9 +245,10 @@ class TestBackendInCacheKey:
 
     def test_backends_cache_separately(self, tmp_path):
         cache = tmp_path / "cache"
-        slot = SerialExecutor(cache_dir=cache).run([self._job(SLOT)])
-        n_after_slot = len(list(cache.rglob("*.json")))
-        event = SerialExecutor(cache_dir=cache).run([self._job(EVENT)])
-        n_after_event = len(list(cache.rglob("*.json")))
-        assert n_after_event == n_after_slot + 1
-        assert _normalize(slot) == _normalize(event)
+        records, counts = [], []
+        for cfg in (SLOT, EVENT, ARRAY):
+            records.append(SerialExecutor(cache_dir=cache).run([self._job(cfg)]))
+            counts.append(len(list(cache.rglob("*.json"))))
+        assert counts == [1, 2, 3]
+        assert _normalize(records[0]) == _normalize(records[1])
+        assert _normalize(records[0]) == _normalize(records[2])

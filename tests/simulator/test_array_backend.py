@@ -1,0 +1,197 @@
+"""Unit tests for the array backend's request-phase machinery.
+
+The differential suite proves the ``"array"`` backend byte-identical to
+the slot reference end to end; this module tests the pieces that proof
+rests on, so a break is named at the component:
+
+* the ``candidate_key`` contract — equal keys must mean equal candidate
+  lists, or the shared memo would silently serve one packet another
+  packet's routes;
+* the memo entries — the dense penalty row and the output-VC -> list
+  position map the matrix kernel scores and tie-breaks through;
+* the per-switch head cache — category bookkeeping (routable / stalled
+  / awaiting ejection) must track the real queue heads, with
+  ``Switch.dirty_heads`` as the only invalidation channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.base import RoutingMechanism
+from repro.routing.catalog import MECHANISMS, make_mechanism
+from repro.simulator.backends import make_simulator
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.packet import Packet
+from repro.topology.base import Network
+from repro.topology.faults import random_connected_fault_sequence
+from repro.topology.hyperx import HyperX
+from repro.traffic import make_traffic
+
+
+def _net(n_faults=0, seed=3):
+    hx = HyperX((4, 4), 2)
+    faults = (
+        random_connected_fault_sequence(hx, n_faults, rng=seed)
+        if n_faults
+        else []
+    )
+    return Network(hx, faults)
+
+
+def _array_sim(net, mechanism="PolSP", offered=0.5, seed=0):
+    mech = make_mechanism(mechanism, net, rng=seed + 1)
+    return make_simulator(
+        PAPER_CONFIG.with_(backend="array"), net, mech,
+        make_traffic("uniform", net, seed), offered=offered, seed=seed,
+    )
+
+
+def _walk(mech, net, pkt, max_hops=3):
+    """Yield (pkt, current) along a greedy walk over the mechanism's own
+    candidates (first candidate each hop)."""
+    current = pkt.src_switch
+    for _ in range(max_hops + 1):
+        yield pkt, current
+        cands = mech.candidates(pkt, current)
+        if not cands or current == pkt.dst_switch:
+            return
+        port, vc, _pen = cands[0]
+        nbr = int(net.port_neighbour[current][port])
+        if nbr < 0:
+            return
+        mech.on_hop(pkt, current, nbr, port, vc)
+        current = nbr
+
+
+class TestCandidateKeyContract:
+    """Equal ``candidate_key`` => equal ``candidates`` — the soundness
+    condition of the array backend's shared route memo."""
+
+    @pytest.mark.parametrize("name", MECHANISMS)
+    @pytest.mark.parametrize("n_faults", [0, 3])
+    def test_key_determines_candidates(self, name, n_faults):
+        net = _net(n_faults)
+        mech = make_mechanism(name, net, rng=1)
+        if type(mech).candidate_key is RoutingMechanism.candidate_key:
+            pytest.skip(f"{name} is keyless (generic fallback path)")
+        sps = net.topology.servers_per_switch
+        seen: dict[tuple, list] = {}
+        collisions = 0
+        pid = 0
+        # Two passes over the same (src, dst) set: pass 2's packets are
+        # distinct objects in identical route situations, so every one
+        # of their keys collides with pass 1 — the probe always has
+        # teeth, on top of whatever cross-pair collisions occur.
+        for _ in range(2):
+            for src in range(0, net.n_switches, 3):
+                for dst in range(net.n_switches):
+                    if dst == src:
+                        continue
+                    pkt = Packet(pid, src * sps, dst * sps, src, dst, 0)
+                    pid += 1
+                    mech.init_packet(pkt)
+                    for p, current in _walk(mech, net, pkt):
+                        key = mech.candidate_key(p, current)
+                        assert key is not None, (
+                            f"{name} advertises candidate_key but returned "
+                            "None"
+                        )
+                        cands = mech.candidates(p, current)
+                        if key in seen:
+                            collisions += 1
+                            assert seen[key] == cands, (
+                                f"{name}: key {key} maps to two candidate "
+                                "lists"
+                            )
+                        else:
+                            seen[key] = cands
+        assert collisions > 0
+
+
+class TestMemoEntries:
+    def _memo(self, sim, slots=40):
+        for _ in range(slots):
+            sim.step()
+        entries = [e for e in sim._cand_memo.values() if e[0]]
+        assert entries, "no candidate memo entries built"
+        return sim, entries
+
+    def test_entry_columns_mirror_candidate_list(self):
+        sim, entries = self._memo(_array_sim(_net()))
+        n_vcs = sim._n_vcs
+        for cands, pv_a, pen_a, pen_row, pos_map, dup in entries:
+            assert not dup  # no shipped mechanism emits duplicate (port, vc)
+            assert pv_a.shape == pen_a.shape == (len(cands),)
+            for i, (port, vc, pen) in enumerate(cands):
+                pv = port * n_vcs + vc
+                assert pv_a[i] == pv
+                assert pen_a[i] == pen
+                assert pen_row[pv] == pen
+                assert pos_map[pv] == i
+            # Non-candidate output VCs must never win the row minimum.
+            mask = np.ones(pen_row.size, dtype=bool)
+            mask[pv_a] = False
+            assert np.all(np.isinf(pen_row[mask]))
+
+    def test_empty_candidate_entry_shape(self):
+        # Saturated VC ladders memoise an empty list with no columns.
+        sim = _array_sim(_net(3), mechanism="OmniWAR", offered=0.8)
+        for _ in range(80):
+            sim.step()
+        empties = [e for e in sim._cand_memo.values() if not e[0]]
+        for cands, pv_a, pen_a, pen_row, pos_map, dup in empties:
+            assert cands == []
+            assert pv_a is None and pen_row is None and pos_map is None
+            assert dup is False
+
+
+class TestHeadCacheInvariants:
+    def test_categories_track_queue_heads(self):
+        net = _net(2)
+        sim = _array_sim(net, offered=0.6)
+        for _ in range(60):
+            sim.step()
+            for sid, sc in sim._qp_cache.items():
+                if sc.generic:
+                    continue
+                sw = sim.switches[sid]
+                cats = set(sc.cat.values())
+                assert cats <= {0, 1, 2}
+                assert set(sc.ent) == {
+                    i for i, c in sc.cat.items() if c == 0
+                }
+                assert set(sc.stall) == {
+                    i for i, c in sc.cat.items() if c == 1
+                }
+                # Rows without a routable entry never enter the score
+                # minimisation: their penalty row must be all-inf.
+                for idx in range(sw.n_inputs):
+                    if idx not in sc.ent:
+                        assert np.all(np.isinf(sc.pen_mat[idx]))
+                # Entries the queues haven't dirtied since allocation
+                # must still describe the real head of line.
+                for idx, cat in sc.cat.items():
+                    if idx in sw.dirty_heads:
+                        continue
+                    q = sw.in_q[idx]
+                    assert q, f"clean cache entry {idx} for empty queue"
+                    if cat == 0:
+                        assert sc.ent[idx][0] is q[0]
+                    elif cat == 1:
+                        assert sc.stall[idx] is q[0]
+                    else:
+                        assert q[0].dst_switch == sid
+
+    def test_topology_event_clears_route_memo(self):
+        # _refresh_inflight_packets is the hook step() fires after a
+        # scheduled fault/repair: routes may differ, so the memo and
+        # every head cache built on it must go.
+        sim = _array_sim(_net(), offered=0.4)
+        for _ in range(30):
+            sim.step()
+        assert sim._cand_memo and sim._qp_cache
+        sim._refresh_inflight_packets()
+        assert not sim._cand_memo
+        assert not sim._qp_cache

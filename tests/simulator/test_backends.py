@@ -12,6 +12,7 @@ import pytest
 
 from repro.registry import Registry
 from repro.routing.catalog import make_mechanism
+from repro.simulator.array_backend import ArraySimulator
 from repro.simulator.backends import ENGINE_BACKENDS, EngineBackend, make_simulator
 from repro.simulator.config import PAPER_CONFIG, SimConfig
 from repro.simulator.engine import Simulator
@@ -28,12 +29,13 @@ def make_sim(net, config=PAPER_CONFIG, mechanism="PolSP", traffic="uniform",
 
 class TestBackendRegistry:
     def test_registered_backends(self):
-        assert set(ENGINE_BACKENDS) == {"slot", "event"}
-        assert ENGINE_BACKENDS.names == ("slot", "event")
+        assert set(ENGINE_BACKENDS) == {"slot", "event", "array"}
+        assert ENGINE_BACKENDS.names == ("slot", "event", "array")
 
     def test_lazy_entries_resolve_to_classes(self):
         assert ENGINE_BACKENDS["slot"] is Simulator
         assert ENGINE_BACKENDS["event"] is EventSimulator
+        assert ENGINE_BACKENDS["array"] is ArraySimulator
 
     def test_backend_name_attributes_match_keys(self):
         for name in ENGINE_BACKENDS:
@@ -42,6 +44,7 @@ class TestBackendRegistry:
     def test_display_names(self):
         assert "slot" in ENGINE_BACKENDS.display_name("slot").lower()
         assert "event" in ENGINE_BACKENDS.display_name("event").lower()
+        assert "vector" in ENGINE_BACKENDS.display_name("array").lower()
 
     def test_unknown_backend_error_shape(self):
         with pytest.raises(ValueError, match="unknown engine backend"):
@@ -79,6 +82,11 @@ class TestMakeSimulator:
         assert type(sim) is EventSimulator
         assert sim.backend_name == "event"
 
+    def test_array_config_builds_array_engine(self, net2d):
+        sim = make_sim(net2d, config=PAPER_CONFIG.with_(backend="array"))
+        assert type(sim) is ArraySimulator
+        assert sim.backend_name == "array"
+
     def test_default_config_is_paper_config(self, net2d):
         mech = make_mechanism("Minimal", net2d, rng=1)
         sim = make_simulator(
@@ -91,7 +99,7 @@ class TestMakeSimulator:
             make_simulator(PAPER_CONFIG, net2d, None, None)
 
     def test_instances_satisfy_protocol(self, net2d):
-        for backend in ("slot", "event"):
+        for backend in ("slot", "event", "array"):
             sim = make_sim(net2d, config=PAPER_CONFIG.with_(backend=backend))
             assert isinstance(sim, EngineBackend)
 
@@ -109,6 +117,15 @@ class TestDeprecationShim:
             sim = Simulator(net, mech, traffic, offered=0.2,
                             config=PAPER_CONFIG.with_(backend="event"))
         assert type(sim) is EventSimulator
+
+    def test_direct_construction_with_array_config_warns_and_dispatches(
+        self, net2d
+    ):
+        net, mech, traffic = self._collaborators(net2d)
+        with pytest.warns(DeprecationWarning, match="make_simulator"):
+            sim = Simulator(net, mech, traffic, offered=0.2,
+                            config=PAPER_CONFIG.with_(backend="array"))
+        assert type(sim) is ArraySimulator
 
     def test_plain_slot_construction_stays_silent(self, net2d):
         net, mech, traffic = self._collaborators(net2d)

@@ -1,0 +1,150 @@
+"""Property suite: the SimState arrays and the object views never diverge.
+
+The struct-of-arrays refactor left the FIFO ground truth in the
+``Switch`` views while the numeric/derived state (credits, loads,
+occupancies, head-of-line destinations, packet positions, wire counts)
+lives in the :class:`~repro.simulator.state.SimState` store.  Every
+mutation path is supposed to keep the two in lockstep through the view
+methods — including the awkward ones that only run on topology changes:
+the fault purge (buffered packets destroyed, output FIFOs unqueued),
+the credit reconcile on repair, and the packet refresh that re-homes
+header state.
+
+These tests drive full fail-and-repair cycles on the two families with
+the most distinct purge behaviour (torus: coordinate routes; fat-tree:
+up/down escape routing) and call :meth:`SimState.verify` — the
+O(everything) audit of every derived array against the queues — at the
+slots bracketing each topology event, under both the reference slot
+backend and the vectorized array backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.catalog import make_mechanism
+from repro.simulator.backends import make_simulator
+from repro.simulator.config import PAPER_CONFIG
+from repro.simulator.schedule import FaultSchedule
+from repro.topology.base import Network
+from repro.topology.catalog import make_topology
+from repro.topology.faults import random_connected_fault_sequence
+from repro.traffic import make_traffic
+
+DOWN, UP, END = 25, 65, 90
+
+
+def _topology(family: str):
+    if family == "torus":
+        return make_topology("torus", side=4, servers_per_switch=2)
+    return make_topology("fattree", k=4, servers_per_switch=2)
+
+
+def _fail_and_repair_sim(family, backend, mechanism, offered, n_faults, seed):
+    topo = _topology(family)
+    links = random_connected_fault_sequence(topo, n_faults, rng=seed)
+    net = Network(topo)
+    mech = make_mechanism(mechanism, net, rng=seed + 1)
+    return make_simulator(
+        PAPER_CONFIG.with_(backend=backend), net, mech,
+        make_traffic("uniform", net, seed), offered=offered, seed=seed,
+        fault_schedule=FaultSchedule.down_then_up(DOWN, UP, links),
+    )
+
+
+CASES = st.fixed_dictionaries(
+    {
+        "family": st.sampled_from(["torus", "fattree"]),
+        "backend": st.sampled_from(["slot", "array"]),
+        "mechanism": st.sampled_from(["Minimal", "PolSP"]),
+        "offered": st.sampled_from([0.3, 0.6]),
+        "n_faults": st.integers(1, 3),
+        "seed": st.integers(0, 60),
+    }
+)
+
+
+class TestFailRepairConsistency:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=CASES)
+    def test_arrays_match_queues_across_cycle(self, case):
+        sim = _fail_and_repair_sim(
+            case["family"], case["backend"], case["mechanism"],
+            case["offered"], case["n_faults"], case["seed"],
+        )
+        # Audit at the slots bracketing the failure (purge + stranded
+        # credits), the repair (credit reconcile + packet refresh) and
+        # the steady stretches before/between/after.
+        audit_after = {10, DOWN, DOWN + 1, UP, UP + 1, END - 1}
+        for slot in range(END):
+            sim.step()
+            if slot in audit_after:
+                sim.state.verify(sim)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=CASES)
+    def test_slot_and_array_end_state_identical(self, case):
+        if case["backend"] != "array":  # the case draw only varies the rest
+            case = dict(case, backend="array")
+        sims = {
+            b: _fail_and_repair_sim(
+                case["family"], b, case["mechanism"],
+                case["offered"], case["n_faults"], case["seed"],
+            )
+            for b in ("slot", "array")
+        }
+        for _ in range(END):
+            for sim in sims.values():
+                sim.step()
+        slot_sim, array_sim = sims["slot"], sims["array"]
+        assert slot_sim.in_flight == array_sim.in_flight
+        assert slot_sim.next_pid == array_sim.next_pid
+        assert np.array_equal(slot_sim.state.credits, array_sim.state.credits)
+        assert np.array_equal(slot_sim.state.load, array_sim.state.load)
+        assert np.array_equal(slot_sim.state.in_occ, array_sim.state.in_occ)
+        assert np.array_equal(slot_sim.state.hol_dst, array_sim.state.hol_dst)
+        assert (
+            slot_sim.rng.integers(1 << 30) == array_sim.rng.integers(1 << 30)
+        )
+
+
+class TestViewAliasing:
+    """The Switch attributes are *views* into the store, not copies."""
+
+    @pytest.mark.parametrize("family", ["torus", "fattree"])
+    def test_switch_rows_share_store_memory(self, family):
+        net = Network(_topology(family))
+        mech = make_mechanism("Minimal", net, rng=1)
+        sim = make_simulator(
+            PAPER_CONFIG, net, mech, make_traffic("uniform", net, 0),
+            offered=0.2, seed=0,
+        )
+        for sw in sim.switches[:4]:
+            assert np.shares_memory(sw.credits, sim.state.credits)
+            assert np.shares_memory(sw.load, sim.state.load)
+            assert np.shares_memory(sw.port_load, sim.state.port_load)
+            assert np.shares_memory(sw.rr, sim.state.rr)
+
+    def test_view_mutation_lands_in_store(self):
+        net = Network(_topology("torus"))
+        mech = make_mechanism("Minimal", net, rng=1)
+        sim = make_simulator(
+            PAPER_CONFIG, net, mech, make_traffic("uniform", net, 0),
+            offered=0.2, seed=0,
+        )
+        sw = sim.switches[0]
+        before = int(sim.state.credits[0, 0])
+        sw.credits[0] -= 1
+        assert sim.state.credits[0, 0] == before - 1
+        sw.credits[0] += 1
