@@ -23,7 +23,11 @@ commit SHA there, so regressions are attributable to a commit):
   allocate-heavy mesh point, each run under both backends with
   byte-identical end state required, plus a per-phase breakdown of the
   array backend.  The dense kernel is the array speedup guard: the
-  vectorized backend must hold >= 3x the slot backend's slots/sec.
+  vectorized backend must hold >= 6x the slot backend's slots/sec.
+  ``--profile`` additionally splits the array backend's allocation
+  phase into its grant sub-phases (vector select, RNG pre-draw replay,
+  scalar commit, credit-feedback fallback) and records the plan-cache
+  hit counters alongside.
 
 The exit status gates regressions: end-state/record identity on every
 paired kernel, the event sparse and array dense speedup floors, and —
@@ -73,7 +77,7 @@ PHASES = ("eject", "allocate", "transmit", "inject")
 
 #: Speedup floors enforced through the exit status.
 MIN_EVENT_SPARSE_SPEEDUP = 3.0
-MIN_ARRAY_DENSE_SPEEDUP = 3.0
+MIN_ARRAY_DENSE_SPEEDUP = 6.0
 
 
 def build_jobs(preset: str, seed: int):
@@ -269,7 +273,7 @@ def backend_kernels(seed: int = 0) -> dict:
     return out
 
 
-def array_backend_kernels(seed: int = 0) -> dict:
+def array_backend_kernels(seed: int = 0, profile: bool = False) -> dict:
     """Paired slot-vs-array engine kernels: same point, both backends.
 
     Two regimes chosen for the array backend's vectorized phase scans
@@ -298,6 +302,12 @@ def array_backend_kernels(seed: int = 0) -> dict:
     The array backend's four phases are timed separately on a second,
     hand-driven simulator (the ``phase_breakdown`` pattern), so the
     json records where the array backend actually spends its time.
+    With ``profile=True`` that simulator also runs with the grant-path
+    profiler on, adding a per-sub-phase split of allocation (vector
+    ``select``, RNG ``predraw`` replay, scalar ``commit``, and the
+    credit-feedback ``fallback``) plus the plan-cache counters.  The
+    profiler inserts timer calls into the grant loop, so it stays off
+    the timed ``_best_rate`` simulators and off by default.
     """
     out = {}
 
@@ -325,6 +335,9 @@ def array_backend_kernels(seed: int = 0) -> dict:
         sim = build("array")
         for _ in range(warmup):
             sim.step()
+        # Enable after warmup so the sub-phase seconds cover the same
+        # slots the phase split times.
+        gprof = sim.enable_grant_profile() if profile else None
         times = dict.fromkeys(PHASES, 0.0)
         t_all = time.perf_counter()
         for _ in range(slots):
@@ -343,9 +356,19 @@ def array_backend_kernels(seed: int = 0) -> dict:
             times["transmit"] += t3 - t2
             times["inject"] += t4 - t3
         total = time.perf_counter() - t_all
+        grant = None
+        if gprof is not None:
+            grant = {
+                "subphase_seconds": {k: round(v, 4) for k, v in gprof.items()},
+                "subphase_share": {
+                    k: round(v / total, 3) for k, v in gprof.items()
+                },
+                "stats": dict(sim.grant_stats),
+            }
         return (
             {k: round(v, 4) for k, v in times.items()},
             {k: round(v / total, 3) for k, v in times.items()},
+            grant,
         )
 
     def _pair(name, build, warmup, chunks, chunk_slots):
@@ -354,7 +377,7 @@ def array_backend_kernels(seed: int = 0) -> dict:
             rate[backend], fingerprint[backend] = _best_rate(
                 build(backend), warmup, chunks, chunk_slots
             )
-        phase_seconds, phase_share = _array_phase_split(
+        phase_seconds, phase_share, grant = _array_phase_split(
             build, warmup, chunks * chunk_slots
         )
         out[name] = {
@@ -365,6 +388,8 @@ def array_backend_kernels(seed: int = 0) -> dict:
             "array_phase_seconds": phase_seconds,
             "array_phase_share": phase_share,
         }
+        if grant is not None:
+            out[name]["array_grant_profile"] = grant
 
     dense_net = Network(HyperX((12, 12), 12))
     dense_mech = make_mechanism("PolSP", dense_net, rng=seed + 1)
@@ -399,6 +424,10 @@ def main(argv=None) -> int:
                         help="worker count for the parallel executor")
     parser.add_argument("--preset", default="quick", choices=sorted(PRESETS))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--profile", action="store_true",
+                        help="record the array backend's per-grant-sub-phase "
+                             "timings (predraw/select/commit/fallback) and "
+                             "plan-cache counters in the json")
     parser.add_argument("--out-dir", default=".",
                         help="directory for the output file")
     args = parser.parse_args(argv)
@@ -458,7 +487,7 @@ def main(argv=None) -> int:
               f"identical={k['records_identical']}")
     event_sparse_ok = backends["sparse"]["speedup"] >= MIN_EVENT_SPARSE_SPEEDUP
 
-    array_kernels = array_backend_kernels(seed=args.seed)
+    array_kernels = array_backend_kernels(seed=args.seed, profile=args.profile)
     array_identical = all(
         k["records_identical"] for k in array_kernels.values()
     )
@@ -470,6 +499,16 @@ def main(argv=None) -> int:
               f"array={k['array_slots_per_sec']:.1f}/s "
               f"speedup={k['speedup']:.2f}x "
               f"identical={k['records_identical']} ({shares})")
+        grant = k.get("array_grant_profile")
+        if grant:
+            subs = ", ".join(
+                f"{p}={grant['subphase_seconds'][p]:.4f}s"
+                for p in ("predraw", "select", "commit", "fallback")
+            )
+            stats = grant["stats"]
+            print(f"      grants: {subs} | hits={stats['plan_hits']} "
+                  f"select={stats['select_rebuilds']} "
+                  f"fallback={stats['fallback_rebuilds']}")
     array_dense_ok = (
         array_kernels["dense"]["speedup"] >= MIN_ARRAY_DENSE_SPEEDUP
     )

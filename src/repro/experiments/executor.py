@@ -480,6 +480,51 @@ class SerialExecutor(Executor):
         return [run_job(job) for job in jobs]
 
 
+#: Minimum estimated sweep work, in switch-slots, that each pool worker
+#: must have to amortise before forking beats staying in-process.  A
+#: worker costs roughly an interpreter start plus unpickling the shared
+#: topology and warming its routing tables; measured against the array
+#: backend's throughput that overhead is on the order of tens of
+#: thousands of switch-slots, so anything below this floor per worker
+#: finishes faster serially (the quick bench preset — 36 jobs of 300
+#: slots on 16 switches — lands below it on small machines).
+PER_WORKER_OVERHEAD = 50_000
+
+
+def estimated_sweep_work(jobs: Sequence[PointJob]) -> int:
+    """Total sweep size in switch-slots: Σ (warmup + measure) × switches.
+
+    Switch-slots — one switch stepped through one slot — are the unit
+    the simulators' hot loops scale in, so the sum is a machine-free
+    proxy for run time that needs nothing but the job list.
+    """
+    return sum(
+        (job.warmup + job.measure) * job.topology.n_switches for job in jobs
+    )
+
+
+def should_parallelize(
+    jobs: Sequence[PointJob],
+    workers: int,
+    cpu_count: int | None = None,
+) -> bool:
+    """Whether a process pool of ``workers`` beats running ``jobs`` serially.
+
+    False when there is nothing to split (``workers <= 1`` or a single
+    job), when the machine cannot actually run workers side by side
+    (``cpu_count <= 1`` — pools on one core pay fork/pickle overhead for
+    zero concurrency), or when the sweep is too small to repay the pool:
+    each worker must have at least :data:`PER_WORKER_OVERHEAD`
+    switch-slots of estimated work.  ``cpu_count`` defaults to the
+    machine's; tests pass it explicitly.
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return False
+    if (cpu_count if cpu_count is not None else os.cpu_count() or 1) <= 1:
+        return False
+    return estimated_sweep_work(jobs) >= workers * PER_WORKER_OVERHEAD
+
+
 class ParallelExecutor(Executor):
     """Process-pool execution of independent points.
 
@@ -488,7 +533,10 @@ class ParallelExecutor(Executor):
     jobs:
         Worker count; defaults to the machine's CPU count.  Results are
         identical to :class:`SerialExecutor` for any value — every point
-        carries its own seed and the pool preserves job order.
+        carries its own seed and the pool preserves job order.  The pool
+        is only spun up when :func:`should_parallelize` says the sweep
+        repays it; undersized sweeps (and single-CPU machines) run the
+        jobs in-process instead.
     cache_dir:
         Optional content-addressed result cache shared with every other
         executor.
@@ -526,7 +574,7 @@ class ParallelExecutor(Executor):
         self.chunksize = None if chunksize is None else max(1, int(chunksize))
 
     def _execute(self, jobs: Sequence[PointJob]) -> list[dict]:
-        if self.n_workers == 1 or len(jobs) <= 1:
+        if not should_parallelize(jobs, self.n_workers):
             return [run_job(job) for job in jobs]
         workers = min(self.n_workers, len(jobs))
         chunksize = self.chunksize

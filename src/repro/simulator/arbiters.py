@@ -293,30 +293,52 @@ class RoundRobinArbiter(Arbiter):
         for sw in sim.alloc_switches():
             if not sw.active_inputs:
                 continue
-            sid = sw.sid
-            n_vcs = sw.n_vcs
-            requests: dict[int, list[tuple[int, int, Packet]]] = {}
-            for idx, pkt, feasible in self._hol_requests(sim, sw):
-                ptr = self._cand_ptr.get((sid, idx), 0)
-                keyed = sorted(feasible, key=lambda c: c[0] * n_vcs + c[1])
-                chosen = next(
-                    (c for c in keyed if c[0] * n_vcs + c[1] >= ptr), keyed[0]
-                )
-                port, vc, _pen = chosen
-                self._cand_ptr[(sid, idx)] = port * n_vcs + vc + 1
-                requests.setdefault(port, []).append((idx, vc, pkt))
-            input_wins: dict[int, int] = {}
-            for port in sorted(requests):
-                reqs = sorted(requests[port])
-                gp = self._grant_ptr.get((sid, port), 0)
-                ordered = [r for r in reqs if r[0] >= gp] + [
-                    r for r in reqs if r[0] < gp
-                ]
-                winners = self._grant_in_order(sim, sw, port, ordered, input_wins)
-                if winners:
-                    # Rotate priority just past the last actual winner.
-                    self._grant_ptr[(sid, port)] = (winners[-1] + 1) % sw.n_inputs
-                granted += len(winners)
+            granted += self.allocate_switch(sim, sw)
+        return granted
+
+    def allocate_switch(self, sim, sw) -> int:
+        """Request + grant pass for one switch (the per-switch body of
+        :meth:`allocate`, split out so the array backend's keyed fast
+        path can delegate individual keyless switches here)."""
+        sid = sw.sid
+        n_vcs = sw.n_vcs
+        requests: dict[int, list[tuple[int, int, Packet]]] = {}
+        for idx, pkt, feasible in self._hol_requests(sim, sw):
+            ptr = self._cand_ptr.get((sid, idx), 0)
+            keyed = sorted(feasible, key=lambda c: c[0] * n_vcs + c[1])
+            chosen = next(
+                (c for c in keyed if c[0] * n_vcs + c[1] >= ptr), keyed[0]
+            )
+            port, vc, _pen = chosen
+            self._cand_ptr[(sid, idx)] = port * n_vcs + vc + 1
+            requests.setdefault(port, []).append((idx, vc, pkt))
+        return self._grant_requests(sim, sw, requests)
+
+    def _grant_requests(self, sim, sw, requests) -> int:
+        """The grant half: ports in ascending index order, each granting
+        inputs in cyclic order starting just past its previous winner.
+
+        Shared with the array backend, whose vectorized request phase
+        builds an identical ``requests`` dict (same winners, same
+        pointer updates — round-robin selection makes no RNG draws and
+        the grant side sorts, so only the request *set* matters) and
+        hands it over here so grant order, the per-port rotation state
+        and the credit feedback stay the reference scalar code.
+        """
+        granted = 0
+        sid = sw.sid
+        input_wins: dict[int, int] = {}
+        for port in sorted(requests):
+            reqs = sorted(requests[port])
+            gp = self._grant_ptr.get((sid, port), 0)
+            ordered = [r for r in reqs if r[0] >= gp] + [
+                r for r in reqs if r[0] < gp
+            ]
+            winners = self._grant_in_order(sim, sw, port, ordered, input_wins)
+            if winners:
+                # Rotate priority just past the last actual winner.
+                self._grant_ptr[(sid, port)] = (winners[-1] + 1) % sw.n_inputs
+            granted += len(winners)
         return granted
 
 

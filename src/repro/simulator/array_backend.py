@@ -22,9 +22,8 @@ What is vectorized, and why it is safe
   pre-phase snapshot equals the reference's read-at-visit values.  The
   per-hit consume (pop, credit return, metrics) stays scalar reference
   code.
-* **Allocation requests** (the Q+P arbiter's request half) — three
-  layers remove the reference's per-slot re-walk of every head-of-line
-  packet:
+* **Allocation** (the Q+P arbiter) — four layers remove the
+  reference's per-slot re-walk of every head-of-line packet:
 
   1. *Candidate memo* — mechanisms that implement
      :meth:`~repro.routing.base.RoutingMechanism.candidate_key` declare
@@ -41,29 +40,50 @@ What is vectorized, and why it is safe
      ``pen_mat[input, output_vc]`` — its candidates' penalties at their
      output VCs, ``+inf`` elsewhere — so deriving a head is one row
      write and no per-slot data structure is rebuilt at all.
-  3. *Fused kernel* — per switch, a whole-row pass builds the
-     admission-masked Q-term for every output VC once; one broadcast
-     add against ``pen_mat`` and a row-minimum then score every head
-     in a single matrix pass, and the winning (port, VC) of untied
-     heads falls out of the argmin arithmetically.  Scores are
-     bit-exact: the per-element operation order ``(port_load + load) *
-     phits + penalty`` is the scalar expression's, and masked or
-     non-candidate entries are pinned at ``inf`` (never NaN: penalties
-     are finite and non-negative).
+  3. *Fused select kernel* — the admission-masked Q-term for every
+     output VC of *all* switches comes out of one whole-state matrix
+     expression at phase start; per rebuilt switch, one broadcast add
+     against ``pen_mat`` and a row-minimum then score every head in a
+     single matrix pass, and the winning (port, VC) of untied heads
+     falls out of the argmin arithmetically.  Scores are bit-exact:
+     the per-element operation order ``(port_load + load) * phits +
+     penalty`` is the scalar expression's, and masked or non-candidate
+     entries are pinned at ``inf`` (never NaN: penalties are finite
+     and non-negative).
+  4. *Grant-plan cache with pre-drawn RNG replay* — the kernel's
+     outcome per switch (its live heads in reference visit order, each
+     with winning score and tied candidate set) is cached as a *plan*
+     and replayed on later slots as a pure RNG pre-draw: one
+     ``integers(n_ties)`` draw exactly when the reference would
+     tie-break, then one ``random()`` per request — same draws, same
+     order, same values.  A plan stays valid while the switch's heads
+     are clean, its combined admission/Q row is byte-equal to the one
+     the plan was built from, and no same-phase credit feedback landed
+     on it.
 
-  The RNG pass then touches only the heads whose minimum is feasible,
-  reordered into the reference's ``active_inputs`` set-iteration order:
-  one ``integers(n_ties)`` draw exactly when the reference would
-  tie-break, then one ``random()`` per request — same draws, same
-  order, same values.  Vectorizing *across* switches would be unsound —
-  a grant at switch ``s`` returns credits to upstream switches still
-  awaiting their allocation this slot — so switches are processed in
-  the reference's ascending order and the grant half is delegated to
-  the shared scalar
-  :meth:`~repro.simulator.arbiters.QPArbiter._grant_requests`.
-  Mechanisms without candidate keys fall back to a reference-shaped
-  per-switch walk with per-packet candidate caching (still vectorized
-  scoring, see :attr:`ArraySimulator.PROMOTE_AFTER`).
+  A truly global RNG pre-draw would be unsound: a grant at switch
+  ``t`` returns a credit upstream, and an upstream switch ``u > t``
+  allocates *later this same phase* with one more credit than any
+  pre-computed plan assumed — which can change its number of draws and
+  desynchronise every stream position after it.  So switches are
+  processed in the reference's ascending order, the grant half is
+  delegated per switch to the shared scalar
+  :meth:`~repro.simulator.arbiters.QPArbiter._grant_requests` (which
+  re-checks flow control live), and ``SimState.grant_feedback`` — a
+  per-switch bitmask set by every upstream credit return, cleared at
+  phase start — is the conflict detector: flagged switches abandon
+  their plan and rebuild from a freshly-computed admission row.
+  ``grant_stats`` counts the three paths (``plan_hits`` /
+  ``select_rebuilds`` / ``fallback_rebuilds``) and
+  :meth:`ArraySimulator.enable_grant_profile` times the
+  predraw/select/commit/fallback sub-phases (surfaced by
+  ``benchmarks/run_bench.py --profile``).
+  The round-robin arbiter rides its own fast path — pointer walks over
+  the memo's pv-sorted candidate lists, no RNG, no score matrices —
+  and mechanisms without candidate keys fall back to a
+  reference-shaped per-switch walk with per-packet candidate caching
+  (still vectorized scoring, see
+  :attr:`ArraySimulator.PROMOTE_AFTER`).
 * **Transmission** — the ``out_occ`` column, summed per port, finds
   every buffered (switch, port) pair in the reference's visit order;
   the pop itself (round-robin VC scan, link delivery) is reference
@@ -76,8 +96,9 @@ What is vectorized, and why it is safe
   init) stays scalar in attempt order — those draws are the RNG
   contract.
 
-Non-default arbiters fall back to their (backend-agnostic) scalar
-``allocate``; every other phase stays vectorized.  Select with
+Arbiters other than Q+P and round-robin fall back to their
+(backend-agnostic) scalar ``allocate``; every other phase stays
+vectorized.  Select with
 ``SimConfig(backend="array")`` — the config field flows into the
 executor cache key (CACHE_VERSION 7), so array records never alias
 slot/event cache entries.
@@ -86,11 +107,12 @@ slot/event cache entries.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 import numpy as np
 
 from ..routing.base import RoutingMechanism
-from .arbiters import QPArbiter
+from .arbiters import QPArbiter, RoundRobinArbiter
 from .engine import Simulator
 from .packet import Packet
 
@@ -106,20 +128,40 @@ class _SwCache:
     Only inputs named by ``Switch.dirty_heads`` are re-derived — a
     derive is a dict update plus one ``pen_mat`` row write, so there is
     no per-slot rebuild step at all.  ``sbuf`` is the kernel's
-    preallocated score scratch (same shape as ``pen_mat``).
+    preallocated score scratch (same shape as ``pen_mat``); the
+    round-robin fast path scores through the memo's sorted candidate
+    lists instead, so it skips both matrices (``mats=False``).
     ``generic`` pins the switch to the keyless fallback path after a
     head without a candidate key was seen.
+
+    ``plan`` is the cached outcome of the whole request half: the
+    switch's live heads in reference visit order, each with its winning
+    score and tied candidates (see :meth:`ArraySimulator._build_plan`).
+    It stays valid — and the per-slot matrix kernel is skipped entirely
+    — while no head changed (``dirty_heads``), the switch's combined
+    admission/Q row is byte-equal to the one the plan was built from,
+    and no same-phase credit feedback landed on the switch.
+    ``plan_once`` marks plans holding a duplicate-``(port, vc)`` head,
+    which tie-break through a per-slot gather and are never reused.
+    ``stall_pids`` caches the stalled heads' pid list for the batch
+    metrics replay; any derive invalidates it.
     """
 
-    __slots__ = ("generic", "cat", "ent", "stall", "pen_mat", "sbuf")
+    __slots__ = (
+        "generic", "cat", "ent", "stall", "pen_mat", "sbuf",
+        "plan", "plan_once", "stall_pids",
+    )
 
-    def __init__(self, n_inputs: int, npv: int) -> None:
+    def __init__(self, n_inputs: int, npv: int, mats: bool = True) -> None:
         self.generic = False
         self.cat: dict[int, int] = {}
         self.ent: dict[int, tuple] = {}
         self.stall: dict[int, Packet] = {}
-        self.pen_mat = np.full((n_inputs, npv), math.inf)
-        self.sbuf = np.empty((n_inputs, npv))
+        self.pen_mat = np.full((n_inputs, npv), math.inf) if mats else None
+        self.sbuf = np.empty((n_inputs, npv)) if mats else None
+        self.plan: tuple | list | None = None
+        self.plan_once = False
+        self.stall_pids: list[int] | None = None
 
 
 class ArraySimulator(Simulator):
@@ -163,6 +205,37 @@ class ArraySimulator(Simulator):
             type(self.mechanism).candidate_key
             is not RoutingMechanism.candidate_key
         )
+        #: Keyed round-robin rides its own kernel: memo-sorted candidate
+        #: walks against one vectorized admission row per switch.
+        self._use_rr_kernel = (
+            type(self.arbiter) is RoundRobinArbiter and self._keyed
+        )
+        state = self.state
+        #: Per-switch snapshot of the combined admission/Q row each
+        #: cached plan was built from.  ``NaN`` rows never compare equal,
+        #: so unbuilt switches always read as stale.
+        self._combined_used = np.full(
+            (state.n_switches, state.max_ports * state.n_vcs), np.nan
+        )
+        #: Grant-path counters: plan reuses vs rebuilds vs credit-
+        #: feedback fallbacks.  Cheap enough to keep always on; the
+        #: differential suite uses them to prove both paths ran.
+        self.grant_stats = {
+            "plan_hits": 0, "select_rebuilds": 0, "fallback_rebuilds": 0,
+        }
+        #: Per-grant-subphase second counters (pre-draw / select /
+        #: commit / fallback), ``None`` unless a profiler opted in via
+        #: :meth:`enable_grant_profile` — the hot loop must not pay
+        #: ``perf_counter`` calls by default.
+        self.grant_profile: dict[str, float] | None = None
+
+    def enable_grant_profile(self) -> dict[str, float]:
+        """Turn on per-subphase timing of the allocate grant path and
+        return the accumulator dict (seconds per subphase)."""
+        self.grant_profile = {
+            "predraw": 0.0, "select": 0.0, "commit": 0.0, "fallback": 0.0,
+        }
+        return self.grant_profile
 
     def _refresh_inflight_packets(self) -> None:
         # Candidate memos (and every per-switch head cache built on
@@ -213,7 +286,8 @@ class ArraySimulator(Simulator):
     def _memo_entry(self, pkt, sid: int, key: tuple, npv: int) -> tuple:
         """Build (and memoise) the candidate-key entry for one route
         situation: ``(cands, pv column, penalty column, penalty-by-
-        output-VC row, has-duplicate-pv flag)``.
+        output-VC row, position map, has-duplicate-pv flag, rr-sorted
+        list)``.
 
         The penalty row is the dense form consumed by the matrix
         kernel: the candidate's penalty at its output-VC index, ``inf``
@@ -222,9 +296,26 @@ class ArraySimulator(Simulator):
         is then still exact) and the ``dup`` flag routes the head's
         tie-break through the list-order gather, where the reference's
         per-entry tie counting is reproduced exactly.
+
+        Under the round-robin kernel the score columns are dead weight,
+        so the entry instead carries ``rr``: the candidates stably
+        sorted by flat ``(port, vc)`` index — the exact order the
+        reference's per-head ``sorted(feasible)`` walk visits, shared
+        across every head in the situation instead of re-sorted per
+        head per slot.
         """
         cands = self.mechanism.candidates(pkt, sid)
-        if cands:
+        if not cands:
+            ent = (cands, None, None, None, None, False, None)
+        elif self._use_rr_kernel:
+            n_vcs = self._n_vcs
+            rr = tuple(
+                sorted(
+                    ((port * n_vcs + vc, port, vc) for port, vc, _pen in cands),
+                )
+            )
+            ent = (cands, None, None, None, None, False, rr)
+        else:
             carr = np.asarray(cands, dtype=np.float64)
             pvi = carr[:, :2].astype(np.int64)
             pv_a = pvi[:, 0] * self._n_vcs + pvi[:, 1]
@@ -238,9 +329,7 @@ class ArraySimulator(Simulator):
             dup = len(pos_map) < pv_a.size
             if dup:
                 np.minimum.at(pen_row, pv_a, pen_a)
-            ent = (cands, pv_a, pen_a, pen_row, pos_map, dup)
-        else:
-            ent = (cands, None, None, None, None, False)
+            ent = (cands, pv_a, pen_a, pen_row, pos_map, dup, None)
         self._cand_memo[key] = ent
         return ent
 
@@ -256,11 +345,13 @@ class ArraySimulator(Simulator):
         """
         cat_map = sc.cat
         old = cat_map.get(idx, -1)
+        sc.stall_pids = None  # any head change may touch the stalled set
         q = sw.in_q[idx]
         if not q:
             # Input drained (pop to empty): drop its entry, if any.
             if old == 0:
-                sc.pen_mat[idx] = math.inf
+                if sc.pen_mat is not None:
+                    sc.pen_mat[idx] = math.inf
                 del sc.ent[idx]
             elif old == 1:
                 del sc.stall[idx]
@@ -284,7 +375,8 @@ class ArraySimulator(Simulator):
             # same memo if this switch ever leaves the keyed path.
             cands = ent[0]
             if cands:
-                sc.pen_mat[idx] = ent[3]
+                if sc.pen_mat is not None:
+                    sc.pen_mat[idx] = ent[3]
                 sc.ent[idx] = (pkt, ent)
                 if old == 1:
                     del sc.stall[idx]
@@ -293,7 +385,8 @@ class ArraySimulator(Simulator):
             cat = 1
         # cat is 1 (stalled) or 2 (awaiting ejection).
         if old == 0:
-            sc.pen_mat[idx] = math.inf
+            if sc.pen_mat is not None:
+                sc.pen_mat[idx] = math.inf
             del sc.ent[idx]
         if cat == 1:
             sc.stall[idx] = pkt
@@ -304,7 +397,10 @@ class ArraySimulator(Simulator):
 
     def _allocate(self) -> int:
         if not self._use_qp_kernel:
+            if self._use_rr_kernel:
+                return self._allocate_rr()
             return self.arbiter.allocate(self)
+        prof = self.grant_profile
         granted = 0
         arb = self.arbiter
         phits = float(self._phits)
@@ -323,29 +419,65 @@ class ArraySimulator(Simulator):
         cache = self._qp_cache
         keyed = self._keyed
         derive = self._derive_head
+        stats = self.grant_stats
+        # ---- select, batch half: one admission-masked Q row per switch
+        # (~6 whole-matrix ops on [S, max_ports * n_vcs]).  Element-wise
+        # identical to the per-switch kernel's ``combined`` row — same
+        # operation order ``(port_load + load) * phits``, inadmissible
+        # VCs pinned at +inf — because both read the same phase-start
+        # state.  Padding columns of low-degree switches are constant
+        # (their credits/occupancy are never written), so they can never
+        # flip a staleness verdict.
+        if prof is not None:
+            t0 = perf_counter()
+        combined_all = np.where(
+            fc.admission_mask(credits_all, out_occ_all, full_row),
+            (load_all + np.repeat(port_load_all, n_vcs, axis=1)) * phits,
+            inf,
+        )
+        used = self._combined_used
+        # A switch whose combined row still byte-matches the row its
+        # cached plan consumed (and whose heads are clean) must produce
+        # the identical request set, scores, tie sets and draw counts —
+        # the whole request half flows through (pen_mat, combined) only.
+        stale = np.any(combined_all != used, axis=1).tolist()
+        # Same-phase credit feedback starts clean each allocation phase:
+        # everything returned earlier (ejection, previous slots) is
+        # already inside the rows ``combined_all`` was computed from.
+        # From here on, any grant's upstream credit return re-flags its
+        # victim, and visiting a flagged switch abandons the batch row
+        # for a live recompute (the fallback path).
+        feedback = state.grant_feedback
+        feedback[:] = False
+        if prof is not None:
+            t1 = perf_counter()
+            prof["select"] += t1 - t0
         for sw in self.alloc_switches():
             if not sw.active_inputs:
                 continue
             sid = sw.sid
             # ---- head-cache maintenance: changed heads only ----------
+            dirty = False
             if keyed:
                 sc = cache.get(sid)
                 if sc is None:
                     sc = _SwCache(sw.n_inputs, sw.n_ports * n_vcs)
                     cache[sid] = sc
+                    dirty = True
                     sw.dirty_heads.clear()
                     for idx in sw.active_sorted:
                         if not derive(sc, sw, sid, idx):
                             sc.generic = True
                             break
                 elif not sc.generic:
-                    dirty = sw.dirty_heads
-                    if dirty:
-                        for idx in dirty:
+                    dh = sw.dirty_heads
+                    if dh:
+                        dirty = True
+                        for idx in dh:
                             if not derive(sc, sw, sid, idx):
                                 sc.generic = True
                                 break
-                        dirty.clear()
+                        dh.clear()
                 generic = sc.generic
             else:
                 generic = True
@@ -355,104 +487,269 @@ class ArraySimulator(Simulator):
                 continue
             # Stalled heads are counted every slot, like the reference.
             if sc.stall:
-                metrics.on_stalled_many(sc.stall.values(), slot)
+                pids = sc.stall_pids
+                if pids is None:
+                    pids = sc.stall_pids = [
+                        p.pid for p in sc.stall.values()
+                    ]
+                metrics.on_stalled_pids(pids, slot)
+            plan = sc.plan
+            fb = feedback[sid]
+            if fb or dirty or plan is None or sc.plan_once or stale[sid]:
+                # ---- select, per-switch half: (re)build the plan -----
+                if not sc.ent:
+                    sc.plan = ()
+                    sc.plan_once = False
+                    used[sid] = combined_all[sid]
+                    continue
+                if prof is not None:
+                    t0 = perf_counter()
+                npv = sw.n_ports * n_vcs
+                if fb:
+                    # Credit feedback from an earlier switch's grants
+                    # landed here this phase: the batch row is stale by
+                    # construction, so recompute it from the live rows —
+                    # exactly what the reference reads at this visit.
+                    stats["fallback_rebuilds"] += 1
+                    r = sw.row
+                    row = np.where(
+                        fc.admission_mask(
+                            credits_all[r, :npv],
+                            out_occ_all[r, :npv],
+                            full_row,
+                        ),
+                        (
+                            load_all[r, :npv]
+                            + np.repeat(
+                                port_load_all[r, : sw.n_ports], n_vcs
+                            )
+                        )
+                        * phits,
+                        inf,
+                    )
+                    used[sid] = combined_all[sid]
+                    used[sid, :npv] = row
+                else:
+                    stats["select_rebuilds"] += 1
+                    row = combined_all[sid, :npv]
+                    used[sid] = combined_all[sid]
+                plan = self._build_plan(sc, sw, row)
+                if prof is not None:
+                    t1 = perf_counter()
+                    prof["fallback" if fb else "select"] += t1 - t0
+            else:
+                stats["plan_hits"] += 1
+            if not plan:
+                continue  # every head flow-control blocked this slot
+            # ---- the RNG pre-draw pass: reference draw order ---------
+            # Materializes every tie-break and request draw for this
+            # switch from the plan — same draws, same order, same
+            # values as the reference's per-head walk.
+            if prof is not None:
+                t0 = perf_counter()
+            requests: dict[int, list[tuple[float, float, int, int, Packet]]] = {}
+            for idx, pkt, score, choices in plan:
+                if len(choices) == 1:
+                    port, vc, _pen = choices[0]
+                else:
+                    port, vc, _pen = choices[int(rng.integers(len(choices)))]
+                requests.setdefault(port, []).append(
+                    (score, rng.random(), idx, vc, pkt)
+                )
+            if prof is not None:
+                t1 = perf_counter()
+                prof["predraw"] += t1 - t0
+            # ---- commit: the shared scalar grant half ----------------
+            granted += arb._grant_requests(self, sw, requests)
+            if prof is not None:
+                prof["commit"] += perf_counter() - t1
+        return granted
+
+    def _build_plan(self, sc: _SwCache, sw, combined) -> tuple | list:
+        """Run the matrix request kernel for one switch and cache its
+        outcome as a *plan*: ``(input idx, packet, winning score, tied
+        candidates)`` per live head, in the reference's ``active_inputs``
+        set-iteration order.
+
+        Replaying a plan is pure scalar pre-draw work — one
+        ``integers(len(choices))`` draw exactly when the reference would
+        tie-break, one ``random()`` per request — so a switch whose
+        scoring inputs did not change skips admission, scoring and tie
+        extraction entirely.  The plan's validity conditions (clean
+        heads, byte-equal combined row, no same-phase feedback) are
+        exactly the conditions under which the kernel would recompute
+        identical choices, so replay-vs-rebuild can never change a
+        record.
+        """
+        ent_map = sc.ent
+        inf = math.inf
+        rank_src = sw.active_inputs
+        sbuf = sc.sbuf
+        # ---- matrix kernel: admission, score, row-minimise -----------
+        # Broadcast-add the persistent penalty matrix against the
+        # combined admission/Q row; a head's row minimum is the
+        # reference's best admissible candidate score.  Bit-exact: the
+        # per-element operation order ``(q) * phits + pen`` is the
+        # scalar expression's, and masked or non-candidate entries are
+        # pinned at ``inf`` (never NaN: penalties are finite).
+        np.add(sc.pen_mat, combined, out=sbuf)
+        mins = sbuf.min(axis=1)
+        live = np.nonzero(mins != inf)[0]
+        if live.size == 0:
+            sc.plan = ()
+            sc.plan_once = False
+            return ()
+        live_l = live.tolist()
+        lmins = mins[live]
+        # Tie extraction stays in matrix space, one pass for the whole
+        # switch: the tied columns of row ``j`` are the contiguous slice
+        # ``tie_cols[tie_start[j] : +tc[j]]`` (in ascending output-VC
+        # order), mapped back to candidate-list positions per head
+        # through the memo's ``pos_map``.
+        ties_mat = sbuf[live] == lmins[:, None]
+        tcounts = np.count_nonzero(ties_mat, axis=1)
+        tie_cols = np.nonzero(ties_mat)[1].tolist()
+        tie_start = (np.cumsum(tcounts) - tcounts).tolist()
+        tc_l = tcounts.tolist()
+        mins_l = lmins.tolist()
+        if len(live_l) > 1:
+            # The reference visits heads in ``active_inputs`` set-
+            # iteration order; ``live`` is in ascending-input order.
+            # Re-rank so the plan's draws (and the requests dict's
+            # insertion order) match the reference exactly.  The order
+            # is stable across replays: set iteration only changes when
+            # membership does, and every membership change marks a dirty
+            # head, which rebuilds the plan.
+            rank = {idx: i for i, idx in enumerate(rank_src)}
+            order = sorted(
+                range(len(live_l)), key=lambda j: rank[live_l[j]]
+            )
+        else:
+            order = (0,)
+        plan = []
+        once = False
+        for j in order:
+            idx = live_l[j]
+            pkt, e = ent_map[idx]
+            cands = e[0]
+            if not e[5]:
+                t = tc_l[j]
+                base = tie_start[j]
+                pos_map = e[4]
+                if t == 1:
+                    choices = (cands[pos_map[tie_cols[base]]],)
+                else:
+                    # The reference tie-breaks over the tied candidates
+                    # in list order: sorted list positions reproduce it
+                    # exactly.
+                    poss = [pos_map[c] for c in tie_cols[base : base + t]]
+                    poss.sort()
+                    choices = tuple(cands[ci] for ci in poss)
+            else:
+                # Duplicate-pv head (no current mechanism emits one):
+                # the row collapsed the duplicates, so reproduce the
+                # reference's list-order tie positions with one small
+                # gather.  Such plans are built fresh every slot
+                # (``plan_once``) — the gather depends on the row.
+                once = True
+                tied = np.nonzero(combined[e[1]] + e[2] == mins_l[j])[0]
+                choices = tuple(cands[int(ci)] for ci in tied)
+            plan.append((idx, pkt, mins_l[j], choices))
+        sc.plan = plan
+        sc.plan_once = once
+        return plan
+
+    def _allocate_rr(self) -> int:
+        """Keyed round-robin allocation: the head cache plus one
+        vectorized admission row replace the reference's per-head
+        candidate re-walk and per-head ``sorted(feasible)``.
+
+        Round-robin draws no RNG and its grant half sorts requests, so
+        byte-identity needs only the same request *set*, the same
+        pointer updates and the same stall counts — all of which depend
+        on the live admission row at visit time (computed here exactly
+        like the reference's snapshot) and the memo's pre-sorted
+        candidate order.  Pointer state lives on the arbiter instance,
+        shared with the scalar path.
+        """
+        granted = 0
+        arb = self.arbiter
+        fc = self.flow_control
+        metrics = self.metrics
+        n_vcs = self._n_vcs
+        slot = self.slot
+        state = self.state
+        credits_all = state.credits
+        out_occ_all = state.out_occ
+        full_row = slice(None)
+        cache = self._qp_cache
+        derive = self._derive_head
+        cand_ptr = arb._cand_ptr
+        for sw in self.alloc_switches():
+            if not sw.active_inputs:
+                continue
+            sid = sw.sid
+            sc = cache.get(sid)
+            if sc is None:
+                sc = _SwCache(sw.n_inputs, 0, mats=False)
+                cache[sid] = sc
+                sw.dirty_heads.clear()
+                for idx in sw.active_sorted:
+                    if not derive(sc, sw, sid, idx):
+                        sc.generic = True
+                        break
+            elif not sc.generic:
+                dh = sw.dirty_heads
+                if dh:
+                    for idx in dh:
+                        if not derive(sc, sw, sid, idx):
+                            sc.generic = True
+                            break
+                    dh.clear()
+            if sc.generic:
+                sw.dirty_heads.clear()
+                granted += arb.allocate_switch(self, sw)
+                continue
+            if sc.stall:
+                pids = sc.stall_pids
+                if pids is None:
+                    pids = sc.stall_pids = [p.pid for p in sc.stall.values()]
+                metrics.on_stalled_pids(pids, slot)
             ent_map = sc.ent
             if not ent_map:
                 continue
-            # ---- matrix kernel: admission, score, row-minimise -------
             r = sw.row
             npv = sw.n_ports * n_vcs
-            # Whole-row precomputes (one pass over ~n_ports*n_vcs
-            # entries): the flow-control admission and the Q-term
-            # ``(port_load[port] + load[pv]) * phits`` (port_load
-            # broadcast across each port's VCs), with inadmissible
-            # output VCs already pinned at +inf.  Broadcast-adding the
-            # persistent penalty matrix then scores every (head,
-            # output VC) pair at once; a head's row minimum is the
-            # reference's best admissible candidate score.  Bit-exact:
-            # the per-element operation order ``(q) * phits + pen`` is
-            # unchanged, and ``inf + pen`` / ``q + inf`` stay inf.
+            # One live admission row per switch — the same values the
+            # reference's per-candidate credit/occupancy checks read at
+            # this visit (nothing mutates the switch between its request
+            # scan and its grants).
             ok = fc.admission_mask(
                 credits_all[r, :npv], out_occ_all[r, :npv], full_row
-            )
-            combined = np.where(
-                ok,
-                (
-                    load_all[r, :npv]
-                    + np.repeat(port_load_all[r, : sw.n_ports], n_vcs)
-                )
-                * phits,
-                inf,
-            )
-            sbuf = sc.sbuf
-            np.add(sc.pen_mat, combined, out=sbuf)
-            mins = sbuf.min(axis=1)
-            live = np.nonzero(mins != inf)[0]
-            if live.size == 0:
-                continue  # every head flow-control blocked this slot
-            live_l = live.tolist()
-            lmins = mins[live]
-            # Tie extraction stays in matrix space, one pass for the
-            # whole switch: the tied columns of row ``j`` are the
-            # contiguous slice ``tie_cols[tie_start[j] : +tc[j]]`` (in
-            # ascending output-VC order), mapped back to candidate-list
-            # positions per head through the memo's ``pos_map``.
-            ties_mat = sbuf[live] == lmins[:, None]
-            tcounts = np.count_nonzero(ties_mat, axis=1)
-            tie_cols = np.nonzero(ties_mat)[1].tolist()
-            tie_start = (np.cumsum(tcounts) - tcounts).tolist()
-            tc_l = tcounts.tolist()
-            mins_l = lmins.tolist()
-            # ---- the RNG pass: feasible heads only, reference order --
-            if len(live_l) > 1:
-                # The reference visits heads in ``active_inputs`` set-
-                # iteration order; ``live`` is in ascending-input
-                # order.  Re-rank so draws (and the requests dict's
-                # insertion order) match the reference exactly.
-                rank = {
-                    idx: i for i, idx in enumerate(sw.active_inputs)
-                }
-                order = sorted(
-                    range(len(live_l)), key=lambda j: rank[live_l[j]]
-                )
-            else:
-                order = (0,)
-            requests: dict[int, list[tuple[float, float, int, int, Packet]]] = {}
-            for j in order:
-                idx = live_l[j]
-                pkt, e = ent_map[idx]
-                if not e[5]:
-                    t = tc_l[j]
-                    base = tie_start[j]
-                    pos_map = e[4]
-                    if t == 1:
-                        ci = pos_map[tie_cols[base]]
-                    else:
-                        # The reference tie-breaks over the tied
-                        # candidates in list order: sorted list
-                        # positions reproduce it exactly.
-                        poss = [
-                            pos_map[c] for c in tie_cols[base : base + t]
-                        ]
-                        poss.sort()
-                        ci = poss[int(rng.integers(t))]
-                else:
-                    # Duplicate-pv head (no current mechanism emits
-                    # one): the row collapsed the duplicates, so
-                    # reproduce the reference's list-order tie
-                    # positions with one small gather, then draw.
-                    tied = np.nonzero(
-                        combined[e[1]] + e[2] == mins_l[j]
-                    )[0]
-                    t = tied.shape[0]
-                    ci = int(tied[0]) if t == 1 else int(
-                        tied[int(rng.integers(t))]
-                    )
-                port, vc, _pen = e[0][ci]
-                requests.setdefault(port, []).append(
-                    (mins_l[j], rng.random(), idx, vc, pkt)
-                )
-            granted += arb._grant_requests(self, sw, requests)
+            ).tolist()
+            requests: dict[int, list[tuple[int, int, Packet]]] = {}
+            for idx, (pkt, e) in ent_map.items():
+                ptr = cand_ptr.get((sid, idx), 0)
+                first = chosen = None
+                # Ascending flat-(port, vc) walk over the memo's
+                # pre-sorted candidates: the first admissible entry is
+                # the reference's ``keyed[0]``, the first admissible at
+                # or past the pointer is its ``next(...)`` choice.
+                for pv, port, vc in e[6]:
+                    if not ok[pv]:
+                        continue
+                    if first is None:
+                        first = (pv, port, vc)
+                    if pv >= ptr:
+                        chosen = (pv, port, vc)
+                        break
+                if first is None:
+                    continue  # flow-control blocked: no request, no move
+                pv, port, vc = chosen or first
+                cand_ptr[(sid, idx)] = pv + 1
+                requests.setdefault(port, []).append((idx, vc, pkt))
+            if requests:
+                granted += arb._grant_requests(self, sw, requests)
         return granted
 
     def _allocate_generic(self, sw) -> int:

@@ -26,9 +26,12 @@ shipped implementations are
   whole-array numpy kernels over the
   :class:`~repro.simulator.state.SimState` columns for the phase scans
   (ejection matches, busy ports, injection admission, and the Q+P
-  request scoring), with every RNG draw and grant kept on the reference
-  scalar path.  Record-identical to ``"slot"`` (same differential
-  suite), fastest on dense allocation-bound points.
+  scoring), plus a grant-plan cache that replays each switch's grant
+  decision as a pre-drawn RNG pass — every draw still made in the
+  reference order, with a per-switch ``grant_feedback`` bitmask
+  falling back to a scalar rebuild when same-phase credit feedback
+  invalidates a plan.  Record-identical to ``"slot"`` (same
+  differential suite), fastest on dense allocation-bound points.
 
 Adding a backend: subclass :class:`~repro.simulator.engine.Simulator`
 (or implement :class:`EngineBackend` from scratch), override the hooks

@@ -388,6 +388,11 @@ class Simulator:
             # upstream side's accounting is reconciled wholesale if the
             # link ever comes back (see _reconcile_restored_link).
             return
+        # Flag the upstream switch as credit-touched: the array backend's
+        # allocation phase reads this bitmask to find switches whose
+        # scoring inputs changed under an already-built request plan
+        # (see SimState.grant_feedback).
+        self.state.grant_feedback[upstream] = True
         self.switches[upstream].return_credit(self.rev_port[sw.sid][port], vc)
 
     def _allocate(self) -> int:

@@ -203,6 +203,19 @@ class MetricsCollector:
             b = slot // self.series_interval
             self._series_stalls[b] = self._series_stalls.get(b, 0) + len(pkts)
 
+    def on_stalled_pids(self, pids, slot: int | None = None) -> None:
+        """Like :meth:`on_stalled_many`, but over precomputed pids.
+
+        The array backend caches each switch's stalled-head pid list
+        between slots (the set changes only when a head changes), so the
+        per-slot replay is one set update with no per-packet attribute
+        loads.  The same order-insensitivity caveat applies.
+        """
+        self.stalled_pids.update(pids)
+        if self.series_interval and self.measuring and slot is not None:
+            b = slot // self.series_interval
+            self._series_stalls[b] = self._series_stalls.get(b, 0) + len(pids)
+
     def on_dropped(self, pkt, slot: int) -> None:
         """A scheduled link failure destroyed a packet buffered on it."""
         self.dropped_total += 1

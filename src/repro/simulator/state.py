@@ -181,6 +181,17 @@ class SimState:
         self.wire = np.zeros((S, self.max_ports), np.int32)
         self.link_tx = np.zeros((S, self.max_ports), np.int64)
         self.link_escape_tx = np.zeros((S, self.max_ports), np.int64)
+        #: Credit-feedback bitmask: ``grant_feedback[sid]`` is set by
+        #: every upstream credit return (``Simulator._return_input_credit``)
+        #: landing on ``sid``.  The array backend clears it at the start
+        #: of each allocation phase and reads it per visited switch, so
+        #: the set of switches whose scoring inputs were mutated by an
+        #: *earlier switch's grants in the same phase* — the only
+        #: cross-switch hazard of the allocation order — is known in
+        #: O(S) per slot.  Other backends only ever write it (one scalar
+        #: store per credit return); it is scratch, not physics, so
+        #: :meth:`verify` ignores it.
+        self.grant_feedback = np.zeros(S, bool)
         #: Flat input index of each switch's first injection queue.
         self.inj_base = np.asarray(
             [deg * n_vcs for deg in degrees], np.int64

@@ -205,6 +205,78 @@ def test_onoff_injection_and_split_streams_identical(alt):
     _assert_identical(*_run_both(jobs, alt))
 
 
+#: Dense-congestion cases that force the array backend's credit-feedback
+#: fallback: at a hotspot, a grant at switch ``t`` returns a credit to
+#: an upstream switch ``u > t`` still awaiting its visit in the same
+#: allocation phase, so ``u``'s cached plan must be abandoned for a
+#: live rebuild.  The small-mesh case funnels everything through the
+#: centre; the HyperX case adds multi-dimension feedback chains.
+FALLBACK_CASES = {
+    "mesh": lambda: make_topology("mesh", side=4, servers_per_switch=4),
+    "hyperx": lambda: HyperX((4, 4), 4),
+}
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+@pytest.mark.parametrize("family", sorted(FALLBACK_CASES))
+def test_dense_hotspot_fallback_identical(family, alt):
+    net = Network(FALLBACK_CASES[family]())
+
+    def jobs(config):
+        out = []
+        for seed in SEEDS:
+            out += load_sweep_jobs(
+                net, ("PolSP", "Minimal"), ("hotspot",), (0.8,),
+                warmup=WARMUP, measure=MEASURE, seed=seed, config=config,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs, alt))
+
+
+@pytest.mark.parametrize("family", sorted(FALLBACK_CASES))
+def test_fallback_cases_exercise_both_grant_paths(family):
+    # The cases above only prove identity; this pins that they actually
+    # drive the vectorized path (plan replays) AND the conflict
+    # detector's fallback (live rebuilds) — otherwise the matrix would
+    # silently stop covering one of the two.
+    from repro.routing.catalog import make_mechanism
+    from repro.simulator.backends import make_simulator
+    from repro.traffic import make_traffic
+
+    net = Network(FALLBACK_CASES[family]())
+    mech = make_mechanism("PolSP", net, rng=1)
+    sim = make_simulator(
+        ARRAY, net, mech, make_traffic("hotspot", net, 0),
+        offered=0.8, seed=0,
+    )
+    for _ in range(300):
+        sim.step()
+    assert sim.grant_stats["plan_hits"] > 0
+    assert sim.grant_stats["fallback_rebuilds"] > 0
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+def test_roundrobin_arbiter_identical(alt):
+    # Round-robin rides its own array-backend kernel (memo-sorted
+    # candidate walks + shared pointer state); the diff proves the
+    # request sets, pointer rotations and stall counts all match the
+    # reference scalar path.
+    net = Network(HyperX((4, 4), 2))
+
+    def jobs(config):
+        cfg = config.with_(arbiter="roundrobin")
+        out = []
+        for seed in SEEDS:
+            out += load_sweep_jobs(
+                net, ("Minimal", "PolSP"), ("uniform", "hotspot"), (0.3, 0.7),
+                warmup=WARMUP, measure=MEASURE, seed=seed, config=cfg,
+            )
+        return out
+
+    _assert_identical(*_run_both(jobs, alt))
+
+
 @pytest.mark.parametrize("alt", ALT_BACKENDS)
 def test_random_arbiter_identical(alt):
     # The random arbiter draws RNG per *visited* switch with head-of-line

@@ -4,12 +4,15 @@ import pytest
 
 from repro.experiments import executor as executor_mod
 from repro.experiments.executor import (
+    PER_WORKER_OVERHEAD,
     ParallelExecutor,
     PointJob,
     SerialExecutor,
+    estimated_sweep_work,
     job_key,
     make_executor,
     run_job,
+    should_parallelize,
 )
 from repro.experiments.runner import ExperimentRunner, PointSpec
 from repro.experiments.sweeps import (
@@ -125,6 +128,52 @@ class TestParallelExecutor:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):
             ParallelExecutor(jobs=-1)
+
+
+class TestParallelHeuristic:
+    """should_parallelize: undersized sweeps stay in-process, because a
+    pool that cannot amortise its fork/pickle overhead runs *slower*
+    than the serial executor (the quick bench preset measured 0.97x)."""
+
+    def _jobs(self, topo, n, warmup, measure):
+        spec = PointSpec("Minimal", "uniform", 0.2)
+        return [
+            PointJob(topology=topo, faults=(), spec=spec,
+                     warmup=warmup, measure=measure)
+            for _ in range(n)
+        ]
+
+    def test_work_estimate_sums_switch_slots(self, hx2d):
+        jobs = self._jobs(hx2d, 3, warmup=100, measure=200)
+        assert estimated_sweep_work(jobs) == 3 * 300 * hx2d.n_switches
+
+    def test_quick_preset_sized_sweep_stays_serial(self, hx2d):
+        # The bench quick preset: 36 jobs x 300 slots x 16 switches =
+        # 172,800 switch-slots — under the 4-worker floor even on a
+        # machine with CPUs to spare.
+        jobs = self._jobs(hx2d, 36, warmup=120, measure=180)
+        assert estimated_sweep_work(jobs) < 4 * PER_WORKER_OVERHEAD
+        assert not should_parallelize(jobs, 4, cpu_count=4)
+
+    def test_big_sweep_parallelizes_with_cpus(self, hx2d):
+        jobs = self._jobs(hx2d, 200, warmup=500, measure=1000)
+        assert should_parallelize(jobs, 4, cpu_count=4)
+
+    def test_never_parallel_without_workers_jobs_or_cpus(self, hx2d):
+        jobs = self._jobs(hx2d, 200, warmup=500, measure=1000)
+        assert not should_parallelize(jobs, 1, cpu_count=4)
+        assert not should_parallelize(jobs[:1], 4, cpu_count=4)
+        assert not should_parallelize(jobs, 4, cpu_count=1)
+
+    def test_undersized_sweep_never_forks(self, net2d, monkeypatch):
+        class Boom:
+            def __init__(self, *a, **kw):
+                raise AssertionError("pool spawned for an undersized sweep")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", Boom)
+        serial = _fig4_style(net2d)
+        parallel = _fig4_style(net2d, executor=ParallelExecutor(jobs=4))
+        assert parallel == serial
 
 
 class TestResultCache:
