@@ -27,7 +27,11 @@ commit SHA there, so regressions are attributable to a commit):
   ``--profile`` additionally splits the array backend's allocation
   phase into its grant sub-phases (vector select, RNG pre-draw replay,
   scalar commit, credit-feedback fallback) and records the plan-cache
-  hit counters alongside.
+  hit counters alongside;
+* a closed-loop collective kernel — a ring all-reduce drained to
+  completion under both the slot and array backends — timing the
+  job-completion-time path and requiring byte-identical results (JCT,
+  completion slot and retransmit counter included).
 
 The exit status gates regressions: end-state/record identity on every
 paired kernel, the event sparse and array dense speedup floors, and —
@@ -49,6 +53,7 @@ import os
 import pathlib
 import sys
 import time
+from dataclasses import asdict
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
@@ -58,13 +63,17 @@ from repro.experiments.sweeps import load_sweep_jobs  # noqa: E402
 from repro.routing.catalog import MECHANISMS, make_mechanism  # noqa: E402
 from repro.simulator.arbiters import ARBITERS  # noqa: E402
 from repro.simulator.backends import make_simulator  # noqa: E402
+from repro.simulator.collective import (  # noqa: E402
+    CollectiveInjection,
+    make_collective,
+)
 from repro.simulator.config import PAPER_CONFIG  # noqa: E402
 from repro.simulator.schedule import FaultSchedule  # noqa: E402
 from repro.topology.base import Network  # noqa: E402
 from repro.topology.catalog import make_topology  # noqa: E402
 from repro.topology.faults import random_connected_fault_sequence  # noqa: E402
 from repro.topology.hyperx import HyperX  # noqa: E402
-from repro.traffic import make_traffic  # noqa: E402
+from repro.traffic import CollectiveTraffic, make_traffic  # noqa: E402
 
 #: Benchmark presets: (loads, warmup, measure).  Both sweep all six
 #: mechanisms over uniform + randperm traffic on the tiny 2D HyperX.
@@ -415,6 +424,57 @@ def array_backend_kernels(seed: int = 0, profile: bool = False) -> dict:
     return out
 
 
+def collective_kernels(seed: int = 0) -> dict:
+    """Closed-loop ring all-reduce drained under slot vs array.
+
+    The collective path exercises machinery the open-loop kernels never
+    touch: the per-slot ``attempts`` gate over the DAG frontier, the
+    ``on_delivered`` dependency unlock, and the drain loop's
+    termination scan.  One kernel, a ring all-reduce on the small
+    HyperX, timed end-to-end through ``run_until_drained`` on both the
+    slot reference and the array backend.  Both must produce the same
+    ``SimResult`` byte-for-byte — the JCT, the completion slot and the
+    retransmit counter all enter the fingerprint, so a drift in the
+    closed-loop drain path fails the bench even if the open-loop
+    kernels still agree.
+    """
+    out = {}
+    topo = HyperX((4, 4), 2)
+
+    def _run(backend):
+        net = Network(topo)
+        policy = make_collective(
+            "allreduce_ring", net.n_servers, chunk_packets=4
+        )
+        injection = CollectiveInjection(net.n_servers, policy)
+        sim = make_simulator(
+            PAPER_CONFIG.with_(backend=backend),
+            net,
+            make_mechanism("PolSP", net, rng=seed + 1),
+            CollectiveTraffic(net, injection),
+            offered=1.0,
+            injection=injection,
+            seed=seed,
+        )
+        t0 = time.perf_counter()
+        res = sim.run_until_drained(max_slots=200_000)
+        return time.perf_counter() - t0, asdict(res)
+
+    seconds, fingerprint = {}, {}
+    for backend in ("slot", "array"):
+        seconds[backend], fingerprint[backend] = _run(backend)
+    res = fingerprint["slot"]
+    out["allreduce_ring"] = {
+        "slot_seconds": round(seconds["slot"], 3),
+        "array_seconds": round(seconds["array"], 3),
+        "speedup": round(seconds["slot"] / seconds["array"], 2),
+        "jct_cycles": res["jct_cycles"],
+        "completion_slot": res["completion_slot"],
+        "records_identical": fingerprint["slot"] == fingerprint["array"],
+    }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local",
@@ -509,6 +569,15 @@ def main(argv=None) -> int:
             print(f"      grants: {subs} | hits={stats['plan_hits']} "
                   f"select={stats['select_rebuilds']} "
                   f"fallback={stats['fallback_rebuilds']}")
+    collectives = collective_kernels(seed=args.seed)
+    collective_identical = all(
+        k["records_identical"] for k in collectives.values()
+    )
+    for name, k in collectives.items():
+        print(f"collective {name:>14}: slot={k['slot_seconds']:.2f}s "
+              f"array={k['array_seconds']:.2f}s speedup={k['speedup']:.2f}x "
+              f"jct={k['jct_cycles']} identical={k['records_identical']}")
+
     array_dense_ok = (
         array_kernels["dense"]["speedup"] >= MIN_ARRAY_DENSE_SPEEDUP
     )
@@ -534,6 +603,7 @@ def main(argv=None) -> int:
         "topology_kernels": topologies,
         "backend_kernels": backends,
         "array_kernels": array_kernels,
+        "collective_kernels": collectives,
     }
     out = pathlib.Path(args.out_dir) / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(result, indent=2) + "\n")
@@ -542,6 +612,7 @@ def main(argv=None) -> int:
         identical
         and backends_identical
         and array_identical
+        and collective_identical
         and event_sparse_ok
         and array_dense_ok
         and parallel_ok

@@ -11,14 +11,16 @@ Examples::
     surepath-sim fig-ablation-arbiter --scale tiny --link-latencies 1 2
     surepath-sim fig-workloads --scale tiny --injections bernoulli onoff
     surepath-sim fig-topologies --scale tiny --topologies torus fattree random
+    surepath-sim fig-collectives --scale tiny --collectives allreduce_ring
     surepath-sim fig4 --scale small --backend event
     surepath-sim point --mechanism PolSP --traffic rpn --offered 0.8 --dims 3
 
 Every figure/table of the paper has a subcommand; ``--scale paper`` runs
 the exact paper topologies (slow in pure Python — see DESIGN.md).  The
 sweep-based experiments (figures 4, 5, 6, 8, 9, fig-transient,
-fig-ablation-arbiter, fig-workloads and fig-topologies) accept ``--jobs
-N`` to simulate points on a process pool, ``--cache-dir DIR`` to reuse
+fig-ablation-arbiter, fig-workloads, fig-topologies and
+fig-collectives) accept ``--jobs N`` to simulate points on a process
+pool, ``--cache-dir DIR`` to reuse
 previously simulated points across runs, and ``--backend NAME`` to pick
 the engine backend: ``slot`` (the reference loop), ``event`` (skips
 idle switches — identical records, faster at low load and through long
@@ -34,7 +36,10 @@ traffic-pattern library (hotspot, tornado, shift, bit permutations)
 under smooth and bursty (on-off) injection.  ``fig-topologies`` opens
 the topology axis: the same mechanisms over torus/mesh, fat-tree and
 seeded random-regular (Jellyfish-style) families from the topology
-registry, with per-family escape roots.
+registry, with per-family escape roots.  ``fig-collectives`` opens the
+closed-loop workload axis: all-reduce / all-gather dependency DAGs run
+to completion (the metric is the job completion time, lower is better),
+healthy and through a mid-run link failure + repair.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ from . import figures
 from .executor import encode_json_safe, make_executor
 from .reporting import (
     ascii_table,
+    collective_matrix,
     curve_sparkline,
     microarch_matrix,
     records_to_csv,
@@ -94,13 +100,18 @@ TOPOLOGY_COLUMNS = (
     "latency_cycles", "jain",
 )
 
+COLLECTIVE_COLUMNS = (
+    "topology", "collective", "schedule", "mechanism", "jct_cycles",
+    "completion_slot", "retransmitted", "drained", "deadlocked",
+)
+
 
 #: Subcommands whose points run through an executor (--jobs/--cache-dir).
 SWEEP_COMMANDS = frozenset(
     {
         "fig4", "fig5", "fig6", "fig8", "fig9",
         "fig-transient", "fig-ablation-arbiter", "fig-workloads",
-        "fig-topologies",
+        "fig-topologies", "fig-collectives",
     }
 )
 
@@ -181,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig-ablation-arbiter", "router-microarchitecture ablation sweep"),
         ("fig-workloads", "workload-diversity sweep (patterns x injection)"),
         ("fig-topologies", "topology-diversity sweep (mechanism x family)"),
+        ("fig-collectives", "collective (CCL) job-completion-time sweep"),
         ("point", "one simulation point"),
     ):
         p = sub.add_parser(name, help=help_)
@@ -254,6 +266,37 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: max_live_degree)")
             p.add_argument("--loads", nargs="+", type=float, default=None,
                            help="offered loads (default: scale mid + max)")
+        if name == "fig-collectives":
+            from ..simulator.collective import COLLECTIVES
+
+            p.add_argument("--topologies", nargs="+",
+                           default=list(figures.COLLECTIVE_TOPOLOGIES),
+                           choices=TOPOLOGIES, metavar="FAMILY",
+                           help="topology families to sweep (default: "
+                                "hyperx torus fattree)")
+            p.add_argument("--mechanisms", nargs="+",
+                           default=["Minimal", "Polarized", "PolSP"],
+                           choices=MECHANISMS)
+            p.add_argument("--collectives", nargs="+",
+                           default=list(figures.COLLECTIVE_SET),
+                           choices=sorted(COLLECTIVES), metavar="NAME",
+                           help="collectives to run (default: "
+                                "allreduce_ring allreduce_tree "
+                                "allgather_ring)")
+            p.add_argument("--chunk-packets", type=_positive_int, default=1,
+                           metavar="N",
+                           help="chunk transfer size in 16-phit packets "
+                                "(default: 1)")
+            p.add_argument("--links", type=int, default=2, metavar="N",
+                           help="links failing in the faulted runs "
+                                "(default: 2)")
+            p.add_argument("--max-slots", type=_positive_int, default=200_000,
+                           metavar="SLOTS",
+                           help="drain budget per run (default: 200000)")
+            p.add_argument("--root-strategy", default="max_live_degree",
+                           choices=ROOT_STRATEGIES,
+                           help="escape-root policy per family "
+                                "(default: max_live_degree)")
         if name == "point":
             p.add_argument("--mechanism", default="PolSP", choices=MECHANISMS)
             p.add_argument("--traffic", default="uniform")
@@ -386,6 +429,18 @@ def main(argv: list[str] | None = None) -> int:
         print(topology_matrix(recs))
         _emit(recs, args, TOPOLOGY_COLUMNS,
               "Topology diversity — mechanisms x topology families")
+    elif cmd == "fig-collectives":
+        recs = figures.fig_collectives(
+            args.scale, topologies=tuple(args.topologies),
+            mechanisms=tuple(args.mechanisms),
+            collectives=tuple(args.collectives),
+            chunk_packets=args.chunk_packets, max_slots=args.max_slots,
+            n_links=args.links, root_strategy=args.root_strategy,
+            seed=args.seed, config=config, executor=executor,
+        )
+        print(collective_matrix(recs))
+        _emit(recs, args, COLLECTIVE_COLUMNS,
+              "Collectives — job completion time (cycles, lower is better)")
     elif cmd == "fig10":
         recs = figures.fig10_completion_time(args.scale, seed=args.seed)
         for r in recs:

@@ -73,7 +73,12 @@ from .runner import ExperimentRunner, PointSpec
 #: space grew and the state layout underlying every record changed —
 #: entries produced by either generation must not alias the other, and
 #: ``backend="array"`` records must never alias slot/event ones.
-CACHE_VERSION = 7
+#: v8: the collective-workload subsystem — SimConfig grew ``collective``
+#: / ``chunk_packets`` (entering via ``asdict(config)``), collective
+#: records carry JCT keys, and every backend's eject path now notifies
+#: the injection process (``on_delivered``), so closed-loop records from
+#: earlier generations must not alias v8 ones.
+CACHE_VERSION = 8
 
 #: Keys every sweep record carries (historically defined in ``sweeps``;
 #: re-exported there for compatibility).
@@ -268,6 +273,13 @@ def disconnected_record(job: PointJob, dropped: int = 0) -> dict:
     if job.workload is not None:
         record["workload_events"] = len(job.workload)
         record["phase_series"] = []
+    if job.config.collective != "none":
+        record["collective"] = job.config.collective
+        record["chunk_packets"] = job.config.chunk_packets
+        record["jct_cycles"] = None
+        record["completion_slot"] = None
+        record["drained"] = False
+        record["retransmitted"] = 0
     return record
 
 
@@ -298,6 +310,8 @@ def run_job(job: PointJob) -> dict:
     """
     if not _job_network_connected(job):
         return disconnected_record(job)
+    if job.config.collective != "none":
+        return _run_collective_job(job)
     if job.schedule is not None or job.workload is not None:
         return _run_dynamic_job(job)
     runner = _get_runner(job)
@@ -312,6 +326,67 @@ def run_job(job: PointJob) -> dict:
         n_vcs=spec.n_vcs,
     )
     return make_record(job, result)
+
+
+def _run_collective_job(job: PointJob) -> dict:
+    """Simulate one closed-loop collective (JCT) point.
+
+    The job's ``config.collective`` / ``config.chunk_packets`` name the
+    policy (built for the job's server count); ``measure`` is the
+    max-slot drain budget and ``warmup`` is ignored (a DAG has no
+    steady state to warm into).  ``spec.offered`` is nominal — the
+    workload is closed-loop saturation by construction.  Fault-schedule
+    points get a fresh network for the same order-independence reason as
+    :func:`_run_dynamic_job`; a workload (phase) schedule is meaningless
+    for a DAG-driven point and rejected.
+    """
+    if job.workload is not None:
+        raise ValueError(
+            "collective jobs drive their own injection; a workload "
+            "schedule cannot apply"
+        )
+    from ..simulator.collective import CollectiveInjection, make_collective
+    from ..traffic.collective import CollectiveTraffic
+
+    if job.schedule is not None:
+        runner = ExperimentRunner(
+            job.network(), config=job.config, root=job.spec.root
+        )
+    else:
+        runner = _get_runner(job)
+    spec = job.spec
+    policy = make_collective(
+        job.config.collective,
+        runner.network.n_servers,
+        chunk_packets=job.config.chunk_packets,
+    )
+    injection = CollectiveInjection(runner.network.n_servers, policy)
+    sim = runner.build_simulator(
+        spec.mechanism,
+        CollectiveTraffic(runner.network, injection),
+        offered=1.0,
+        seed=spec.seed,
+        n_vcs=spec.n_vcs,
+        injection=injection,
+        series_interval=job.series_interval,
+        fault_schedule=job.schedule,
+    )
+    try:
+        result = sim.run_until_drained(max_slots=job.measure)
+    except NetworkDisconnected:
+        return disconnected_record(job, dropped=sim.metrics.dropped_total)
+    record = make_record(job, result)
+    record["collective"] = job.config.collective
+    record["chunk_packets"] = job.config.chunk_packets
+    record["jct_cycles"] = result.jct_cycles
+    record["completion_slot"] = result.completion_slot
+    record["drained"] = result.completion_slot is not None
+    record["retransmitted"] = injection.retransmitted
+    if job.schedule is not None:
+        record["dropped"] = result.dropped_packets
+        record["schedule_events"] = len(job.schedule)
+        record["series"] = result.transient_series
+    return record
 
 
 def _run_dynamic_job(job: PointJob) -> dict:

@@ -623,6 +623,76 @@ def fig_topologies(
 
 
 # ----------------------------------------------------------------------
+# Collective (CCL) workloads — job completion time across families
+# ----------------------------------------------------------------------
+#: Families for the collective figure: the deterministic parametric ones
+#: (a seeded random graph adds nothing to a closed-loop DAG comparison).
+COLLECTIVE_TOPOLOGIES = ("hyperx", "torus", "fattree")
+
+#: Collectives the figure runs, classic algorithms first.
+COLLECTIVE_SET = ("allreduce_ring", "allreduce_tree", "allgather_ring")
+
+
+def fig_collectives(
+    scale: str | Scale = "tiny",
+    topologies: tuple[str, ...] = COLLECTIVE_TOPOLOGIES,
+    mechanisms: tuple[str, ...] = ("Minimal", "Polarized", "PolSP"),
+    collectives: tuple[str, ...] = COLLECTIVE_SET,
+    chunk_packets: int = 1,
+    max_slots: int = 200_000,
+    n_links: int = 2,
+    fail_slot: int = 8,
+    repair_slot: int = 208,
+    root_strategy: str = "max_live_degree",
+    seed: int = 0,
+    fault_seed: int = 12345,
+    config: SimConfig = PAPER_CONFIG,
+    executor=None,
+) -> list[dict]:
+    """Collective JCT across mechanisms, topology families and faults.
+
+    For every family the driver runs each collective twice — on the
+    healthy network and with ``n_links`` random links (connectivity-
+    preserving) failing at ``fail_slot`` and repairing at
+    ``repair_slot`` — so each record's ``jct_cycles`` column answers the
+    deployment question the steady-state sweeps cannot: *how much later
+    does the job finish* under this mechanism / on this family / through
+    this fault, rather than what load it would sustain forever.
+
+    Expected shape: ring algorithms ride neighbour links and degrade
+    gently; the tree's root-adjacent hops make it fault-sensitive.  For
+    the deadlock-free mechanisms a fault mid-collective costs time, not
+    the job (``drained`` stays true, JCT degrades); deadlock-prone
+    baselines (Minimal on a torus) can stall the DAG outright — their
+    records report ``deadlocked`` with ``jct_cycles`` ``None``, the
+    closed-loop version of the paper's liveness argument.
+    """
+    from ..updown.roots import choose_root
+    from .sweeps import collective_sweep
+
+    sc = _scale(scale)
+    records: list[dict] = []
+    for name in topologies:
+        topo = scaled_topology(name, sc)
+        net = Network(topo)
+        links = random_connected_fault_sequence(topo, n_links, rng=fault_seed)
+        schedules = [
+            ("none", None),
+            ("downup", FaultSchedule.down_then_up(fail_slot, repair_slot, links)),
+        ]
+        block = collective_sweep(
+            net, mechanisms, collectives,
+            schedules=schedules, chunk_packets=chunk_packets,
+            max_slots=max_slots, seed=seed, config=config,
+            root=choose_root(net, root_strategy), executor=executor,
+        )
+        for rec in block:
+            rec["topology"] = name
+        records += block
+    return records
+
+
+# ----------------------------------------------------------------------
 # Figure 10 — completion time under Star faults + RPN
 # ----------------------------------------------------------------------
 def fig10_completion_time(

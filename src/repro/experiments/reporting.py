@@ -75,12 +75,21 @@ def throughput_matrix(
     row_key: str = "mechanism",
     col_key: str = "traffic",
     value_key: str = "accepted",
+    agg: str = "max",
 ) -> str:
     """Pivot sweep records into a saturation-throughput matrix.
 
-    For each (row, col) cell, reports the maximum of ``value_key`` over
-    the matching records (the saturation point of a load sweep).
+    For each (row, col) cell, reports the aggregate of ``value_key``
+    over the matching records: ``agg="max"`` (default, the saturation
+    point of a load sweep — higher is better) or ``agg="min"`` (the
+    best completion time of a JCT sweep — lower is better).  Records
+    whose value is ``None`` or non-finite (an unfinished collective, a
+    disconnected point) are skipped, leaving an empty cell when nothing
+    else fills it.
     """
+    if agg not in ("max", "min"):
+        raise ValueError(f"agg must be 'max' or 'min', got {agg!r}")
+    better = (lambda a, b: a > b) if agg == "max" else (lambda a, b: a < b)
     cells: dict[tuple[str, str], float] = {}
     rows: list[str] = []
     cols: list[str] = []
@@ -92,7 +101,9 @@ def throughput_matrix(
             cols.append(c)
         key = (r, c)
         v = rec[value_key]
-        if key not in cells or v > cells[key]:
+        if v is None or (isinstance(v, float) and not math.isfinite(v)):
+            continue
+        if key not in cells or better(v, cells[key]):
             cells[key] = v
     out_records = []
     for r in rows:
@@ -161,6 +172,44 @@ def topology_matrix(records: Iterable[dict], value_key: str = "accepted") -> str
     ]
     return throughput_matrix(
         rows, row_key="mechanism:traffic", col_key="topology", value_key=value_key
+    )
+
+
+def collective_matrix(
+    records: Iterable[dict], value_key: str = "jct_cycles"
+) -> str:
+    """Pivot collective-sweep records into a (mechanism, collective) x
+    (topology/schedule) job-completion-time matrix.
+
+    Rows combine the routing mechanism with the collective; columns
+    combine the ``topology`` and ``schedule`` labels the
+    :func:`~repro.experiments.figures.fig_collectives` driver stamps on
+    its records (a single-network :func:`~repro.experiments.sweeps.collective_sweep`
+    has no ``topology`` key and the column is just the schedule).  Cells
+    aggregate with **min** — JCT is a completion time, lower is better —
+    and a run that never drained (``jct_cycles`` ``None``) leaves its
+    cell empty rather than posing as a finite time.
+    """
+    rows = []
+    for rec in records:
+        col = (
+            f"{rec['topology']}/{rec['schedule']}"
+            if "topology" in rec
+            else str(rec.get("schedule", "none"))
+        )
+        rows.append(
+            {
+                **rec,
+                "mechanism:collective": f"{rec['mechanism']}:{rec['collective']}",
+                "topology:schedule": col,
+            }
+        )
+    return throughput_matrix(
+        rows,
+        row_key="mechanism:collective",
+        col_key="topology:schedule",
+        value_key=value_key,
+        agg="min",
     )
 
 

@@ -70,7 +70,15 @@ class ExperimentRunner:
         return self._escape
 
     def traffic(self, name: str, seed: int = 0) -> TrafficPattern:
-        """Traffic pattern, cached per (name, seed)."""
+        """Traffic pattern, cached per (name, seed).
+
+        Accepts a ready :class:`TrafficPattern` instance as well (passed
+        through uncached) — the hook closed-loop workloads use to drive
+        the shared ``build_simulator`` path with adapters that carry live
+        state (e.g. :class:`~repro.traffic.collective.CollectiveTraffic`).
+        """
+        if isinstance(name, TrafficPattern):
+            return name
         key = (name.lower(), seed)
         if key not in self._traffic_cache:
             self._traffic_cache[key] = make_traffic(name, self.network, seed)
@@ -79,7 +87,7 @@ class ExperimentRunner:
     def build_simulator(
         self,
         mechanism: str,
-        traffic: str,
+        traffic: str | TrafficPattern,
         offered: float,
         *,
         seed: int = 0,
@@ -155,6 +163,41 @@ class ExperimentRunner:
         sim = self.build_simulator(
             mechanism, traffic, offered=1.0, seed=seed, n_vcs=n_vcs,
             injection=injection, series_interval=series_interval,
+        )
+        return sim.run_until_drained(max_slots=max_slots)
+
+    def run_collective(
+        self,
+        mechanism: str,
+        policy,
+        *,
+        seed: int = 0,
+        n_vcs: int | None = None,
+        series_interval: int | None = None,
+        fault_schedule=None,
+        max_slots: int = 500_000,
+    ) -> SimResult:
+        """Run a collective's dependency DAG to completion (JCT mode).
+
+        ``policy`` is a :class:`~repro.simulator.collective.CollectivePolicy`;
+        the run drains when every entry has fired and delivered, and the
+        result's :attr:`~repro.simulator.metrics.SimResult.jct_cycles` is
+        the job completion time.  With a ``fault_schedule`` the same
+        sharing caveat as :meth:`build_simulator` applies.
+        """
+        from ..simulator.collective import CollectiveInjection
+        from ..traffic.collective import CollectiveTraffic
+
+        injection = CollectiveInjection(self.network.n_servers, policy)
+        sim = self.build_simulator(
+            mechanism,
+            CollectiveTraffic(self.network, injection),
+            offered=1.0,
+            seed=seed,
+            n_vcs=n_vcs,
+            injection=injection,
+            series_interval=series_interval,
+            fault_schedule=fault_schedule,
         )
         return sim.run_until_drained(max_slots=max_slots)
 

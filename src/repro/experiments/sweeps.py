@@ -30,9 +30,12 @@ __all__ = [
     "RECORD_KEYS",
     "ablation_arbiter",
     "ablation_arbiter_jobs",
+    "annotate_collective",
     "annotate_components",
     "annotate_topology",
     "annotate_workload",
+    "collective_sweep",
+    "collective_sweep_jobs",
     "fault_sweep",
     "fault_sweep_jobs",
     "filter_records",
@@ -696,6 +699,124 @@ def topology_sweep(
     )
     records = _run(jobs, executor)
     annotate_topology(labels, records)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Collective (CCL) sweeps — job-completion-time mode
+# ----------------------------------------------------------------------
+def collective_sweep_jobs(
+    network: Network,
+    mechanisms: Sequence[str],
+    collectives: Sequence[str],
+    *,
+    schedules: Sequence[tuple[str, FaultSchedule | None]] = (("none", None),),
+    chunk_packets: int = 1,
+    max_slots: int = 100_000,
+    series_interval: int | None = None,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = 4,
+) -> tuple[list[PointJob], list[str]]:
+    """The work list behind :func:`collective_sweep`: jobs plus labels.
+
+    One job per (collective, fault-schedule, mechanism) cell, all
+    closed-loop: the collective name rides in ``config.collective`` (so
+    it enters the cache key with everything else) *and* in
+    ``spec.traffic`` (so the record's standard ``traffic`` column is
+    self-describing).  ``max_slots`` becomes the job's ``measure`` — the
+    drain budget — and ``warmup`` is 0 by the JCT convention.
+
+    ``schedules`` pairs a display label with a
+    :class:`~repro.simulator.schedule.FaultSchedule` (or ``None`` for the
+    healthy baseline); schedules are link-specific, so a multi-topology
+    collective figure loops this sweep per network (see
+    ``fig_collectives``).  Returns ``(jobs, labels)`` with ``labels[i]``
+    the schedule label of ``jobs[i]``, applied to records by
+    :func:`annotate_collective`.
+    """
+    from ..simulator.collective import COLLECTIVES
+
+    for name in collectives:
+        COLLECTIVES.require(name)
+    faults = tuple(sorted(network.faults))
+    jobs: list[PointJob] = []
+    labels: list[str] = []
+    for label, schedule in schedules:
+        if schedule is not None:
+            schedule.validate(network.topology, network.faults)
+        for coll in collectives:
+            for mechanism in supported_mechanisms(
+                network.topology, mechanisms
+            ):
+                jobs.append(
+                    PointJob(
+                        topology=network.topology,
+                        faults=faults,
+                        spec=PointSpec(
+                            mechanism, coll, 1.0,
+                            seed=seed, n_vcs=n_vcs, root=root,
+                        ),
+                        warmup=0,
+                        measure=max_slots,
+                        config=config.with_(
+                            collective=coll, chunk_packets=chunk_packets
+                        ),
+                        schedule=schedule,
+                        series_interval=series_interval,
+                    )
+                )
+                labels.append(label)
+    return jobs, labels
+
+
+def annotate_collective(
+    labels: Sequence[str], records: Sequence[dict]
+) -> None:
+    """Stamp each record with its fault-schedule label (in place).
+
+    Mirrors :func:`annotate_topology`: cached records carry only
+    job-derivable keys, so the ``schedule`` column comes from the label
+    list :func:`collective_sweep_jobs` returned (same order by executor
+    contract).
+    """
+    for label, rec in zip(labels, records):
+        rec["schedule"] = label
+
+
+def collective_sweep(
+    network: Network,
+    mechanisms: Sequence[str],
+    collectives: Sequence[str],
+    *,
+    schedules: Sequence[tuple[str, FaultSchedule | None]] = (("none", None),),
+    chunk_packets: int = 1,
+    max_slots: int = 100_000,
+    series_interval: int | None = None,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    root: int = 0,
+    n_vcs: int | None = 4,
+    executor: Executor | None = None,
+) -> list[dict]:
+    """Run collectives to completion across mechanisms and fault schedules.
+
+    Each record is a standard sweep record plus ``collective``,
+    ``chunk_packets``, ``jct_cycles`` (``None`` when the budget ran out),
+    ``completion_slot``, ``drained``, ``retransmitted`` and the
+    ``schedule`` label — the figure of merit is JCT, lower is better,
+    with a fault mid-collective showing up as degradation rather than
+    deadlock.
+    """
+    jobs, labels = collective_sweep_jobs(
+        network, mechanisms, collectives,
+        schedules=schedules, chunk_packets=chunk_packets,
+        max_slots=max_slots, series_interval=series_interval, seed=seed,
+        config=config, root=root, n_vcs=n_vcs,
+    )
+    records = _run(jobs, executor)
+    annotate_collective(labels, records)
     return records
 
 

@@ -24,6 +24,16 @@ from .arbiters import (
     make_arbiter,
 )
 from .backends import ENGINE_BACKENDS, EngineBackend, make_simulator
+from .collective import (
+    COLLECTIVES,
+    CollectiveEntry,
+    CollectiveInjection,
+    CollectivePolicy,
+    all_gather_ring,
+    all_reduce_ring,
+    all_reduce_tree,
+    make_collective,
+)
 from .config import PAPER_CONFIG, SimConfig, table2_rows
 from .engine import DeadlockError, Simulator
 from .event import EventSimulator
@@ -56,6 +66,10 @@ __all__ = [
     "Arbiter",
     "BatchInjection",
     "BernoulliInjection",
+    "COLLECTIVES",
+    "CollectiveEntry",
+    "CollectiveInjection",
+    "CollectivePolicy",
     "DeadlockError",
     "ENGINE_BACKENDS",
     "EngineBackend",
@@ -89,8 +103,12 @@ __all__ = [
     "VirtualCutThrough",
     "WorkloadEvent",
     "WorkloadSchedule",
+    "all_gather_ring",
+    "all_reduce_ring",
+    "all_reduce_tree",
     "jain_index",
     "make_arbiter",
+    "make_collective",
     "make_flow_control",
     "make_injection",
     "make_link_model",

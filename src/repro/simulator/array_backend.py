@@ -257,6 +257,7 @@ class ArraySimulator(Simulator):
         slot = self.slot
         metrics = self.metrics
         release = state.packets.release
+        on_delivered = self.injection.on_delivered
         switches = self.switches
         sw = None
         cur = -1
@@ -275,6 +276,7 @@ class ArraySimulator(Simulator):
             self._return_input_credit(sw, idx)
             pkt.eject_slot = slot
             metrics.on_ejected(pkt, slot)
+            on_delivered(pkt)
             release(pkt)
             self.in_flight -= 1
             ejected += 1

@@ -76,6 +76,18 @@ class SimConfig:
         the struct-of-arrays state store — record-identical, faster on
         dense allocation-bound points.  Flows into every sweep job's
         cache key like any other simulator parameter.
+    collective:
+        Closed-loop collective workload, by registry name (see
+        :data:`repro.simulator.collective.COLLECTIVES`), or ``"none"``
+        (default) for the open-loop ``injection`` regime.  A non-none
+        value turns the point into a drain-until-complete run whose
+        figure of merit is the job completion time
+        (:attr:`~repro.simulator.metrics.SimResult.jct_cycles`); the
+        executor then treats the job's ``measure`` as the max-slot
+        budget and ignores ``offered``/``injection``.
+    chunk_packets:
+        Size of each collective chunk transfer, in 16-phit packets
+        (ignored when ``collective == "none"``).
     """
 
     input_buffer_packets: int = 8
@@ -92,6 +104,8 @@ class SimConfig:
     idle_slots: int = 8
     rng_streams: str = "shared"
     backend: str = "slot"
+    collective: str = "none"
+    chunk_packets: int = 1
 
     def __post_init__(self) -> None:
         for name in (
@@ -104,6 +118,7 @@ class SimConfig:
             "link_latency_slots",
             "burst_slots",
             "idle_slots",
+            "chunk_packets",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
@@ -121,6 +136,10 @@ class SimConfig:
         FLOW_CONTROLS.require(self.flow_control)
         INJECTIONS.require(self.injection)
         ENGINE_BACKENDS.require(self.backend)
+        if self.collective != "none":
+            from .collective import COLLECTIVES
+
+            COLLECTIVES.require(self.collective)
         if self.rng_streams not in ("shared", "split"):
             raise ValueError(
                 f"rng_streams must be 'shared' or 'split', got {self.rng_streams!r}"

@@ -353,6 +353,7 @@ class Simulator:
         ejected = 0
         sps = self._sps
         release = self.state.packets.release
+        on_delivered = self.injection.on_delivered
         for sw in self._step_agenda:
             if not sw.active_sorted:
                 continue
@@ -371,6 +372,7 @@ class Simulator:
                 self._return_input_credit(sw, idx)
                 pkt.eject_slot = self.slot
                 self.metrics.on_ejected(pkt, self.slot)
+                on_delivered(pkt)
                 release(pkt)
                 self.in_flight -= 1
                 ejected += 1
@@ -494,6 +496,7 @@ class Simulator:
                 while sw.out_q[pv]:
                     pkt = sw.unqueue_output(pv)
                     self.metrics.on_dropped(pkt, self.slot)
+                    self.injection.on_dropped(pkt)
                     release(pkt)
                     self.in_flight -= 1
         self.link.purge_link(self, link)

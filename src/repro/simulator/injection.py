@@ -73,6 +73,22 @@ class InjectionProcess(ABC):
     def on_blocked(self, server: int) -> None:
         """The attempt of ``server`` found a full source queue."""
 
+    def on_delivered(self, pkt) -> None:
+        """A packet was consumed by its destination server (phase 1).
+
+        Closed-loop processes with inter-message dependencies (the
+        collective DAG) override this to advance their state; every
+        engine backend calls it once per ejection, in the reference
+        ejection order (ascending switch, then input index)."""
+
+    def on_dropped(self, pkt) -> None:
+        """A packet was destroyed by a scheduled link failure.
+
+        Open-loop processes ignore drops (the metrics count them);
+        closed-loop dependency-driven processes override this to
+        retransmit, so a fault mid-collective degrades completion time
+        instead of deadlocking the DAG."""
+
     def set_offered(self, offered: float) -> None:
         """Retarget the offered load mid-run (workload-schedule events).
 
@@ -99,6 +115,23 @@ class BernoulliInjection(InjectionProcess):
         self.offered = float(offered)
 
     def attempts(self, slot: int, rng: np.random.Generator) -> np.ndarray:
+        """Bernoulli coin per server — with a pinned draw-count contract.
+
+        RNG contract: ``offered`` strictly between 0 and 1 consumes
+        exactly one ``rng.random(n_servers)`` block per slot; the
+        deterministic extremes ``0.0`` (nobody) and ``1.0`` (everybody)
+        consume **nothing** — their outcome carries no entropy, and the
+        golden fingerprints pin saturated (``offered == 1.0``) shared-
+        stream points to the no-draw stream alignment.  Consequence: a
+        workload schedule retargeting through an extreme changes how
+        many blocks the shared stream has consumed by a later slot, so
+        points that differ in their ``set_offered`` history are distinct
+        RNG streams *by contract* — they are different workloads, not
+        comparable realisations.  What the contract does guarantee is
+        backend byte-identity (every backend calls this once per slot)
+        and per-slot determinism; ``test_bernoulli_rng_draw_contract``
+        is the regression test.
+        """
         if self.offered == 0.0:
             return np.empty(0, dtype=np.int64)
         if self.offered == 1.0:

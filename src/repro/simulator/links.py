@@ -153,6 +153,7 @@ class PipelinedLink(LinkModel):
                 wire[src, port] -= 1
                 sim.switches[src].return_credit(port, vc)
                 sim.metrics.on_dropped(pkt, sim.slot)
+                sim.injection.on_dropped(pkt)
                 release(pkt)
                 sim.in_flight -= 1
                 dropped += 1

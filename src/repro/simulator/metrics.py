@@ -55,6 +55,11 @@ class SimResult:
     stalled_packets: int
     deadlocked: bool
     completion_slot: int | None = None
+    #: Job completion time in cycles — first-class for closed-loop runs
+    #: (batch drains, collective DAGs): the slot the last packet was
+    #: consumed, in cycles.  ``None`` when the run did not complete (open
+    #: loop, deadlock, or the ``max_slots`` budget ran out).
+    jct_cycles: int | None = None
     time_series: list[tuple[int, float]] = field(default_factory=list)
     #: Packets destroyed by a scheduled link failure (buffered on the link).
     dropped_packets: int = 0
@@ -67,7 +72,9 @@ class SimResult:
 
     @property
     def completion_cycles(self) -> int | None:
-        """Batch completion time in cycles (Figure 10's x-axis)."""
+        """Batch completion time in cycles (Figure 10's x-axis).
+
+        Alias of :attr:`jct_cycles`, kept for the historical name."""
         if self.completion_slot is None:
             return None
         return self.completion_slot * self.cycles_per_slot
@@ -286,8 +293,10 @@ class MetricsCollector:
         burst's backlog draining into the next phase is visible as
         elevated accepted load there), ``latency_cycles`` (mean over
         measurement-born packets delivered in the phase, NaN when none)
-        and ``generated``.  Phases entirely outside the window are
-        dropped.
+        and ``generated``.  Phases entirely outside the window — and any
+        phase covering zero measured slots, even one that picked up
+        wall-clock delivery tallies at the window edge — are dropped:
+        a rate over a zero-slot denominator is not data.
         """
         if not self._phases:
             return []
@@ -301,7 +310,13 @@ class MetricsCollector:
                 else end
             )
             slots = max(min(stop, end) - start, 0)
-            if slots == 0 and not ph["delivered"] and not ph["generated"]:
+            if slots == 0:
+                # A phase can land on the window edge with zero measured
+                # slots yet still have tallies (deliveries attribute by
+                # wall clock, e.g. around an early-stopped run).  An
+                # accepted-load rate over a zero-slot denominator is
+                # meaningless, so the record is dropped entirely — its
+                # deliveries stay in the run totals.
                 continue
             out.append(
                 {
@@ -309,9 +324,7 @@ class MetricsCollector:
                     "label": ph["label"],
                     "start_slot": start,
                     "slots": slots,
-                    "accepted": (
-                        ph["delivered"] / (self.n_servers * slots) if slots else 0.0
-                    ),
+                    "accepted": ph["delivered"] / (self.n_servers * slots),
                     "latency_cycles": (
                         ph["lat_slots"] / ph["lat_count"] * self.cycles_per_slot
                         if ph["lat_count"]
@@ -360,6 +373,11 @@ class MetricsCollector:
             stalled_packets=len(self.stalled_pids),
             deadlocked=deadlocked,
             completion_slot=completion_slot,
+            jct_cycles=(
+                completion_slot * self.cycles_per_slot
+                if completion_slot is not None
+                else None
+            ),
             time_series=self.time_series(),
             dropped_packets=self.dropped_total,
             transient_series=self.transient_series(),

@@ -9,6 +9,7 @@ import numpy as np
 from ..registry import Registry
 from ..topology.base import Network
 from .base import PermutationTraffic, TrafficPattern, validate_permutation
+from .collective import CollectiveTraffic
 from .patterns import (
     DimensionComplementReverse,
     RandomServerPermutation,
@@ -121,6 +122,7 @@ __all__ = [
     "BitReverseTraffic",
     "BitShuffleTraffic",
     "BitTransposeTraffic",
+    "CollectiveTraffic",
     "DimensionComplementReverse",
     "DragonflyAdversarial",
     "HotspotTraffic",

@@ -1,0 +1,48 @@
+"""Traffic adapter for collective (CCL) workloads.
+
+A collective's destinations are dictated by its dependency DAG, not
+drawn from a distribution — so the pattern here is a thin adapter that
+reads the next pending destination from the paired
+:class:`~repro.simulator.collective.CollectiveInjection` and consumes
+**no** traffic RNG.  The engine's contract (one ``destination`` call per
+admitted attempt, *before* ``on_success`` advances the FIFO) makes the
+peek/pop pairing exact on every backend.
+
+The pattern is deliberately not in :data:`repro.traffic.TRAFFIC_REGISTRY`:
+like :class:`~repro.simulator.injection.BatchInjection` it needs
+per-experiment structure (a live injection process) that a flat config
+name cannot carry.  Collective points select their workload through
+``SimConfig.collective`` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TrafficPattern
+
+
+class CollectiveTraffic(TrafficPattern):
+    """Destinations dictated by a collective policy's dependency DAG."""
+
+    name = "Collective"
+
+    def __init__(self, network, injection):
+        super().__init__(network)
+        if injection.n_servers != self.n_servers:
+            raise ValueError(
+                f"collective injection sized for {injection.n_servers} "
+                f"servers, network has {self.n_servers}"
+            )
+        self.injection = injection
+
+    def destination(self, src_server: int, rng: np.random.Generator) -> int:
+        # Deterministic: the head of the source's pending FIFO.  The RNG
+        # is untouched — collective points consume zero traffic entropy.
+        return self.injection.peek_destination(src_server)
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectiveTraffic({self.injection.policy.label!r}, "
+            f"servers={self.n_servers})"
+        )

@@ -14,7 +14,8 @@ class TestParser:
         expected = {
             "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "fig-transient",
-            "fig-workloads", "fig-topologies", "point",
+            "fig-workloads", "fig-topologies", "fig-collectives",
+            "point",
         }
         assert expected <= set(sub.choices)
 
@@ -119,6 +120,28 @@ class TestFastCommands:
     def test_fig_topologies_rejects_unknown_family(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig-topologies", "--topologies", "moebius"])
+
+    def test_fig_collectives_runs(self, tmp_path, capsys):
+        json_path = tmp_path / "collectives.json"
+        assert main([
+            "fig-collectives", "--scale", "tiny", "--mechanisms", "PolSP",
+            "--topologies", "hyperx", "--collectives", "allreduce_tree",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PolSP:allreduce_tree" in out  # the JCT matrix row
+        assert "jct_cycles" in out            # the record table
+        records = json.loads(json_path.read_text())
+        # One healthy + one faulted run, both completing with finite JCT.
+        assert {r["schedule"] for r in records} == {"none", "downup"}
+        assert all(r["drained"] for r in records)
+        assert all(r["jct_cycles"] > 0 for r in records)
+
+    def test_fig_collectives_rejects_unknown_collective(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fig-collectives", "--collectives", "alltoall_hypercube"]
+            )
 
     def test_csv_and_json_output(self, tmp_path, capsys):
         csv_path = tmp_path / "t3.csv"

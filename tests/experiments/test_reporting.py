@@ -1,7 +1,10 @@
 """Reporting helpers tests."""
 
+import pytest
+
 from repro.experiments.reporting import (
     ascii_table,
+    collective_matrix,
     curve_sparkline,
     format_value,
     records_to_csv,
@@ -48,6 +51,46 @@ class TestThroughputMatrix:
         out = throughput_matrix(RECORDS)
         assert "0.7500" in out  # the max of PolSP/uniform
         assert "0.7000" not in out
+
+    def test_min_aggregation_skips_none(self):
+        recs = [
+            {"mechanism": "A", "traffic": "u", "accepted": 5.0},
+            {"mechanism": "A", "traffic": "u", "accepted": 3.0},
+            {"mechanism": "A", "traffic": "u", "accepted": None},
+        ]
+        out = throughput_matrix(recs, agg="min")
+        assert "3.0000" in out and "5.0000" not in out
+
+    def test_rejects_unknown_agg(self):
+        with pytest.raises(ValueError, match="agg"):
+            throughput_matrix(RECORDS, agg="median")
+
+
+class TestCollectiveMatrix:
+    RECS = [
+        {"mechanism": "PolSP", "collective": "allreduce_ring",
+         "topology": "hyperx", "schedule": "none", "jct_cycles": 1680},
+        {"mechanism": "PolSP", "collective": "allreduce_ring",
+         "topology": "hyperx", "schedule": "downup", "jct_cycles": 1712},
+        {"mechanism": "Minimal", "collective": "allreduce_ring",
+         "topology": "torus", "schedule": "none", "jct_cycles": None},
+    ]
+
+    def test_pivots_jct_min_with_empty_cells(self):
+        out = collective_matrix(self.RECS)
+        assert "PolSP:allreduce_ring" in out
+        assert "hyperx/none" in out and "hyperx/downup" in out
+        assert "1680" in out and "1712" in out
+        # The undrained Minimal cell stays empty (nan), not a fake time.
+        assert "Minimal:allreduce_ring" in out
+
+    def test_single_network_records_without_topology_key(self):
+        recs = [
+            {"mechanism": "PolSP", "collective": "allgather_ring",
+             "schedule": "none", "jct_cycles": 848},
+        ]
+        out = collective_matrix(recs)
+        assert "848" in out and "none" in out
 
 
 class TestSparkline:

@@ -79,3 +79,79 @@ class TestHelpers:
         assert saturation_throughput(recs, "A", "u") == 0.7
         with pytest.raises(ValueError):
             saturation_throughput(recs, "Z", "u")
+
+
+class TestCollectiveSweep:
+    def _net(self):
+        from repro.topology.hyperx import HyperX
+
+        return Network(HyperX((4, 4), 2))
+
+    def test_records_carry_jct_keys(self):
+        from repro.experiments.sweeps import collective_sweep
+
+        recs = collective_sweep(
+            self._net(), ("PolSP",), ("allreduce_tree",), max_slots=50_000
+        )
+        assert len(recs) == 1
+        r = recs[0]
+        assert r["collective"] == "allreduce_tree"
+        assert r["traffic"] == "allreduce_tree"  # self-describing record
+        assert r["schedule"] == "none"
+        assert r["drained"] and r["jct_cycles"] > 0
+        assert r["jct_cycles"] == r["completion_slot"] * 16
+        assert r["retransmitted"] == 0
+
+    def test_unknown_collective_rejected_before_any_run(self):
+        from repro.experiments.sweeps import collective_sweep_jobs
+
+        with pytest.raises(ValueError, match="collective"):
+            collective_sweep_jobs(
+                self._net(), ("PolSP",), ("alltoall_hypercube",)
+            )
+
+    def test_schedule_validated_upfront(self):
+        from repro.experiments.sweeps import collective_sweep_jobs
+        from repro.simulator.schedule import FaultSchedule
+
+        with pytest.raises(ValueError):
+            collective_sweep_jobs(
+                self._net(), ("PolSP",), ("allreduce_tree",),
+                schedules=(
+                    ("bad", FaultSchedule.link_down(10, [(0, 99)])),
+                ),
+            )
+
+    def test_workload_schedule_rejected_on_collective_job(self):
+        import dataclasses
+
+        from repro.experiments.executor import run_job
+        from repro.experiments.sweeps import collective_sweep_jobs
+        from repro.simulator.workload import WorkloadSchedule
+
+        jobs, _ = collective_sweep_jobs(
+            self._net(), ("PolSP",), ("allreduce_tree",)
+        )
+        bad = dataclasses.replace(
+            jobs[0], workload=WorkloadSchedule([(10, "offered", 0.1)])
+        )
+        with pytest.raises(ValueError, match="workload"):
+            run_job(bad)
+
+    def test_disconnected_collective_record_shape(self):
+        from repro.experiments.executor import run_job
+        from repro.experiments.sweeps import collective_sweep_jobs
+        from repro.topology.hyperx import HyperX
+
+        # Fail every link of switch 0: its servers are unreachable.
+        topo = HyperX((4, 4), 2)
+        cut = tuple(sorted((0, n) for n in topo.neighbours(0)))
+        net = Network(topo, cut)
+        jobs, _ = collective_sweep_jobs(
+            net, ("PolSP",), ("allreduce_tree",)
+        )
+        rec = run_job(jobs[0])
+        assert rec["disconnected"]
+        assert rec["collective"] == "allreduce_tree"
+        assert rec["jct_cycles"] is None
+        assert rec["drained"] is False

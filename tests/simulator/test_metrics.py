@@ -173,3 +173,62 @@ class TestCollector:
         m.start_measurement(0)
         res = m.result(1.0, 10, 0, False, completion_slot=100)
         assert res.completion_cycles == 1600
+
+    def test_jct_cycles_first_class(self):
+        m = MetricsCollector(2, 16)
+        m.start_measurement(0)
+        res = m.result(1.0, 10, 0, False, completion_slot=100)
+        assert res.jct_cycles == 1600
+        assert res.completion_cycles == res.jct_cycles  # alias holds
+        unfinished = MetricsCollector(2, 16)
+        unfinished.start_measurement(0)
+        res = unfinished.result(1.0, 10, 5, False)
+        assert res.jct_cycles is None and res.completion_cycles is None
+
+
+class TestPhaseSeries:
+    """Zero-slot phase guard: a phase covering no measured slots is
+    dropped even when wall-clock tallies landed on it (regression — the
+    old guard kept such phases and divided by a zero denominator)."""
+
+    def test_zero_slot_phase_with_deliveries_is_dropped(self):
+        m = MetricsCollector(n_servers=2, cycles_per_slot=16)
+        m.start_measurement(0)
+        m.on_phase(0, "steady")
+        eject(m, 0, 3)
+        # Second phase opens exactly at the window end: zero measured
+        # slots, yet a straggler delivery attributes to it by wall clock.
+        m.on_phase(10, "late")
+        eject(m, 1, 10, pid=1)
+        series = m.phase_series(measure_slots=10)
+        assert [ph["label"] for ph in series] == ["steady"]
+        assert series[0]["slots"] == 10
+        # The straggler's delivery still counts in the run totals.
+        assert m.delivered_measured == 2
+
+    def test_zero_slot_empty_phase_is_dropped(self):
+        m = MetricsCollector(n_servers=2, cycles_per_slot=16)
+        m.start_measurement(0)
+        m.on_phase(0, "steady")
+        m.on_phase(10, "never-ran")
+        series = m.phase_series(measure_slots=10)
+        assert [ph["label"] for ph in series] == ["steady"]
+
+    def test_phase_entirely_after_window_is_dropped(self):
+        m = MetricsCollector(n_servers=2, cycles_per_slot=16)
+        m.start_measurement(0)
+        m.on_phase(0, "steady")
+        m.on_phase(50, "beyond")
+        series = m.phase_series(measure_slots=10)
+        assert [ph["label"] for ph in series] == ["steady"]
+
+    def test_surviving_phases_renumber_contiguously(self):
+        m = MetricsCollector(n_servers=2, cycles_per_slot=16)
+        m.start_measurement(0)
+        m.on_phase(0, "a")
+        m.on_phase(4, "zero")  # zero-slot: next phase opens same slot
+        m.on_phase(4, "b")
+        eject(m, 5, 6)
+        series = m.phase_series(measure_slots=10)
+        assert [ph["label"] for ph in series] == ["a", "b"]
+        assert [ph["phase"] for ph in series] == [0, 1]
