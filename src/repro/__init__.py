@@ -19,6 +19,8 @@ Quickstart::
     print(sim.run(warmup=200, measure=400).summary())
 """
 
+from __future__ import annotations
+
 from .routing import (
     MECHANISMS,
     MinimalRouting,

@@ -1,5 +1,7 @@
 """Analytical bounds and cost models backing the paper's arguments."""
 
+from __future__ import annotations
+
 from .bounds import (
     VALIANT_BOUND,
     ladder_max_hops,

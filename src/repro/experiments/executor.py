@@ -36,7 +36,7 @@ import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..simulator.config import PAPER_CONFIG, SimConfig
 from ..simulator.metrics import SimResult
@@ -444,7 +444,7 @@ def _run_dynamic_job(job: PointJob) -> dict:
 NAN_KEYS = frozenset({"latency_cycles", "avg_hops"})
 
 
-def encode_json_safe(obj):
+def encode_json_safe(obj: Any) -> Any:
     """Replace non-finite floats with ``None``, recursively.
 
     ``json.dumps`` emits the literal ``NaN`` for ``float("nan")``, which is
@@ -462,7 +462,7 @@ def encode_json_safe(obj):
     return obj
 
 
-def decode_json_safe(obj):
+def decode_json_safe(obj: Any) -> Any:
     """Undo :func:`encode_json_safe`: ``null`` under a NaN-able key -> NaN."""
     if isinstance(obj, dict):
         return {
@@ -488,7 +488,7 @@ class Executor:
     content-addressed cache so every strategy gets it for free.
     """
 
-    def __init__(self, cache_dir: str | os.PathLike | None = None):
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None and self.cache_dir.exists() \
                 and not self.cache_dir.is_dir():
@@ -527,22 +527,22 @@ class Executor:
     # -- driving -------------------------------------------------------
     def run(self, jobs: Iterable[PointJob]) -> list[dict]:
         """Run ``jobs``; the result list matches the job order."""
-        jobs = list(jobs)
-        records: list[dict | None] = [None] * len(jobs)
-        misses = []
-        for i, job in enumerate(jobs):
+        job_list = list(jobs)
+        records: dict[int, dict] = {}
+        misses: list[int] = []
+        for i, job in enumerate(job_list):
             hit = self._cache_load(job) if self.cache_dir else None
             if hit is not None:
                 records[i] = hit
             else:
                 misses.append(i)
         if misses:
-            fresh = self._execute([jobs[i] for i in misses])
+            fresh = self._execute([job_list[i] for i in misses])
             for i, rec in zip(misses, fresh):
                 records[i] = rec
                 if self.cache_dir:
-                    self._cache_store(jobs[i], rec)
-        return records  # type: ignore[return-value]
+                    self._cache_store(job_list[i], rec)
+        return [records[i] for i in range(len(job_list))]
 
     def _execute(self, jobs: Sequence[PointJob]) -> list[dict]:
         raise NotImplementedError
@@ -633,7 +633,7 @@ class ParallelExecutor(Executor):
         jobs: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         chunksize: int | None = None,
-    ):
+    ) -> None:
         super().__init__(cache_dir)
         # Explicit validation: a truthiness check here used to turn
         # ``jobs=0`` into "use every CPU" while make_executor(jobs=0)

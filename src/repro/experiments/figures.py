@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..routing.catalog import MECHANISMS
+from ..seeding import as_generator
 from ..simulator.config import PAPER_CONFIG, SimConfig, table2_rows
 from ..simulator.schedule import FaultSchedule
 from ..topology.base import Network
@@ -71,7 +72,7 @@ def fig1_diameter_under_failures(
     """
     topo = HyperX(sides, 1)
     links = topo.links()
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     curves: list[dict] = []
     for seq in range(n_sequences):
         order = rng.permutation(len(links))
@@ -192,11 +193,11 @@ def fig3_rpn_illustration(scale: str | Scale = "paper") -> dict:
     histogram, whose values must all be 0 or k/2 (the paper's imbalance
     property).
     """
-    from ..traffic.rpn import RegularPermutationToNeighbour
+    from ..traffic import make_traffic
 
     sc = _scale(scale)
     hx = sc.hyperx_3d()
-    rpn = RegularPermutationToNeighbour(Network(hx))
+    rpn = make_traffic("rpn", Network(hx))
     counts = rpn.confined_pairs_per_row()
     k = hx.sides[0]
     return {

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..topology.hyperx import HyperX
+from ..topology.hyperx import HyperX, regular_hyperx
 
 
 @dataclass(frozen=True)
@@ -41,10 +41,10 @@ class Scale:
     batch_packets: int = 60
 
     def hyperx_2d(self) -> HyperX:
-        return HyperX((self.side_2d, self.side_2d), self.side_2d)
+        return regular_hyperx(2, self.side_2d)
 
     def hyperx_3d(self) -> HyperX:
-        return HyperX((self.side_3d,) * 3, self.side_3d)
+        return regular_hyperx(3, self.side_3d)
 
 
 _LOADS_FULL = tuple(round(0.1 * i, 1) for i in range(1, 11))

@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit status 0 when every checker is clean, 1 when any violation is
+found (one ``path:line: [checker] message`` diagnostic per line), 2 on
+usage errors.  ``--list-sites`` prints the current tree's RNG draw
+sites as ``[[site]]`` TOML stanzas — the starting point for editing
+``rng_sites.toml`` after an intentional draw-order change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import run_lint
+from .base import LintConfig, load_modules
+from .rng import collect_draw_sites
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checkers for the simulator core",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-sites",
+        action="store_true",
+        help="print the tree's RNG draw sites as rng_sites.toml stanzas",
+    )
+    args = parser.parse_args(argv)
+
+    modules = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.is_dir():
+            print(f"repro-lint: not a directory: {raw}", file=sys.stderr)
+            return 2
+        modules.extend(load_modules(path))
+    config = LintConfig.load_default()
+
+    if args.list_sites:
+        for (rel, scope), (draws, _line) in sorted(
+            collect_draw_sites(modules, config).items()
+        ):
+            print("[[site]]")
+            print(f'file = "{rel}"')
+            print(f'scope = "{scope}"')
+            print(f"draws = {draws!r}".replace("'", '"'))
+            print('reason = ""')
+            print()
+        return 0
+
+    violations = run_lint(modules, config)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"repro-lint: {len(violations)} violation(s) in "
+            f"{len(modules)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"repro-lint: {len(modules)} files clean (4 checkers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Cache-key completeness checker.
+
+The content-addressed result cache is only sound if ``job_key`` covers
+*every* field that can change what a point produces.  A field that
+reaches neither the key payload nor an explicit exempt list silently
+aliases distinct physical configurations to one cache entry — the bug
+class behind every ``CACHE_VERSION`` bump so far.  Three AST-level
+rules:
+
+1. **PointJob / PointSpec coverage.**  Every dataclass field of
+   ``PointJob`` (``repro/experiments/executor.py``) and ``PointSpec``
+   (``repro/experiments/runner.py``) must be *read* inside ``job_key``
+   (as ``job.<field>`` / ``spec.<field>`` / ``job.spec.<field>``) or
+   listed under ``[cache_key].exempt_job_fields`` /
+   ``exempt_spec_fields`` in ``invariants.toml`` with a reason.
+2. **SimConfig coverage.**  Every ``SimConfig`` field must reach the
+   payload — wholesale via ``asdict(job.config)`` (the current form) or
+   field-by-field — or be exempted under ``exempt_config_fields``.
+3. **Acknowledged field set.**  The ``SimConfig`` field list and the
+   executor's ``CACHE_VERSION`` are pinned in ``invariants.toml``.
+   Growing ``SimConfig`` without updating the pin fails at the new
+   field's line: ``asdict`` *does* key the field, but records produced
+   before it existed must not alias records produced after, so the same
+   reviewed diff has to bump ``CACHE_VERSION`` and re-pin.  Likewise,
+   bumping ``CACHE_VERSION`` without re-pinning (or vice versa) fails.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import (
+    LintConfig,
+    Module,
+    Violation,
+    attr_chain,
+    dataclass_fields,
+    find_module,
+)
+
+CHECKER = "cache-key"
+
+
+def _find_function(tree: ast.Module, name: str) -> ast.FunctionDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _job_key_reads(fn: ast.FunctionDef) -> tuple[set, bool, int]:
+    """(attribute chains read, asdict-of-config present, payload line)."""
+    chains: set[str] = set()
+    asdict_config = False
+    payload_line = fn.lineno
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain is not None:
+                chains.add(chain)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "asdict"
+            and node.args
+        ):
+            arg = node.args[0]
+            target = (
+                attr_chain(arg)
+                if isinstance(arg, ast.Attribute)
+                else arg.id if isinstance(arg, ast.Name) else None
+            )
+            if target is not None and target.split(".")[-1] == "config":
+                asdict_config = True
+        elif (
+            isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "payload"
+        ):
+            payload_line = node.lineno
+    return chains, asdict_config, payload_line
+
+
+def _module_int(tree: ast.Module, name: str) -> tuple[int, int] | None:
+    """(value, line) of a module-level integer assignment, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(node.value, ast.Constant) and isinstance(
+                        node.value.value, int
+                    ):
+                        return node.value.value, node.lineno
+    return None
+
+
+def check_cache_key(modules: list[Module], config: LintConfig) -> list[Violation]:
+    cfg = config.invariants.get("cache_key", {})
+    if not cfg:
+        return []
+    config_mod = find_module(modules, cfg.get("config_module", ""))
+    executor_mod = find_module(modules, cfg.get("executor_module", ""))
+    runner_mod = find_module(modules, cfg.get("runner_module", ""))
+    if executor_mod is None or config_mod is None:
+        # Linting a subtree that holds neither anchor: nothing to check.
+        return []
+
+    out: list[Violation] = []
+    sim_fields = dataclass_fields(config_mod.tree, "SimConfig")
+    job_fields = dataclass_fields(executor_mod.tree, "PointJob")
+    spec_fields = (
+        dataclass_fields(runner_mod.tree, "PointSpec") if runner_mod else {}
+    )
+
+    job_key = _find_function(executor_mod.tree, "job_key")
+    if job_key is None:
+        out.append(
+            Violation(
+                CHECKER, executor_mod.rel, 1,
+                "job_key() not found; the cache-key completeness contract "
+                "has nothing to anchor to",
+            )
+        )
+        return out
+    chains, asdict_config, payload_line = _job_key_reads(job_key)
+
+    exempt_job = set(cfg.get("exempt_job_fields", ()))
+    exempt_spec = set(cfg.get("exempt_spec_fields", ()))
+    exempt_config = set(cfg.get("exempt_config_fields", ()))
+
+    for name, line in job_fields.items():
+        if name in exempt_job:
+            continue
+        if f"job.{name}" not in chains:
+            out.append(
+                Violation(
+                    CHECKER, executor_mod.rel, line,
+                    f"PointJob.{name} never reaches job_key (payload at line "
+                    f"{payload_line}); key it or exempt it with a reason in "
+                    "invariants.toml [cache_key].exempt_job_fields",
+                )
+            )
+    for name, line in spec_fields.items():
+        if name in exempt_spec:
+            continue
+        if f"spec.{name}" not in chains and f"job.spec.{name}" not in chains:
+            out.append(
+                Violation(
+                    CHECKER, runner_mod.rel if runner_mod else executor_mod.rel,
+                    line,
+                    f"PointSpec.{name} never reaches job_key; key it or exempt "
+                    "it in invariants.toml [cache_key].exempt_spec_fields",
+                )
+            )
+    if not asdict_config:
+        for name, line in sim_fields.items():
+            if name in exempt_config:
+                continue
+            if (
+                f"job.config.{name}" not in chains
+                and f"config.{name}" not in chains
+            ):
+                out.append(
+                    Violation(
+                        CHECKER, config_mod.rel, line,
+                        f"SimConfig.{name} never reaches job_key (the payload "
+                        "no longer takes asdict(job.config) wholesale); key it "
+                        "or exempt it in invariants.toml",
+                    )
+                )
+
+    # Rule 3: the acknowledged (field set, CACHE_VERSION) pin.
+    pinned_fields = set(cfg.get("simconfig_fields", ()))
+    pinned_version = cfg.get("cache_version")
+    for name, line in sim_fields.items():
+        if name not in pinned_fields:
+            out.append(
+                Violation(
+                    CHECKER, config_mod.rel, line,
+                    f"new SimConfig field {name!r} is not acknowledged in "
+                    "invariants.toml [cache_key].simconfig_fields: records "
+                    "keyed before this field existed must not alias records "
+                    "keyed after — bump executor.CACHE_VERSION and re-pin "
+                    "(cache_version + simconfig_fields) in the same diff",
+                )
+            )
+    for name in sorted(pinned_fields - set(sim_fields)):
+        out.append(
+            Violation(
+                CHECKER, config_mod.rel, 1,
+                f"invariants.toml acknowledges SimConfig field {name!r} which "
+                "no longer exists; removing a keyed field changes every key — "
+                "bump CACHE_VERSION and re-pin",
+            )
+        )
+    version = _module_int(executor_mod.tree, "CACHE_VERSION")
+    if version is None:
+        out.append(
+            Violation(
+                CHECKER, executor_mod.rel, 1,
+                "module-level CACHE_VERSION integer not found in the executor",
+            )
+        )
+    elif pinned_version is not None and version[0] != pinned_version:
+        out.append(
+            Violation(
+                CHECKER, executor_mod.rel, version[1],
+                f"CACHE_VERSION is {version[0]} but invariants.toml "
+                f"acknowledges {pinned_version}; re-pin [cache_key]."
+                "cache_version in the same diff that bumps it (the pin is "
+                "what forces the SimConfig field audit to happen per bump)",
+            )
+        )
+    return out

@@ -1,0 +1,162 @@
+"""Registry-bypass checker.
+
+Pluggable components — traffic patterns, topology families, engine
+backends, collectives — are selected by registry name everywhere a knob
+exists: configs validate the names, cache keys embed them, the CLI
+lists them.  Code that instantiates a registered class directly skips
+all of that: the point it produces is unnameable by a sweep, invisible
+to ``supported_traffics``-style filters, and (for backends) able to
+dodge the config validation that keeps cache keys honest.
+
+The rule: a class (or factory function) registered in one of the
+configured registries may only be *called* in
+
+* the module that registers it (the factory/catalog module — the
+  registration lambdas live there),
+* the module that defines it (constructors, sizing helpers and
+  ``__repr__`` round-trips stay idiomatic), or
+* a module allowlisted for it in ``invariants.toml`` with a reason.
+
+Registered names are discovered from the AST of the registration calls
+themselves — ``REG.register(name, Class)``, ``REG.register(name,
+lambda ...: Class(...))`` (capitalised calls inside the lambda) and
+``REG.register_lazy(name, module, attr)`` — so adding an entry to a
+catalog automatically extends the protection to it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import LintConfig, Module, Violation
+
+CHECKER = "registry"
+
+
+def _registered_constructors(
+    modules: list[Module], registry_names: set
+) -> dict[str, dict]:
+    """``constructor name -> {"registries": set, "homes": set}``."""
+    constructors: dict[str, dict] = {}
+
+    def add(name: str, registry: str, home_rel: str) -> None:
+        entry = constructors.setdefault(
+            name, {"registries": set(), "homes": set()}
+        )
+        entry["registries"].add(registry)
+        entry["homes"].add(home_rel)
+
+    for mod in modules:
+        module_registries: set[str] = set()
+        for node in ast.walk(mod.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in registry_names
+                and node.func.attr in ("register", "register_lazy")
+            ):
+                continue
+            registry = node.func.value.id
+            module_registries.add(registry)
+            if node.func.attr == "register_lazy":
+                strs = [
+                    a.value
+                    for a in node.args
+                    if isinstance(a, ast.Constant) and isinstance(a.value, str)
+                ]
+                if len(strs) >= 3:
+                    add(strs[2], registry, mod.rel)
+                    add(strs[2], registry, strs[1].replace(".", "/") + ".py")
+                continue
+            if len(node.args) < 2:
+                continue
+            obj = node.args[1]
+            if isinstance(obj, ast.Name):
+                add(obj.id, registry, mod.rel)
+            elif isinstance(obj, ast.Lambda):
+                for call in ast.walk(obj):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Name)
+                        and call.func.id[:1].isupper()
+                    ):
+                        add(call.func.id, registry, mod.rel)
+
+        # Catalogs register entry tables in a loop (``for _entry in
+        # (...): REG.register(_entry[0], _entry[1], ...)``), so the
+        # factory lambdas sit in module-level tuples rather than in the
+        # register call's arguments.  In a module that registers into a
+        # tracked registry, every capitalised call inside a module-level
+        # lambda is a registered constructor.
+        if module_registries:
+            registry = "/".join(sorted(module_registries))
+            for stmt in mod.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Lambda):
+                        for call in ast.walk(node):
+                            if (
+                                isinstance(call, ast.Call)
+                                and isinstance(call.func, ast.Name)
+                                and call.func.id[:1].isupper()
+                            ):
+                                add(call.func.id, registry, mod.rel)
+
+    # The defining module is always a home: constructors and sizing
+    # helpers next to the class stay idiomatic.
+    for mod in modules:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef)):
+                if node.name in constructors:
+                    constructors[node.name]["homes"].add(mod.rel)
+    return constructors
+
+
+def check_registry_bypass(
+    modules: list[Module], config: LintConfig
+) -> list[Violation]:
+    cfg = config.invariants.get("registry", {})
+    registry_names = set(cfg.get("registries", ()))
+    if not registry_names:
+        return []
+    constructors = _registered_constructors(modules, registry_names)
+    if not constructors:
+        return []
+    allow: dict[tuple[str, str], str] = {}
+    for entry in cfg.get("allow", ()):
+        allow[(entry["file"], entry["constructor"])] = entry.get("reason", "")
+
+    out: list[Violation] = []
+    for mod in modules:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            else:
+                continue
+            entry = constructors.get(name)
+            if entry is None:
+                continue
+            if mod.rel in entry["homes"]:
+                continue
+            if (mod.rel, name) in allow:
+                continue
+            registries = "/".join(sorted(entry["registries"]))
+            out.append(
+                Violation(
+                    CHECKER, mod.rel, node.lineno,
+                    f"direct instantiation of {name}, which is registered in "
+                    f"{registries}: construct it through the registry factory "
+                    "(make_traffic / make_topology / make_simulator / "
+                    "make_collective) so the point stays nameable by sweeps, "
+                    "cache keys and the CLI — or allowlist this file for "
+                    f"{name} in invariants.toml with a reason",
+                )
+            )
+    return out

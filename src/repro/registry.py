@@ -33,7 +33,7 @@ class _Lazy:
 
     __slots__ = ("module", "attr")
 
-    def __init__(self, module: str, attr: str):
+    def __init__(self, module: str, attr: str) -> None:
         self.module = module
         self.attr = attr
 
@@ -41,7 +41,7 @@ class _Lazy:
         return getattr(import_module(self.module), self.attr)
 
 
-class Registry(Mapping):
+class Registry(Mapping[str, Any]):
     """One named axis of pluggable implementations.
 
     Parameters
@@ -51,7 +51,7 @@ class Registry(Mapping):
         ``"traffic pattern"``, ...).
     """
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self._entries: dict[str, Any] = {}
         self._alias_of: dict[str, str] = {}
@@ -157,7 +157,7 @@ class Registry(Mapping):
         """``canonical name -> display label`` in registration order."""
         return dict(self._display)
 
-    def make(self, name: str, *args, **kwargs) -> Any:
+    def make(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Call the registered factory/class for ``name`` (or an alias)."""
         return self[name](*args, **kwargs)
 
@@ -178,8 +178,10 @@ class Registry(Mapping):
         return len(self._entries)
 
     def __contains__(self, name: object) -> bool:
+        # ``canonical`` str()-folds internally, so coercing here changes
+        # nothing observable while keeping its signature honestly ``str``.
         try:
-            self.canonical(name)  # type: ignore[arg-type]
+            self.canonical(str(name))
         except ValueError:
             return False
         return True

@@ -1,5 +1,7 @@
 """Routing algorithms and mechanisms for HyperX networks (paper §3, Table 4)."""
 
+from __future__ import annotations
+
 from .base import (
     DEROUTE_PENALTY,
     NO_PENALTY,

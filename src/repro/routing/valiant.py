@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..seeding import as_generator
 from ..topology.base import Network
 from .base import NO_PENALTY, Candidate, RoutingMechanism, ladder_vc
 
@@ -30,7 +31,7 @@ class ValiantRouting(RoutingMechanism):
         super().__init__(n_vcs)
         self.network = network
         self.dist = network.distances
-        self.rng = np.random.default_rng(rng)
+        self.rng = as_generator(rng)
 
     def init_packet(self, pkt) -> None:
         pkt.hops = 0

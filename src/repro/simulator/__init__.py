@@ -14,6 +14,8 @@ is a fourth pluggable axis (:mod:`~repro.simulator.backends`):
 construction façade that resolves it.
 """
 
+from __future__ import annotations
+
 from .arbiters import (
     ARBITERS,
     AgeBasedArbiter,

@@ -45,11 +45,13 @@ README's "Backends" section for a worked recipe.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from ..registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.base import Network
+    from .config import SimConfig
     from .metrics import SimResult
 
 
@@ -114,7 +116,13 @@ ENGINE_BACKENDS.register_lazy(
 )
 
 
-def make_simulator(config=None, network=None, mechanism=None, traffic=None, **kwargs):
+def make_simulator(
+    config: SimConfig | None = None,
+    network: Network | None = None,
+    mechanism: Any = None,
+    traffic: Any = None,
+    **kwargs: Any,
+) -> EngineBackend:
     """Build the simulator ``config.backend`` names (the public façade).
 
     Parameters mirror :class:`~repro.simulator.engine.Simulator`:

@@ -10,6 +10,7 @@ penalty constants apply unchanged (see DESIGN.md, "Key substitutions").
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -145,7 +146,7 @@ class SimConfig:
                 f"rng_streams must be 'shared' or 'split', got {self.rng_streams!r}"
             )
 
-    def with_(self, **kw) -> "SimConfig":
+    def with_(self, **kw: Any) -> "SimConfig":
         """A copy with some fields replaced."""
         return replace(self, **kw)
 

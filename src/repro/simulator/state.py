@@ -70,9 +70,14 @@ cycles on multiple topology families.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from .config import SimConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .packet import Packet
 
 #: Position-code kinds (see :meth:`SimState.pos_code`).
 POS_INPUT, POS_OUTPUT, POS_WIRE = 0, 1, 2
@@ -96,7 +101,16 @@ class PacketStore:
         ("pos", np.int64),
     )
 
-    def __init__(self, capacity: int = 1024):
+    # The columns are created generically from ``_COLS`` in ``_grow``;
+    # declaring them here keeps the attribute set statically visible.
+    src_server: np.ndarray
+    dst_server: np.ndarray
+    src_switch: np.ndarray
+    dst_switch: np.ndarray
+    birth: np.ndarray
+    pos: np.ndarray
+
+    def __init__(self, capacity: int = 1024) -> None:
         self.capacity = 0
         self.live = 0
         for name, dtype in self._COLS:
@@ -114,7 +128,7 @@ class PacketStore:
         self.free.extend(range(new_capacity - 1, old - 1, -1))
         self.capacity = new_capacity
 
-    def register(self, pkt) -> int:
+    def register(self, pkt: Packet) -> int:
         if not self.free:
             self._grow(self.capacity * 2)
         row = self.free.pop()
@@ -128,7 +142,7 @@ class PacketStore:
         self.live += 1
         return row
 
-    def release(self, pkt) -> None:
+    def release(self, pkt: Packet) -> None:
         row = pkt.row
         if row < 0:
             return
@@ -159,7 +173,7 @@ class SimState:
         n_vcs: int,
         servers_per_switch: int,
         cfg: SimConfig,
-    ):
+    ) -> None:
         S = len(degrees)
         self.n_switches = S
         self.n_vcs = n_vcs
@@ -228,7 +242,7 @@ class SimState:
     # Ground-truth verification (property tests; O(everything), not for
     # the hot loop)
     # ------------------------------------------------------------------
-    def verify(self, sim) -> None:
+    def verify(self, sim: Any) -> None:
         """Assert every derived array agrees with the queue ground truth.
 
         Covers FIFO occupancies, head-of-line destinations, per-packet
@@ -239,7 +253,7 @@ class SimState:
         """
         V = self.n_vcs
         cap = sim.cfg.input_buffer_packets
-        expected_pos: dict[int, tuple[int, object]] = {}
+        expected_pos: dict[int, tuple[int, Any]] = {}
         for sw in sim.switches:
             s = sw.sid
             npv = sw.n_ports * V

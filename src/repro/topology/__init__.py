@@ -2,6 +2,8 @@
 library (torus/mesh, fat-tree, random-regular), faulted networks and
 graph metrics.  :func:`make_topology` builds any family by short name."""
 
+from __future__ import annotations
+
 from .base import Link, Network, Topology, normalize_link
 from .catalog import TOPOLOGIES, TOPOLOGY_DISPLAY, make_topology
 from .custom import ExplicitTopology, mesh_topology, ring_topology

@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..seeding import as_generator
 from .base import Link, Network, Topology, normalize_link
 from .hyperx import HyperX
 
@@ -44,7 +45,7 @@ def random_fault_sequence(
     The order matters: prefixes of the sequence are the cumulative fault
     sets used by the Figure 1 and Figure 6 sweeps.
     """
-    rng = np.random.default_rng(rng)
+    rng = as_generator(rng)
     links = topology.links()
     if n_faults > len(links):
         raise ValueError(f"cannot fail {n_faults} of {len(links)} links")
@@ -65,7 +66,7 @@ def random_connected_fault_sequence(
     that would disconnect the network are skipped and another candidate is
     drawn.
     """
-    rng = np.random.default_rng(rng)
+    rng = as_generator(rng)
     sequence: list[Link] = []
     current = Network(topology)
     links = set(topology.links())
@@ -271,7 +272,7 @@ def random_switch_fault_sequence(
     rng: np.random.Generator | int | None = None,
 ) -> list[int]:
     """A uniformly random sequence of ``n_faults`` distinct switches."""
-    rng = np.random.default_rng(rng)
+    rng = as_generator(rng)
     if n_faults > topology.n_switches:
         raise ValueError(
             f"cannot fail {n_faults} of {topology.n_switches} switches"

@@ -26,6 +26,7 @@ from collections import deque
 
 import numpy as np
 
+from ..seeding import as_generator
 from .base import Topology
 
 
@@ -92,7 +93,7 @@ class RandomRegular(Topology):
         self.degree_target = d
         self.seed = int(seed)
         self._servers_per_switch = int(servers_per_switch)
-        rng = np.random.default_rng(self.seed)
+        rng = as_generator(self.seed)
         self._neighbours = self._draw(rng, n, d, max_tries)
 
     @staticmethod

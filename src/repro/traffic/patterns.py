@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..seeding import as_generator
 from ..topology.base import Network
 from ..topology.hyperx import HyperX
 from .base import PermutationTraffic, TrafficPattern, require_topology
@@ -41,7 +42,7 @@ class RandomServerPermutation(PermutationTraffic):
     name = "Random Server Permutation"
 
     def __init__(self, network: Network, rng: np.random.Generator | int | None = None):
-        rng = np.random.default_rng(rng)
+        rng = as_generator(rng)
         n = network.n_servers
         if n < 2:
             raise ValueError("a fixed-point-free permutation needs >= 2 servers")

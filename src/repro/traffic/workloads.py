@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..seeding import as_generator
 from ..topology.base import Network
 from ..topology.dragonfly import Dragonfly
 from ..topology.hyperx import HyperX
@@ -87,7 +88,7 @@ class HotspotTraffic(TrafficPattern):
             raise ValueError(f"n_hot must be in [1, {self.n_servers}], got {n_hot}")
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        rng = np.random.default_rng(rng)
+        rng = as_generator(rng)
         self.hot = np.sort(rng.choice(self.n_servers, size=n_hot, replace=False))
         self.fraction = float(fraction)
 

@@ -1,5 +1,7 @@
 """Opportunistic Up/Down escape subnetwork (SurePath's deadlock escape)."""
 
+from __future__ import annotations
+
 from .roots import ROOT_STRATEGIES, choose_root
 from .escape import (
     DOWN_PENALTY,

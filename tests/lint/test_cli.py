@@ -1,0 +1,142 @@
+"""The CLI and the shipped configuration against the real tree.
+
+These tests are the lint gate's own regression suite: the shipped
+``rng_sites.toml`` / ``invariants.toml`` must round-trip cleanly against
+the actual source tree (CI runs ``python -m repro.lint src`` as a
+blocking step; this keeps the contract testable from pytest alone).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, load_modules, run_lint
+from repro.lint.__main__ import main
+from repro.lint.rng import collect_draw_sites
+
+if sys.version_info >= (3, 11):
+    import tomllib
+else:  # pragma: no cover - exercised only on Python 3.10
+    import tomli as tomllib
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="module")
+def real_modules():
+    return load_modules(SRC)
+
+
+@pytest.fixture(scope="module")
+def shipped_config():
+    return LintConfig.load_default()
+
+
+class TestRealTree:
+    def test_shipped_tree_is_clean(self, real_modules, shipped_config):
+        violations = run_lint(real_modules, shipped_config)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_allowlist_round_trips_exactly(self, real_modules, shipped_config):
+        """Every shipped [[site]] entry matches a live draw site and
+        vice versa — no stale entries, no unlisted sites."""
+        sites = collect_draw_sites(real_modules, shipped_config)
+        listed = {
+            (e["file"], e["scope"]): sorted(e["draws"])
+            for e in shipped_config.rng["site"]
+        }
+        live = {key: draws for key, (draws, _line) in sites.items()}
+        assert live == listed
+
+    def test_every_site_entry_has_a_reason(self, shipped_config):
+        for entry in shipped_config.rng["site"]:
+            assert entry.get("reason", "").strip(), (
+                f"rng_sites.toml entry {entry['file']}:{entry['scope']} "
+                "has no reason"
+            )
+
+    def test_pinned_simconfig_fields_match_dataclass(
+        self, real_modules, shipped_config
+    ):
+        from repro.lint.base import dataclass_fields, find_module
+
+        cfg = shipped_config.invariants["cache_key"]
+        mod = find_module(real_modules, cfg["config_module"])
+        assert mod is not None
+        assert set(dataclass_fields(mod.tree, "SimConfig")) == set(
+            cfg["simconfig_fields"]
+        )
+
+    def test_pinned_cache_version_matches_executor(self, shipped_config):
+        from repro.experiments.executor import CACHE_VERSION
+
+        assert shipped_config.invariants["cache_key"]["cache_version"] == (
+            CACHE_VERSION
+        )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_violating_tree_exits_one(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "repro/bad.py:1: [rng]" in captured.out
+        assert "1 violation(s)" in captured.err
+
+    def test_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_list_sites_emits_valid_toml_matching_allowlist(
+        self, shipped_config, capsys
+    ):
+        assert main([str(SRC), "--list-sites"]) == 0
+        out = capsys.readouterr().out
+        parsed = tomllib.loads(out)
+        emitted = {
+            (e["file"], e["scope"]): e["draws"] for e in parsed["site"]
+        }
+        listed = {
+            (e["file"], e["scope"]): sorted(e["draws"])
+            for e in shipped_config.rng["site"]
+        }
+        assert emitted == listed
+
+
+class TestLoadModules:
+    def test_src_and_package_roots_agree(self, tmp_path):
+        """``src`` and ``src/repro`` roots yield identical rel paths."""
+        pkg = tmp_path / "src" / "repro"
+        (pkg / "sub").mkdir(parents=True)
+        (pkg / "sub" / "m.py").write_text("x = 1\n")
+        from_src = [m.rel for m in load_modules(tmp_path / "src")]
+        from_pkg = [m.rel for m in load_modules(pkg)]
+        assert from_src == from_pkg == ["repro/sub/m.py"]
+
+    def test_caches_and_hidden_dirs_skipped(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "__pycache__").mkdir(parents=True)
+        (pkg / ".hidden").mkdir()
+        (pkg / "__pycache__" / "m.py").write_text("x = 1\n")
+        (pkg / ".hidden" / "m.py").write_text("x = 1\n")
+        (pkg / "ok.py").write_text("x = 1\n")
+        assert [m.rel for m in load_modules(tmp_path)] == ["repro/ok.py"]
+
+    def test_dotted_name(self):
+        from repro.lint import Module
+
+        mod = Module(rel="repro/simulator/engine.py", tree=ast.parse(""))
+        assert mod.dotted == "repro.simulator.engine"
+        init = Module(rel="repro/simulator/__init__.py", tree=ast.parse(""))
+        assert init.dotted == "repro.simulator"
